@@ -1,0 +1,79 @@
+// Command hobench regenerates every experiment table of the reproduction
+// (DESIGN.md §4, EXPERIMENTS.md): the good-period length measurements of
+// Theorems 3, 5, 6 and 7, the Corollary 4 trade-off, the §4.2.2(c) full
+// stack, the randomized correctness checks, the failure-detector baseline
+// comparison, the message-loss sweep, and the design-choice ablations.
+//
+// Usage:
+//
+//	hobench                 # run everything, aligned-text output
+//	hobench -exp e1,e9      # run selected experiments
+//	hobench -markdown       # emit EXPERIMENTS.md-style markdown
+//	hobench -seed 7         # change the base seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heardof/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hobench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (e1..e9, ea) or 'all'")
+		seed     = flag.Uint64("seed", 1, "base seed for all randomized runs")
+		markdown = flag.Bool("markdown", false, "emit markdown tables instead of aligned text")
+	)
+	flag.Parse()
+
+	runners := map[string]func(uint64) *experiments.Table{
+		"e1": experiments.E1Theorem3,
+		"e2": experiments.E2Corollary4,
+		"e3": experiments.E3InitialVsNonInitial,
+		"e4": experiments.E4Theorem6,
+		"e5": experiments.E5Theorem7,
+		"e6": experiments.E6FullStack,
+		"e7": experiments.E7SafetyAndLiveness,
+		"e8": experiments.E8Uniformity,
+		"e9": experiments.E9LossSweep,
+		"ea": experiments.Ablations,
+	}
+	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "ea"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.ToLower(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (want e1..e9 or ea)", id)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	for _, id := range selected {
+		table := runners[id](*seed)
+		var err error
+		if *markdown {
+			err = table.Markdown(os.Stdout)
+		} else {
+			err = table.Render(os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command hocheck evaluates communication predicates against a recorded
+// HO trace (JSON, see internal/tracefile). It reports which Table 1
+// predicates hold, their witnesses, per-round kernels, and whether the
+// trace's decisions satisfy consensus safety.
+//
+// Usage:
+//
+//	hocheck trace.json
+//	hocheck -demo            # generate, print and check a sample trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/predicate"
+	"heardof/internal/tracefile"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hocheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	demo := flag.Bool("demo", false, "generate and check a demo trace instead of reading a file")
+	flag.Parse()
+
+	var tr *core.Trace
+	switch {
+	case *demo:
+		var err error
+		if tr, err = demoTrace(); err != nil {
+			return err
+		}
+		data, err := tracefile.Encode(tr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("demo trace:\n%s\n\n", data)
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		if tr, err = tracefile.Decode(data); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: hocheck <trace.json> | hocheck -demo")
+	}
+
+	fmt.Printf("trace: n=%d, %d rounds, %d decided\n", tr.N, tr.NumRounds(), tr.DecidedSet().Len())
+
+	fmt.Println("\npredicates:")
+	checks := []predicate.Predicate{
+		predicate.Potr{},
+		predicate.PrestrOtr{},
+		predicate.MajorityEveryRound(tr.N),
+		predicate.NonEmptyKernels{},
+		predicate.UniformRoundExists{},
+	}
+	for _, p := range checks {
+		fmt.Printf("  %-22s %v\n", p.Name(), p.Holds(tr))
+	}
+	if r0, pi0, ok := predicate.FindPotrWitness(tr); ok {
+		fmt.Printf("  Potr witness: r0=%d Π0=%v\n", r0, pi0)
+	}
+	if r0, pi0, ok := predicate.FindPrestrOtrWitness(tr); ok {
+		fmt.Printf("  PrestrOtr witness: r0=%d Π0=%v\n", r0, pi0)
+	}
+
+	fmt.Println("\nper-round kernels:")
+	all := core.FullSet(tr.N)
+	for r := core.Round(1); r <= tr.NumRounds(); r++ {
+		fmt.Printf("  round %-3d kernel %v\n", r, tr.Kernel(r, all))
+	}
+
+	if err := tr.CheckConsensusSafety(); err != nil {
+		return fmt.Errorf("SAFETY VIOLATION: %w", err)
+	}
+	fmt.Println("\nsafety: agreement and integrity hold")
+	return nil
+}
+
+// demoTrace runs OneThirdRule under a Potr-realizing adversary.
+func demoTrace() (*core.Trace, error) {
+	n := 5
+	initial := []core.Value{3, 1, 4, 1, 5}
+	prov := adversary.ScriptedPotr{R0: 3, Pi0: core.FullSet(n)}
+	ru, err := core.NewRunner(otr.Algorithm{}, initial, prov)
+	if err != nil {
+		return nil, err
+	}
+	tr, _ := ru.Run(12)
+	return tr, nil
+}

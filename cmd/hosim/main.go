@@ -1,0 +1,181 @@
+// Command hosim runs one consensus stack on the §4.1 system-model
+// simulator and reports the outcome: which processes decided, when, over
+// which rounds, and whether the recorded trace satisfies the Table 1
+// communication predicates.
+//
+// Usage:
+//
+//	hosim -n 7 -alg otr -proto alg2 -bad 150 -crash "1@20:60,4@50:120"
+//	hosim -n 7 -f 2 -alg otr -proto alg3+translation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"heardof/internal/core"
+	"heardof/internal/lastvoting"
+	"heardof/internal/otr"
+	"heardof/internal/predicate"
+	"heardof/internal/predimpl"
+	"heardof/internal/simtime"
+	"heardof/internal/translation"
+	"heardof/internal/uv"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n       = flag.Int("n", 5, "number of processes (≤ 64)")
+		f       = flag.Int("f", 1, "resilience parameter for alg3/translation")
+		phi     = flag.Float64("phi", 1, "φ = Φ+/Φ− (normalized upper step gap)")
+		delta   = flag.Float64("delta", 5, "δ (normalized transmission bound)")
+		algName = flag.String("alg", "otr", "HO algorithm: otr | uv | lastvoting")
+		proto   = flag.String("proto", "alg2", "implementation layer: alg2 | alg3 | alg3+translation")
+		badLen  = flag.Float64("bad", 0, "length of an initial bad period (0 = good from the start)")
+		crash   = flag.String("crash", "", "crash schedule, e.g. \"1@20:60,4@50:-\" (process@crash:recover, '-' = never)")
+		horizon = flag.Float64("horizon", 5000, "simulation horizon")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var alg core.Algorithm
+	switch *algName {
+	case "otr":
+		alg = otr.Algorithm{}
+	case "uv":
+		alg = uv.Algorithm{}
+	case "lastvoting":
+		alg = lastvoting.Algorithm{}
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algName)
+	}
+
+	kind := predimpl.UseAlg2
+	switch *proto {
+	case "alg2":
+	case "alg3":
+		kind = predimpl.UseAlg3
+	case "alg3+translation":
+		kind = predimpl.UseAlg3
+		alg = translation.Algorithm{Inner: alg, F: *f}
+	default:
+		return fmt.Errorf("unknown protocol %q", *proto)
+	}
+
+	crashes, err := parseCrashes(*crash)
+	if err != nil {
+		return err
+	}
+
+	pi0 := core.FullSet(*n)
+	goodKind := simtime.GoodDown
+	if kind == predimpl.UseAlg3 {
+		goodKind = simtime.GoodArbitrary
+		pi0 = core.FullSet(*n - *f)
+	}
+	var periods []simtime.Period
+	if *badLen > 0 {
+		periods = append(periods, simtime.Period{Start: 0, Kind: simtime.Bad})
+	}
+	periods = append(periods, simtime.Period{Start: *badLen, Kind: goodKind, Pi0: pi0})
+
+	initial := make([]core.Value, *n)
+	for i := range initial {
+		initial[i] = core.Value(i%3 + 1)
+	}
+
+	stack, err := predimpl.BuildStack(predimpl.StackConfig{
+		Kind:      kind,
+		F:         *f,
+		Algorithm: alg,
+		Initial:   initial,
+		Sim: simtime.Config{
+			N: *n, Phi: *phi, Delta: *delta,
+			Periods: periods, Crashes: crashes, Seed: *seed,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("running %s over %s: n=%d f=%d φ=%v δ=%v, good period (%s) from t=%v\n",
+		alg.Name(), kind, *n, *f, *phi, *delta, goodKind, *badLen)
+
+	last := stack.RunUntilAllDecided(pi0, *horizon)
+	tr := stack.Trace()
+
+	fmt.Printf("\nper-process outcome:\n")
+	for p := 0; p < *n; p++ {
+		d := stack.Recorder.Decision(core.ProcessID(p))
+		if d.Decided {
+			fmt.Printf("  p%d: decided %d at t=%.2f (round %d)\n", p, d.Value, d.At, d.Round)
+		} else {
+			fmt.Printf("  p%d: undecided\n", p)
+		}
+	}
+	if last >= 0 {
+		fmt.Printf("\nall of π0 %v decided by t=%.2f\n", pi0, last)
+	} else {
+		fmt.Printf("\nπ0 %v did NOT fully decide by the horizon %v\n", pi0, *horizon)
+	}
+
+	if err := tr.CheckConsensusSafety(); err != nil {
+		return fmt.Errorf("SAFETY VIOLATION: %w", err)
+	}
+	fmt.Println("safety: agreement and integrity hold")
+
+	fmt.Printf("\ntrace: %d rounds recorded\n", tr.NumRounds())
+	for _, p := range []predicate.Predicate{predicate.Potr{}, predicate.PrestrOtr{}} {
+		fmt.Printf("  %-10s holds: %v\n", p.Name(), p.Holds(tr))
+	}
+
+	st := stack.Sim.Stats()
+	fmt.Printf("\nstats: steps=%d sends=%d delivered=%d dropped=%d purged=%d crashes=%d recoveries=%d stable-writes=%d\n",
+		st.Steps, st.Sends, st.Delivered, st.Dropped, st.Purged, st.Crashes, st.Recoveries,
+		stack.Stores.TotalWrites())
+	return nil
+}
+
+// parseCrashes parses "p@crash:recover,..." with '-' for no recovery.
+func parseCrashes(s string) ([]simtime.CrashEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []simtime.CrashEvent
+	for _, part := range strings.Split(s, ",") {
+		var ev simtime.CrashEvent
+		at := strings.Split(part, "@")
+		if len(at) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q (want p@crash:recover)", part)
+		}
+		p, err := strconv.Atoi(at[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad process id in %q: %w", part, err)
+		}
+		ev.P = core.ProcessID(p)
+		times := strings.Split(at[1], ":")
+		if len(times) != 2 {
+			return nil, fmt.Errorf("bad crash spec %q (want p@crash:recover)", part)
+		}
+		if ev.At, err = strconv.ParseFloat(times[0], 64); err != nil {
+			return nil, fmt.Errorf("bad crash time in %q: %w", part, err)
+		}
+		if times[1] == "-" {
+			ev.RecoverAt = -1
+		} else if ev.RecoverAt, err = strconv.ParseFloat(times[1], 64); err != nil {
+			return nil, fmt.Errorf("bad recovery time in %q: %w", part, err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

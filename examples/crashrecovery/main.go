@@ -1,0 +1,76 @@
+// Crash-recovery: the same consensus stack, unchanged, rides out crashes
+// with recoveries — the uniformity claim of §2.1/§3.3 of the paper.
+//
+// The stack is OneThirdRule over Algorithm 2 over the §4.1 system-model
+// simulator. Three of seven processes crash during an initial bad period
+// and recover from stable storage ({r_p, s_p}); once a good period
+// arrives, everybody — including the recovered processes — decides.
+// Nothing in the algorithm distinguishes crash-stop from crash-recovery:
+// the non-reception of messages from a down process is just a transmission
+// fault.
+//
+// Run with: go run ./examples/crashrecovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/predimpl"
+	"heardof/internal/simtime"
+)
+
+func main() {
+	const n = 7
+	initial := []core.Value{3, 1, 4, 1, 5, 9, 2}
+
+	crashes := []simtime.CrashEvent{
+		{P: 0, At: 10, RecoverAt: 60},
+		{P: 3, At: 30, RecoverAt: 90},
+		{P: 6, At: 55, RecoverAt: 130},
+	}
+	periods := []simtime.Period{
+		{Start: 0, Kind: simtime.Bad}, // lossy, asynchronous, crashes
+		{Start: 140, Kind: simtime.GoodDown, Pi0: core.FullSet(n)},
+	}
+
+	stack, err := predimpl.BuildStack(predimpl.StackConfig{
+		Kind:      predimpl.UseAlg2,
+		Algorithm: otr.Algorithm{},
+		Initial:   initial,
+		Sim: simtime.Config{
+			N: n, Phi: 1, Delta: 5,
+			Periods: periods, Crashes: crashes, Seed: 7,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("bad period [0, 140): message loss, arbitrary delays, and:")
+	for _, c := range crashes {
+		fmt.Printf("  p%d crashes at t=%v, recovers at t=%v (volatile state lost, {r_p, s_p} from stable storage)\n",
+			c.P, c.At, c.RecoverAt)
+	}
+	fmt.Println("good period from t=140: π0 = Π synchronous (φ=1, δ=5)")
+
+	last := stack.RunUntilAllDecided(core.FullSet(n), 5000)
+	if last < 0 {
+		log.Fatal("consensus not reached — should be impossible with this schedule")
+	}
+
+	fmt.Println("\ndecisions:")
+	for p := 0; p < n; p++ {
+		d := stack.Recorder.Decision(core.ProcessID(p))
+		fmt.Printf("  p%d decided %d at t=%.2f (round %d)\n", p, d.Value, d.At, d.Round)
+	}
+	if err := stack.Trace().CheckConsensusSafety(); err != nil {
+		log.Fatal(err)
+	}
+	st := stack.Sim.Stats()
+	fmt.Printf("\nall decided by t=%.2f; crashes=%d recoveries=%d purged=%d stable-writes=%d\n",
+		last, st.Crashes, st.Recoveries, st.Purged, stack.Stores.TotalWrites())
+	fmt.Println("safety verified — same stack, no crash-recovery-specific code")
+}

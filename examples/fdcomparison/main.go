@@ -1,0 +1,102 @@
+// FD comparison: footnote 2 of the paper made runnable.
+//
+// The Chandra–Toueg ◇S algorithm presumes reliable links: a process
+// either waits for a message or suspects its sender, so a lost message
+// that the detector cannot account for blocks the protocol. The HO stack
+// treats a lost message as a transmission fault — the round simply moves
+// on. This example runs both over increasingly lossy links (giving CT a
+// PERFECT failure detector, so only the link assumption is at stake) and
+// prints the decision success rates.
+//
+// Run with: go run ./examples/fdcomparison
+package main
+
+import (
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/ctcs"
+	"heardof/internal/fd"
+	"heardof/internal/otr"
+	"heardof/internal/predimpl"
+	"heardof/internal/runtime"
+	"heardof/internal/simtime"
+)
+
+const (
+	n    = 5
+	runs = 10
+)
+
+func main() {
+	fmt.Printf("%-8s %-22s %-22s\n", "loss", "Chandra–Toueg ◇S", "HO stack (OTR∘Alg2)")
+	for _, loss := range []float64{0, 0.1, 0.2, 0.3, 0.4} {
+		ct := 0
+		ho := 0
+		for seed := uint64(0); seed < runs; seed++ {
+			if runCT(loss, seed) {
+				ct++
+			}
+			if runHO(loss, seed) {
+				ho++
+			}
+		}
+		fmt.Printf("%-8.2f %-22s %-22s\n", loss,
+			fmt.Sprintf("%d/%d decided", ct, runs),
+			fmt.Sprintf("%d/%d decided", ho, runs))
+	}
+	fmt.Println("\nCT blocks on lost messages despite its perfect detector (footnote 2);")
+	fmt.Println("the HO stack absorbs loss as transmission faults and keeps deciding.")
+}
+
+func runCT(loss float64, seed uint64) bool {
+	nodes := make([]*ctcs.Node, n)
+	sim, err := runtime.New(runtime.Config{
+		N: n, MinDelay: 0.5, MaxDelay: 1,
+		LossProb: loss, GST: 0, StableLossProb: loss, Seed: seed,
+	}, func(p runtime.NodeID) runtime.Handler {
+		nodes[p] = ctcs.NewNodeDeferred(n, core.Value(int(p)+1), 2)
+		return nodes[p]
+	})
+	if err != nil {
+		return false
+	}
+	det := fd.NewEventuallyStrong(sim, 0, seed) // perfect from t=0
+	for _, nd := range nodes {
+		nd.SetDetector(det)
+	}
+	return sim.RunUntil(func() bool {
+		for _, nd := range nodes {
+			if _, ok := nd.Decided(); !ok {
+				return false
+			}
+		}
+		return true
+	}, 400)
+}
+
+func runHO(loss float64, seed uint64) bool {
+	initial := make([]core.Value, n)
+	for i := range initial {
+		initial[i] = core.Value(i + 1)
+	}
+	stack, err := predimpl.BuildStack(predimpl.StackConfig{
+		Kind:      predimpl.UseAlg2,
+		Algorithm: otr.Algorithm{},
+		Initial:   initial,
+		Sim: simtime.Config{
+			N: n, Phi: 1, Delta: 5,
+			Periods: []simtime.Period{{Start: 0, Kind: simtime.Bad}},
+			Bad: simtime.BadConfig{
+				LossProb: loss,
+				MinDelay: 2.5, MaxDelay: 5,
+				MinGap: 1, MaxGap: 1,
+			},
+			Seed: seed,
+		},
+	})
+	if err != nil {
+		return false
+	}
+	return stack.RunUntilAllDecided(core.FullSet(n), 20000) >= 0
+}

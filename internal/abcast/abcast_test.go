@@ -1,0 +1,194 @@
+package abcast
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/xrand"
+)
+
+func fullProvider(int) core.HOProvider { return adversary.Full{} }
+
+func newBroadcaster(t *testing.T, n int, provider func(int) core.HOProvider) *Broadcaster {
+	t.Helper()
+	b, err := New(n, otr.Algorithm{}, provider, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBatchingDeliversEverythingInOneSlot(t *testing.T) {
+	b := newBroadcaster(t, 4, fullProvider)
+	for i := 0; i < 10; i++ {
+		b.Broadcast(core.ProcessID(i%4), fmt.Sprintf("m%d", i))
+	}
+	count, err := b.DecideSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("batch delivered %d messages, want 10", count)
+	}
+	if b.Pending() != 0 {
+		t.Errorf("pending = %d after full batch", b.Pending())
+	}
+	got := b.Delivered()
+	for i, m := range got {
+		if m.Payload != fmt.Sprintf("m%d", i) {
+			t.Errorf("delivery %d = %q, want m%d (submission order)", i, m.Payload, i)
+		}
+	}
+}
+
+func TestTotalOrderStableUnderLoss(t *testing.T) {
+	rng := xrand.New(3)
+	provider := func(int) core.HOProvider {
+		return &adversary.TransmissionLoss{Rate: 0.25, RNG: rng.Fork()}
+	}
+	b := newBroadcaster(t, 5, provider)
+	const msgs = 40
+	for i := 0; i < msgs; i++ {
+		b.Broadcast(core.ProcessID(i%5), fmt.Sprintf("m%d", i))
+	}
+	total, err := b.Drain(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != msgs {
+		t.Errorf("delivered %d, want %d (validity)", total, msgs)
+	}
+	// Integrity: each message delivered exactly once.
+	seen := make(map[string]bool, msgs)
+	for _, m := range b.Delivered() {
+		if seen[m.Payload] {
+			t.Fatalf("duplicate delivery of %q", m.Payload)
+		}
+		seen[m.Payload] = true
+	}
+	if len(seen) != msgs {
+		t.Errorf("unique deliveries = %d, want %d", len(seen), msgs)
+	}
+}
+
+func TestAmortization(t *testing.T) {
+	// A burst of 50 messages takes far fewer than 50 slots (batching).
+	b := newBroadcaster(t, 4, fullProvider)
+	for i := 0; i < 50; i++ {
+		b.Broadcast(0, fmt.Sprintf("m%d", i))
+	}
+	if _, err := b.Drain(20); err != nil {
+		t.Fatal(err)
+	}
+	if b.Slots() > 2 {
+		t.Errorf("used %d slots for a 50-message burst; batching should need ≤ 2", b.Slots())
+	}
+}
+
+func TestWindowLimit(t *testing.T) {
+	// More than 63 pending messages need multiple slots.
+	b := newBroadcaster(t, 3, fullProvider)
+	const msgs = 150
+	for i := 0; i < msgs; i++ {
+		b.Broadcast(0, fmt.Sprintf("m%d", i))
+	}
+	total, err := b.Drain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != msgs {
+		t.Errorf("delivered %d, want %d", total, msgs)
+	}
+	if b.Slots() != 3 { // ⌈150/63⌉
+		t.Errorf("slots = %d, want 3", b.Slots())
+	}
+	// Order is still global submission order.
+	for i, m := range b.Delivered() {
+		if m.Payload != fmt.Sprintf("m%d", i) {
+			t.Fatalf("delivery %d = %q out of order", i, m.Payload)
+		}
+	}
+}
+
+func TestEmptySlot(t *testing.T) {
+	b := newBroadcaster(t, 3, fullProvider)
+	count, err := b.DecideSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("empty slot delivered %d messages", count)
+	}
+}
+
+func TestUndecidedSlot(t *testing.T) {
+	b, err := New(3, otr.Algorithm{}, func(int) core.HOProvider {
+		return adversary.Silence{}
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Broadcast(0, "m")
+	if _, err := b.DecideSlot(); !errors.Is(err, ErrSlotUndecided) {
+		t.Errorf("error = %v, want ErrSlotUndecided", err)
+	}
+	if _, err := b.Drain(3); !errors.Is(err, ErrSlotUndecided) {
+		t.Errorf("Drain error = %v, want ErrSlotUndecided", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, otr.Algorithm{}, fullProvider, 10); err == nil {
+		t.Error("expected error for n=0")
+	}
+	if _, err := New(3, nil, fullProvider, 10); err == nil {
+		t.Error("expected error for nil algorithm")
+	}
+	if _, err := New(3, otr.Algorithm{}, nil, 10); err == nil {
+		t.Error("expected error for nil provider")
+	}
+}
+
+func TestDeliveredIsACopy(t *testing.T) {
+	b := newBroadcaster(t, 3, fullProvider)
+	b.Broadcast(0, "x")
+	if _, err := b.Drain(5); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Delivered()
+	d[0].Payload = "mutated"
+	if b.Delivered()[0].Payload != "x" {
+		t.Error("Delivered exposed internal state")
+	}
+}
+
+func TestManySeedsPropertySweep(t *testing.T) {
+	// Validity + integrity + order under random workloads and loss.
+	for seed := uint64(0); seed < 25; seed++ {
+		rng := xrand.New(seed)
+		provider := func(int) core.HOProvider {
+			return &adversary.TransmissionLoss{Rate: 0.15, RNG: rng.Fork()}
+		}
+		b := newBroadcaster(t, 4, provider)
+		msgs := 5 + rng.Intn(80)
+		for i := 0; i < msgs; i++ {
+			b.Broadcast(core.ProcessID(rng.Intn(4)), fmt.Sprintf("s%d-m%d", seed, i))
+		}
+		if _, err := b.Drain(300); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := b.Delivered()
+		if len(got) != msgs {
+			t.Fatalf("seed %d: delivered %d of %d", seed, len(got), msgs)
+		}
+		for i, m := range got {
+			if m.Payload != fmt.Sprintf("s%d-m%d", seed, i) {
+				t.Fatalf("seed %d: delivery %d out of order (%q)", seed, i, m.Payload)
+			}
+		}
+	}
+}

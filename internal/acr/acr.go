@@ -1,0 +1,418 @@
+// Package acr implements Algorithm 6 of the paper's Appendix A: the
+// Aguilera–Chen–Toueg consensus algorithm for the crash-recovery model
+// with stable storage and the ◇S_u failure detector.
+//
+// The algorithm exists in this repository as the baseline that
+// illustrates §2.1 of Hutle & Schiper: moving Chandra–Toueg from
+// crash-stop to crash-recovery forces a different failure detector
+// (trustlists with epoch numbers), per-destination retransmission tasks,
+// stable-storage logging at every estimate update, a round-skipping task,
+// and a recovery procedure — a substantially more complex protocol for
+// the "same" problem, whereas the HO stack of internal/predimpl runs
+// unchanged in both models.
+package acr
+
+import (
+	"heardof/internal/core"
+	"heardof/internal/fd"
+	"heardof/internal/quorum"
+	"heardof/internal/runtime"
+	"heardof/internal/stable"
+)
+
+// Message types (the paper's tags).
+type (
+	// newRoundMsg opens a round: coordinator → all (phase NEWROUND).
+	newRoundMsg struct {
+		R int
+	}
+	// estimateMsg carries a participant's estimate to the coordinator.
+	estimateMsg struct {
+		R        int
+		Estimate core.Value
+		TS       int
+	}
+	// newEstimateMsg carries the coordinator's choice (phase NEWESTIMATE).
+	newEstimateMsg struct {
+		R        int
+		Estimate core.Value
+	}
+	// ackMsg acknowledges a new estimate.
+	ackMsg struct {
+		R int
+	}
+	// decideMsg announces the decision (retransmitted on demand).
+	decideMsg struct {
+		Estimate core.Value
+	}
+)
+
+// roundOf extracts a round number for the "received some message with
+// r > rp" escape of the skip_round task.
+func roundOf(msg any) (int, bool) {
+	switch m := msg.(type) {
+	case newRoundMsg:
+		return m.R, true
+	case estimateMsg:
+		return m.R, true
+	case newEstimateMsg:
+		return m.R, true
+	case ackMsg:
+		return m.R, true
+	default:
+		return 0, false
+	}
+}
+
+// Coord returns the coordinator of round r (0-indexed form of the paper's
+// (r mod n) + 1).
+func Coord(r, n int) core.ProcessID { return core.ProcessID((r - 1) % n) }
+
+// Stable-storage keys.
+const (
+	keyRound    = "rp"
+	keyEstimate = "estimate"
+	keyTS       = "ts"
+	keyDecided  = "decided"
+	keyDecision = "decision"
+	keyProposed = "proposed"
+)
+
+// Timer ids.
+const (
+	timerRetransmit = 1
+	timerSkipRound  = 2
+)
+
+// Node is one process running Algorithm 6.
+type Node struct {
+	n      int
+	su     *fd.EventuallySu
+	store  *stable.Store
+	poll   runtime.Time // skip_round detector polling interval
+	rexmit runtime.Time // retransmission interval
+
+	// Volatile state (rebuilt from stable storage on recovery).
+	rp       int
+	estimate core.Value
+	ts       int
+	decided  bool
+	decision core.Value
+	xmit     map[core.ProcessID]any // xmitmsg[q]: last s-sent message per destination
+
+	// Round-scoped volatile state.
+	roundView    fd.View // ◇Su view at round start (for the epoch escape)
+	maxSeenRound int
+	estimates    map[int][]estimateMsg
+	acks         map[int]core.PIDSet
+	sentDecide   map[int]bool
+}
+
+var _ runtime.Handler = (*Node)(nil)
+
+// NewNodeDeferred creates a node whose detector is attached later with
+// SetDetector (the ◇Su oracle needs the runtime simulation, which needs
+// the handlers first).
+func NewNodeDeferred(n int, v core.Value, store *stable.Store, poll, rexmit runtime.Time) *Node {
+	return NewNode(n, v, nil, store, poll, rexmit)
+}
+
+// SetDetector attaches the ◇Su detector. It must be called before the
+// simulation starts processing events.
+func (nd *Node) SetDetector(d *fd.EventuallySu) { nd.su = d }
+
+// NewNode creates a node proposing v. The store must survive crashes
+// (share it across reboots of the same process).
+func NewNode(n int, v core.Value, su *fd.EventuallySu, store *stable.Store,
+	poll, rexmit runtime.Time) *Node {
+	nd := &Node{
+		n:      n,
+		su:     su,
+		store:  store,
+		poll:   poll,
+		rexmit: rexmit,
+	}
+	nd.resetVolatile()
+	nd.rp = 1
+	nd.estimate = v
+	nd.ts = 0
+	return nd
+}
+
+func (nd *Node) resetVolatile() {
+	nd.xmit = make(map[core.ProcessID]any)
+	nd.estimates = make(map[int][]estimateMsg)
+	nd.acks = make(map[int]core.PIDSet)
+	nd.sentDecide = make(map[int]bool)
+	nd.maxSeenRound = 0
+}
+
+// Decided reports the node's decision.
+func (nd *Node) Decided() (core.Value, bool) { return nd.decision, nd.decided }
+
+// Round returns the node's current round.
+func (nd *Node) Round() int { return nd.rp }
+
+// sSend implements the paper's s-send: remember the message for
+// retransmission and transmit once now (self-sends deliver directly).
+func (nd *Node) sSend(ctx *runtime.Context, to core.ProcessID, msg any) {
+	if to == ctx.ID() {
+		nd.OnMessage(ctx, to, msg)
+		return
+	}
+	nd.xmit[to] = msg
+	ctx.Send(to, msg)
+}
+
+func (nd *Node) sSendAll(ctx *runtime.Context, msg any) {
+	for q := 0; q < nd.n; q++ {
+		nd.sSend(ctx, core.ProcessID(q), msg)
+	}
+}
+
+// Start implements runtime.Handler: propose.
+func (nd *Node) Start(ctx *runtime.Context) {
+	nd.store.Save(keyProposed, true)
+	nd.persistRound()
+	ctx.After(nd.rexmit, timerRetransmit)
+	ctx.After(nd.poll, timerSkipRound)
+	nd.enterRound(ctx, nd.rp)
+}
+
+func (nd *Node) persistRound() { nd.store.Save(keyRound, nd.rp) }
+
+func (nd *Node) persistEstimate() {
+	nd.store.Save(keyEstimate, nd.estimate)
+	nd.store.Save(keyTS, nd.ts)
+}
+
+// enterRound forks the coordinator and participant tasks of round r.
+func (nd *Node) enterRound(ctx *runtime.Context, r int) {
+	if nd.decided {
+		return
+	}
+	nd.rp = r
+	nd.persistRound()
+	nd.roundView = nd.su.Query(ctx.ID(), nd.n)
+
+	c := Coord(r, nd.n)
+	if c == ctx.ID() {
+		// Task coordinator, phase NEWROUND: solicit estimates (unless it
+		// already owns an estimate for this round, post-recovery).
+		if nd.ts != r {
+			nd.sSendAll(ctx, newRoundMsg{R: r})
+		} else {
+			nd.sSendAll(ctx, newEstimateMsg{R: r, Estimate: nd.estimate})
+		}
+	}
+	// Task participant, phase ESTIMATE.
+	if nd.ts != r {
+		nd.sSend(ctx, c, estimateMsg{R: r, Estimate: nd.estimate, TS: nd.ts})
+	}
+}
+
+// OnMessage implements runtime.Handler.
+func (nd *Node) OnMessage(ctx *runtime.Context, from core.ProcessID, msg any) {
+	// Decision handling comes first (lines 51–56): a decided process
+	// answers everything with DECIDE.
+	if dm, ok := msg.(decideMsg); ok {
+		nd.decide(ctx, dm.Estimate)
+		return
+	}
+	if nd.decided {
+		ctx.Send(from, decideMsg{Estimate: nd.decision})
+		return
+	}
+
+	if r, ok := roundOf(msg); ok && r > nd.maxSeenRound {
+		nd.maxSeenRound = r
+	}
+
+	switch m := msg.(type) {
+	case newRoundMsg:
+		// A participant asked for its estimate in a round it has not
+		// joined yet: the skip_round escape ("received some message with
+		// r > rp") is checked in the poll, but answering immediately is
+		// equivalent and faster.
+		if m.R >= nd.rp {
+			nd.jumpTo(ctx, m.R)
+		}
+	case estimateMsg:
+		nd.coordCollect(ctx, m)
+	case newEstimateMsg:
+		nd.participantAdopt(ctx, m)
+	case ackMsg:
+		nd.coordAcks(ctx, m, from)
+	}
+}
+
+// jumpTo aborts the current round and joins round r (skip_round lines
+// 47–50 with the received-higher-round escape).
+func (nd *Node) jumpTo(ctx *runtime.Context, r int) {
+	if r <= nd.rp || nd.decided {
+		if r == nd.rp {
+			return
+		}
+	}
+	if r < nd.rp {
+		return
+	}
+	nd.enterRound(ctx, r)
+}
+
+// coordCollect is the coordinator's wait for ⌈(n+1)/2⌉ estimates.
+func (nd *Node) coordCollect(ctx *runtime.Context, m estimateMsg) {
+	if Coord(m.R, nd.n) != ctx.ID() || m.R < nd.rp {
+		return
+	}
+	for _, e := range nd.estimates[m.R] {
+		if e.TS == m.TS && e.Estimate == m.Estimate {
+			// Retransmissions may duplicate; tolerate identical copies.
+			break
+		}
+	}
+	nd.estimates[m.R] = append(nd.estimates[m.R], m)
+	if len(nd.estimates[m.R]) < quorum.CeilHalf(nd.n) || nd.ts == m.R {
+		return
+	}
+	best := nd.estimates[m.R][0]
+	for _, e := range nd.estimates[m.R][1:] {
+		if e.TS > best.TS {
+			best = e
+		}
+	}
+	nd.estimate = best.Estimate
+	nd.ts = m.R
+	nd.persistEstimate()
+	// Phase NEWESTIMATE.
+	nd.sSendAll(ctx, newEstimateMsg{R: m.R, Estimate: nd.estimate})
+}
+
+// participantAdopt is the participant's wait for the coordinator's new
+// estimate (phase NEWESTIMATE → phase ACK).
+func (nd *Node) participantAdopt(ctx *runtime.Context, m newEstimateMsg) {
+	if m.R < nd.rp {
+		return
+	}
+	if m.R > nd.rp {
+		nd.jumpTo(ctx, m.R)
+	}
+	c := Coord(m.R, nd.n)
+	if c != ctx.ID() {
+		nd.estimate = m.Estimate
+		nd.ts = m.R
+		nd.persistEstimate()
+	}
+	nd.sSend(ctx, c, ackMsg{R: m.R})
+}
+
+// coordAcks is the coordinator's wait for ⌈(n+1)/2⌉ acks, then DECIDE.
+func (nd *Node) coordAcks(ctx *runtime.Context, m ackMsg, from core.ProcessID) {
+	if Coord(m.R, nd.n) != ctx.ID() || nd.sentDecide[m.R] {
+		return
+	}
+	nd.acks[m.R] = nd.acks[m.R].Add(from)
+	if nd.acks[m.R].Len() < quorum.CeilHalf(nd.n) {
+		return
+	}
+	nd.sentDecide[m.R] = true
+	nd.sSendAll(ctx, decideMsg{Estimate: nd.estimate})
+}
+
+// decide logs the decision to stable storage (line 53).
+func (nd *Node) decide(ctx *runtime.Context, v core.Value) {
+	if nd.decided {
+		return
+	}
+	nd.decided = true
+	nd.decision = v
+	nd.store.Save(keyDecided, true)
+	nd.store.Save(keyDecision, v)
+	// Help others decide: one broadcast (retransmission keeps covering
+	// stragglers via the reply-with-DECIDE rule).
+	ctx.Broadcast(decideMsg{Estimate: v})
+}
+
+// OnTimer implements runtime.Handler: the retransmit and skip_round tasks.
+func (nd *Node) OnTimer(ctx *runtime.Context, id int) {
+	switch id {
+	case timerRetransmit:
+		for q, m := range nd.xmit {
+			ctx.Send(q, m)
+		}
+		ctx.After(nd.rexmit, timerRetransmit)
+	case timerSkipRound:
+		if !nd.decided {
+			nd.skipRoundCheck(ctx)
+		}
+		ctx.After(nd.poll, timerSkipRound)
+	}
+}
+
+// skipRoundCheck is the skip_round task (lines 42–50): abort the current
+// round when the coordinator is no longer trusted, its epoch increased,
+// or a higher round has been seen; then join the smallest round r > rp
+// whose coordinator is trusted and r ≥ the largest round seen.
+func (nd *Node) skipRoundCheck(ctx *runtime.Context) {
+	c := Coord(nd.rp, nd.n)
+	d := nd.su.Query(ctx.ID(), nd.n)
+	abort := !d.Trusts(c) ||
+		d.Epoch[c] > nd.roundView.Epoch[c] ||
+		nd.maxSeenRound > nd.rp
+	if !abort {
+		return
+	}
+	if d.TrustList.IsEmpty() {
+		return // wait for a non-empty trustlist (line 48)
+	}
+	next := nd.rp + 1
+	if nd.maxSeenRound > next {
+		next = nd.maxSeenRound
+	}
+	for !d.Trusts(Coord(next, nd.n)) {
+		next++
+	}
+	nd.enterRound(ctx, next)
+}
+
+// OnCrash implements runtime.Handler: volatile state vanishes.
+func (nd *Node) OnCrash() {
+	nd.xmit = nil
+	nd.estimates = nil
+	nd.acks = nil
+	nd.sentDecide = nil
+}
+
+// OnRecover implements runtime.Handler: the upon-recovery procedure
+// (lines 57–62) — reload {rp, estimate, ts} (and any logged decision)
+// from stable storage, reset retransmission buffers, re-fork the tasks.
+func (nd *Node) OnRecover(ctx *runtime.Context) {
+	nd.resetVolatile()
+	if v, ok := nd.store.Load(keyDecided); ok && v == true {
+		if dv, okd := nd.store.Load(keyDecision); okd {
+			nd.decided = true
+			if val, okv := dv.(core.Value); okv {
+				nd.decision = val
+			}
+		}
+		return
+	}
+	if v, ok := nd.store.Load(keyRound); ok {
+		if r, okr := v.(int); okr {
+			nd.rp = r
+		}
+	}
+	if v, ok := nd.store.Load(keyEstimate); ok {
+		if e, oke := v.(core.Value); oke {
+			nd.estimate = e
+		}
+	}
+	if v, ok := nd.store.Load(keyTS); ok {
+		if t, okt := v.(int); okt {
+			nd.ts = t
+		}
+	}
+	ctx.After(nd.rexmit, timerRetransmit)
+	ctx.After(nd.poll, timerSkipRound)
+	nd.enterRound(ctx, nd.rp)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// MaxProcesses is the largest supported system size. PIDSet is a 64-bit
+// bitset, which covers every experiment in the paper (all use n ≤ 16).
+const MaxProcesses = 64
+
+// PIDSet is an immutable-by-value set of process identifiers backed by a
+// 64-bit bitmask. The zero value is the empty set.
+type PIDSet uint64
+
+// EmptySet is the set containing no processes.
+const EmptySet PIDSet = 0
+
+// FullSet returns the set {0, 1, ..., n-1}.
+func FullSet(n int) PIDSet {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxProcesses {
+		return ^PIDSet(0)
+	}
+	return PIDSet(1)<<uint(n) - 1
+}
+
+// SetOf returns the set containing exactly the given processes.
+func SetOf(ps ...ProcessID) PIDSet {
+	var s PIDSet
+	for _, p := range ps {
+		s = s.Add(p)
+	}
+	return s
+}
+
+// Add returns the set with p added.
+func (s PIDSet) Add(p ProcessID) PIDSet {
+	if p < 0 || p >= MaxProcesses {
+		return s
+	}
+	return s | PIDSet(1)<<uint(p)
+}
+
+// Remove returns the set with p removed.
+func (s PIDSet) Remove(p ProcessID) PIDSet {
+	if p < 0 || p >= MaxProcesses {
+		return s
+	}
+	return s &^ (PIDSet(1) << uint(p))
+}
+
+// Has reports whether p is a member of the set.
+func (s PIDSet) Has(p ProcessID) bool {
+	if p < 0 || p >= MaxProcesses {
+		return false
+	}
+	return s&(PIDSet(1)<<uint(p)) != 0
+}
+
+// Len returns the number of members (|s|).
+func (s PIDSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether the set has no members.
+func (s PIDSet) IsEmpty() bool { return s == 0 }
+
+// Union returns s ∪ t.
+func (s PIDSet) Union(t PIDSet) PIDSet { return s | t }
+
+// Intersect returns s ∩ t.
+func (s PIDSet) Intersect(t PIDSet) PIDSet { return s & t }
+
+// Diff returns s \ t.
+func (s PIDSet) Diff(t PIDSet) PIDSet { return s &^ t }
+
+// Contains reports whether s ⊇ t.
+func (s PIDSet) Contains(t PIDSet) bool { return s&t == t }
+
+// SubsetOf reports whether s ⊆ t.
+func (s PIDSet) SubsetOf(t PIDSet) bool { return t.Contains(s) }
+
+// Complement returns Π \ s for a system of n processes.
+func (s PIDSet) Complement(n int) PIDSet { return FullSet(n) &^ s }
+
+// Members returns the members in ascending order.
+func (s PIDSet) Members() []ProcessID {
+	out := make([]ProcessID, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		p := bits.TrailingZeros64(v)
+		out = append(out, ProcessID(p))
+		v &^= 1 << uint(p)
+	}
+	return out
+}
+
+// Min returns the smallest member, or -1 if the set is empty.
+func (s PIDSet) Min() ProcessID {
+	if s == 0 {
+		return -1
+	}
+	return ProcessID(bits.TrailingZeros64(uint64(s)))
+}
+
+// ForEach calls fn for every member in ascending order.
+func (s PIDSet) ForEach(fn func(ProcessID)) {
+	for v := uint64(s); v != 0; {
+		p := bits.TrailingZeros64(v)
+		fn(ProcessID(p))
+		v &^= 1 << uint(p)
+	}
+}
+
+// String implements fmt.Stringer, e.g. "{0,2,5}".
+func (s PIDSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(p ProcessID) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(int(p)))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFullSet(t *testing.T) {
+	tests := []struct {
+		n    int
+		want PIDSet
+	}{
+		{0, 0},
+		{-3, 0},
+		{1, 1},
+		{2, 3},
+		{4, 0xF},
+		{64, ^PIDSet(0)},
+		{100, ^PIDSet(0)},
+	}
+	for _, tt := range tests {
+		if got := FullSet(tt.n); got != tt.want {
+			t.Errorf("FullSet(%d) = %x, want %x", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestSetOfAndMembers(t *testing.T) {
+	s := SetOf(0, 2, 5, 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	got := s.Members()
+	want := []ProcessID{0, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddRemoveHas(t *testing.T) {
+	var s PIDSet
+	s = s.Add(3)
+	if !s.Has(3) {
+		t.Error("Has(3) after Add(3) = false")
+	}
+	if s.Has(4) {
+		t.Error("Has(4) = true on {3}")
+	}
+	s = s.Remove(3)
+	if !s.IsEmpty() {
+		t.Error("set not empty after removing only member")
+	}
+	// Out-of-range operations are no-ops.
+	if s.Add(-1) != s || s.Add(64) != s || s.Remove(-1) != s {
+		t.Error("out-of-range Add/Remove changed the set")
+	}
+	if s.Has(-1) || s.Has(64) {
+		t.Error("Has on out-of-range id = true")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := SetOf(0, 1, 2)
+	b := SetOf(2, 3)
+	if got := a.Union(b); got != SetOf(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != SetOf(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); got != SetOf(0, 1) {
+		t.Errorf("Diff = %v", got)
+	}
+	if !a.Contains(SetOf(0, 2)) {
+		t.Error("Contains subset = false")
+	}
+	if a.Contains(SetOf(0, 3)) {
+		t.Error("Contains non-subset = true")
+	}
+	if !SetOf(0, 2).SubsetOf(a) {
+		t.Error("SubsetOf = false")
+	}
+	if got := a.Complement(4); got != SetOf(3) {
+		t.Errorf("Complement = %v", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if EmptySet.Min() != -1 {
+		t.Error("Min of empty set != -1")
+	}
+	if SetOf(5, 2, 9).Min() != 2 {
+		t.Error("Min of {2,5,9} != 2")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := SetOf(0, 2, 5).String(); got != "{0,2,5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := EmptySet.String(); got != "{}" {
+		t.Errorf("String(empty) = %q", got)
+	}
+}
+
+// Property: union is commutative, associative, and monotone in Contains.
+func TestPIDSetUnionProperties(t *testing.T) {
+	f := func(a, b, c uint64) bool {
+		x, y, z := PIDSet(a), PIDSet(b), PIDSet(c)
+		if x.Union(y) != y.Union(x) {
+			return false
+		}
+		if x.Union(y.Union(z)) != x.Union(y).Union(z) {
+			return false
+		}
+		return x.Union(y).Contains(x) && x.Union(y).Contains(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan over a fixed 64-process universe.
+func TestPIDSetDeMorgan(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := PIDSet(a), PIDSet(b)
+		lhs := x.Union(y).Complement(64)
+		rhs := x.Complement(64).Intersect(y.Complement(64))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len is |Members| and ForEach visits ascending members.
+func TestPIDSetLenMembersConsistency(t *testing.T) {
+	f := func(a uint64) bool {
+		s := PIDSet(a)
+		ms := s.Members()
+		if len(ms) != s.Len() {
+			return false
+		}
+		prev := ProcessID(-1)
+		for _, p := range ms {
+			if p <= prev || !s.Has(p) {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Diff and Intersect partition the set.
+func TestPIDSetDiffPartition(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := PIDSet(a), PIDSet(b)
+		d := x.Diff(y)
+		i := x.Intersect(y)
+		return d.Union(i) == x && d.Intersect(i) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// HOProvider chooses the heard-of sets of each round — it plays the role of
+// the environment (or adversary) at the HO layer. An implementation may be
+// scripted, random, or derived from a fault model; package adversary
+// provides a library of providers.
+type HOProvider interface {
+	// HOSets returns the heard-of set of every process for round r:
+	// result[p] = HO(p, r). Membership of q in HO(p, r) means process p
+	// receives the round-r message of q. The runner clamps the sets to
+	// valid process identifiers.
+	HOSets(r Round, n int) []PIDSet
+}
+
+// HOProviderFunc adapts a function to the HOProvider interface.
+type HOProviderFunc func(r Round, n int) []PIDSet
+
+// HOSets implements HOProvider.
+func (f HOProviderFunc) HOSets(r Round, n int) []PIDSet { return f(r, n) }
+
+// ErrNotDecided is returned by Runner.Run when the round budget is
+// exhausted before every process decided.
+var ErrNotDecided = errors.New("round budget exhausted before all processes decided")
+
+// Runner executes an HO algorithm in lock-step rounds against an
+// HOProvider. It is the coarse-grained execution model of §3 of the paper:
+// the transition function of round r is called with exactly the messages
+// selected by the provider's heard-of sets. The runner is deterministic
+// given a deterministic provider.
+type Runner struct {
+	n     int
+	insts []Instance
+	prov  HOProvider
+	trace *Trace
+	round Round
+
+	// onRound, if set, is called after each executed round.
+	onRound func(r Round, rec RoundRecord)
+}
+
+// NewRunner creates a runner for one consensus instance over n = len(initial)
+// processes.
+func NewRunner(alg Algorithm, initial []Value, prov HOProvider) (*Runner, error) {
+	n := len(initial)
+	if n < 1 || n > MaxProcesses {
+		return nil, fmt.Errorf("system size %d out of range [1, %d]", n, MaxProcesses)
+	}
+	if prov == nil {
+		return nil, errors.New("nil HOProvider")
+	}
+	insts := make([]Instance, n)
+	for p := 0; p < n; p++ {
+		insts[p] = alg.NewInstance(ProcessID(p), n, initial[p])
+	}
+	return &Runner{
+		n:     n,
+		insts: insts,
+		prov:  prov,
+		trace: NewTrace(n, initial),
+		round: 1,
+	}, nil
+}
+
+// SetRoundHook registers a callback invoked after every executed round.
+func (ru *Runner) SetRoundHook(fn func(r Round, rec RoundRecord)) { ru.onRound = fn }
+
+// N returns the system size.
+func (ru *Runner) N() int { return ru.n }
+
+// Round returns the next round to be executed.
+func (ru *Runner) Round() Round { return ru.round }
+
+// Instances exposes the per-process instances (for inspection in tests).
+func (ru *Runner) Instances() []Instance { return ru.insts }
+
+// Trace returns the trace recorded so far.
+func (ru *Runner) Trace() *Trace { return ru.trace }
+
+// StepRound executes one communication-closed round: collects S_p^r from
+// every process, asks the provider for the heard-of sets, and applies
+// T_p^r everywhere.
+func (ru *Runner) StepRound() {
+	r := ru.round
+	full := FullSet(ru.n)
+
+	msgs := make([]Message, ru.n)
+	for p := 0; p < ru.n; p++ {
+		msgs[p] = ru.insts[p].Send(r)
+	}
+
+	hos := ru.prov.HOSets(r, ru.n)
+	clamped := make([]PIDSet, ru.n)
+	for p := 0; p < ru.n; p++ {
+		var ho PIDSet
+		if p < len(hos) {
+			ho = hos[p].Intersect(full)
+		}
+		clamped[p] = ho
+	}
+
+	for p := 0; p < ru.n; p++ {
+		ho := clamped[p]
+		inbox := make([]IncomingMessage, 0, ho.Len())
+		ho.ForEach(func(q ProcessID) {
+			inbox = append(inbox, IncomingMessage{From: q, Payload: msgs[q]})
+		})
+		ru.insts[p].Transition(r, inbox)
+		if v, ok := ru.insts[p].Decided(); ok {
+			ru.trace.RecordDecision(ProcessID(p), v, r)
+		}
+	}
+
+	ru.trace.RecordRound(clamped)
+	if ru.onRound != nil {
+		ru.onRound(r, ru.trace.Rounds[len(ru.trace.Rounds)-1])
+	}
+	ru.round++
+}
+
+// Run executes rounds until every process has decided or maxRounds rounds
+// have been executed in total. It returns the trace and ErrNotDecided if
+// the budget ran out first.
+func (ru *Runner) Run(maxRounds Round) (*Trace, error) {
+	for ru.round <= maxRounds {
+		ru.StepRound()
+		if ru.trace.AllDecided() {
+			return ru.trace, nil
+		}
+	}
+	if ru.trace.AllDecided() {
+		return ru.trace, nil
+	}
+	return ru.trace, ErrNotDecided
+}
+
+// RunRounds executes exactly k additional rounds regardless of decisions.
+func (ru *Runner) RunRounds(k Round) *Trace {
+	for i := Round(0); i < k; i++ {
+		ru.StepRound()
+	}
+	return ru.trace
+}
+
+// RunUntil executes rounds until cond returns true or maxRounds rounds have
+// been executed; it reports whether cond was satisfied.
+func (ru *Runner) RunUntil(cond func(*Trace) bool, maxRounds Round) bool {
+	for ru.round <= maxRounds {
+		if cond(ru.trace) {
+			return true
+		}
+		ru.StepRound()
+	}
+	return cond(ru.trace)
+}

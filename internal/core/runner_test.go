@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// echoAlg is a trivial HO algorithm for runner tests: a process decides on
+// its own value as soon as it hears a majority including itself.
+type echoAlg struct{}
+
+func (echoAlg) Name() string { return "echo" }
+
+func (echoAlg) NewInstance(p ProcessID, n int, initial Value) Instance {
+	return &echoInst{p: p, n: n, v: initial}
+}
+
+type echoInst struct {
+	p       ProcessID
+	n       int
+	v       Value
+	decided bool
+	rounds  []Round
+	heard   []PIDSet
+}
+
+func (e *echoInst) Send(Round) Message { return e.v }
+
+func (e *echoInst) Transition(r Round, msgs []IncomingMessage) {
+	e.rounds = append(e.rounds, r)
+	ho := Senders(msgs)
+	e.heard = append(e.heard, ho)
+	if 2*ho.Len() > e.n && ho.Has(e.p) {
+		e.decided = true
+	}
+}
+
+func (e *echoInst) Decided() (Value, bool) { return e.v, e.decided }
+
+func TestRunnerRoundsAreSequential(t *testing.T) {
+	ru, err := NewRunner(echoAlg{}, []Value{1, 2, 3}, HOProviderFunc(func(r Round, n int) []PIDSet {
+		return []PIDSet{EmptySet, EmptySet, EmptySet}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru.RunRounds(5)
+	inst, ok := ru.Instances()[0].(*echoInst)
+	if !ok {
+		t.Fatal("unexpected instance type")
+	}
+	if len(inst.rounds) != 5 {
+		t.Fatalf("got %d transitions, want 5", len(inst.rounds))
+	}
+	for i, r := range inst.rounds {
+		if r != Round(i+1) {
+			t.Fatalf("round %d delivered as %d", i+1, r)
+		}
+	}
+}
+
+func TestRunnerDeliversPerHOSet(t *testing.T) {
+	script := [][]PIDSet{
+		{SetOf(0, 1), SetOf(2), EmptySet},
+		{FullSet(3), FullSet(3), FullSet(3)},
+	}
+	ru, err := NewRunner(echoAlg{}, []Value{1, 2, 3}, HOProviderFunc(func(r Round, n int) []PIDSet {
+		return script[r-1]
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru.RunRounds(2)
+	for p := 0; p < 3; p++ {
+		inst := ru.Instances()[p].(*echoInst)
+		for i := range script {
+			if inst.heard[i] != script[i][p] {
+				t.Errorf("p%d round %d heard %v, want %v", p, i+1, inst.heard[i], script[i][p])
+			}
+		}
+	}
+	tr := ru.Trace()
+	if tr.HO(0, 1) != SetOf(0, 1) || tr.HO(2, 1) != EmptySet {
+		t.Error("trace HO sets do not match script")
+	}
+}
+
+func TestRunnerRunStopsOnDecision(t *testing.T) {
+	ru, err := NewRunner(echoAlg{}, []Value{1, 2, 3}, HOProviderFunc(func(r Round, n int) []PIDSet {
+		full := FullSet(n)
+		return []PIDSet{full, full, full}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ru.Run(10)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.NumRounds() != 1 {
+		t.Errorf("decided after %d rounds, want 1", tr.NumRounds())
+	}
+	if !tr.AllDecided() {
+		t.Error("not all decided")
+	}
+}
+
+func TestRunnerRunBudgetExhausted(t *testing.T) {
+	ru, err := NewRunner(echoAlg{}, []Value{1, 2}, HOProviderFunc(func(r Round, n int) []PIDSet {
+		return []PIDSet{EmptySet, EmptySet}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ru.Run(3)
+	if !errors.Is(err, ErrNotDecided) {
+		t.Fatalf("Run error = %v, want ErrNotDecided", err)
+	}
+}
+
+func TestRunnerClampsHOSets(t *testing.T) {
+	ru, err := NewRunner(echoAlg{}, []Value{1, 2}, HOProviderFunc(func(r Round, n int) []PIDSet {
+		// Provider claims a process 5 that does not exist, and returns a
+		// short slice missing process 1.
+		return []PIDSet{SetOf(0, 1, 5)}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru.StepRound()
+	tr := ru.Trace()
+	if tr.HO(0, 1) != SetOf(0, 1) {
+		t.Errorf("HO(0,1) = %v, want {0,1}", tr.HO(0, 1))
+	}
+	if tr.HO(1, 1) != EmptySet {
+		t.Errorf("HO(1,1) = %v, want {}", tr.HO(1, 1))
+	}
+}
+
+func TestRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(echoAlg{}, nil, Full0{}); err == nil {
+		t.Error("expected error for n = 0")
+	}
+	if _, err := NewRunner(echoAlg{}, make([]Value, 65), Full0{}); err == nil {
+		t.Error("expected error for n > 64")
+	}
+	if _, err := NewRunner(echoAlg{}, []Value{1}, nil); err == nil {
+		t.Error("expected error for nil provider")
+	}
+}
+
+// Full0 is a tiny local provider to avoid importing package adversary
+// (which would create an import cycle in tests).
+type Full0 struct{}
+
+func (Full0) HOSets(_ Round, n int) []PIDSet {
+	out := make([]PIDSet, n)
+	for p := range out {
+		out[p] = FullSet(n)
+	}
+	return out
+}
+
+func TestRunnerRoundHook(t *testing.T) {
+	ru, err := NewRunner(echoAlg{}, []Value{1, 2}, Full0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	ru.SetRoundHook(func(r Round, rec RoundRecord) {
+		calls++
+		if len(rec.HO) != 2 {
+			t.Errorf("hook got %d HO sets", len(rec.HO))
+		}
+	})
+	ru.RunRounds(3)
+	if calls != 3 {
+		t.Errorf("hook called %d times, want 3", calls)
+	}
+}
+
+func TestRunnerRunUntil(t *testing.T) {
+	ru, err := NewRunner(echoAlg{}, []Value{1, 2, 3}, Full0{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := ru.RunUntil(func(tr *Trace) bool { return tr.NumRounds() >= 2 }, 10)
+	if !ok || ru.Trace().NumRounds() != 2 {
+		t.Errorf("RunUntil stopped at %d rounds, ok=%v", ru.Trace().NumRounds(), ok)
+	}
+	if ru.RunUntil(func(tr *Trace) bool { return false }, 4) {
+		t.Error("RunUntil reported success for unsatisfiable condition")
+	}
+}

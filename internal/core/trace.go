@@ -1,0 +1,147 @@
+package core
+
+import "fmt"
+
+// RoundRecord captures the heard-of sets of one round: HO[p] is HO(p, r).
+type RoundRecord struct {
+	HO []PIDSet
+}
+
+// Trace is the record of an HO computation: the heard-of sets of every
+// executed round and the decision status of every process. Communication
+// predicates (package predicate) are evaluated over traces.
+type Trace struct {
+	N         int
+	Initial   []Value
+	Rounds    []RoundRecord
+	Decisions []Decision
+}
+
+// NewTrace creates an empty trace for n processes with the given initial
+// values (copied).
+func NewTrace(n int, initial []Value) *Trace {
+	iv := make([]Value, len(initial))
+	copy(iv, initial)
+	return &Trace{
+		N:         n,
+		Initial:   iv,
+		Decisions: make([]Decision, n),
+	}
+}
+
+// NumRounds returns the number of recorded rounds.
+func (t *Trace) NumRounds() Round { return Round(len(t.Rounds)) }
+
+// HO returns HO(p, r), or the empty set if round r was not recorded.
+func (t *Trace) HO(p ProcessID, r Round) PIDSet {
+	if r < 1 || int(r) > len(t.Rounds) {
+		return EmptySet
+	}
+	return t.Rounds[r-1].HO[p]
+}
+
+// RecordRound appends the heard-of sets of the next round. The slice is
+// copied.
+func (t *Trace) RecordRound(ho []PIDSet) {
+	cp := make([]PIDSet, len(ho))
+	copy(cp, ho)
+	t.Rounds = append(t.Rounds, RoundRecord{HO: cp})
+}
+
+// RecordDecision records the first decision of process p; later calls for
+// the same process are ignored (a process decides at most once).
+func (t *Trace) RecordDecision(p ProcessID, v Value, r Round) {
+	if t.Decisions[p].Decided {
+		return
+	}
+	t.Decisions[p] = Decision{Decided: true, Value: v, Round: r}
+}
+
+// AllDecided reports whether every process in Π decided.
+func (t *Trace) AllDecided() bool {
+	for _, d := range t.Decisions {
+		if !d.Decided {
+			return false
+		}
+	}
+	return true
+}
+
+// DecidedSet returns the set of processes that decided.
+func (t *Trace) DecidedSet() PIDSet {
+	var s PIDSet
+	for p, d := range t.Decisions {
+		if d.Decided {
+			s = s.Add(ProcessID(p))
+		}
+	}
+	return s
+}
+
+// AgreementHolds reports whether no two processes decided differently (the
+// agreement property of consensus).
+func (t *Trace) AgreementHolds() bool {
+	var first *Value
+	for i := range t.Decisions {
+		d := t.Decisions[i]
+		if !d.Decided {
+			continue
+		}
+		if first == nil {
+			v := d.Value
+			first = &v
+		} else if *first != d.Value {
+			return false
+		}
+	}
+	return true
+}
+
+// IntegrityHolds reports whether every decision value is the initial value
+// of some process (the integrity property of consensus).
+func (t *Trace) IntegrityHolds() bool {
+	initials := make(map[Value]bool, len(t.Initial))
+	for _, v := range t.Initial {
+		initials[v] = true
+	}
+	for _, d := range t.Decisions {
+		if d.Decided && !initials[d.Value] {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckConsensusSafety returns an error describing the first safety
+// violation found (agreement or integrity), or nil.
+func (t *Trace) CheckConsensusSafety() error {
+	if !t.AgreementHolds() {
+		return fmt.Errorf("agreement violated: decisions %v", t.Decisions)
+	}
+	if !t.IntegrityHolds() {
+		return fmt.Errorf("integrity violated: decisions %v, initial %v", t.Decisions, t.Initial)
+	}
+	return nil
+}
+
+// Kernel returns the kernel of round r: the set of processes heard by
+// every process in listeners, i.e. ∩_{p∈listeners} HO(p, r).
+func (t *Trace) Kernel(r Round, listeners PIDSet) PIDSet {
+	k := FullSet(t.N)
+	listeners.ForEach(func(p ProcessID) {
+		k = k.Intersect(t.HO(p, r))
+	})
+	return k
+}
+
+// MaxDecisionRound returns the largest round at which some process decided,
+// or 0 if nobody decided.
+func (t *Trace) MaxDecisionRound() Round {
+	var max Round
+	for _, d := range t.Decisions {
+		if d.Decided && d.Round > max {
+			max = d.Round
+		}
+	}
+	return max
+}

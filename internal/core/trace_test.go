@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func traceWith(n int, initial []Value, rounds ...[]PIDSet) *Trace {
+	tr := NewTrace(n, initial)
+	for _, r := range rounds {
+		tr.RecordRound(r)
+	}
+	return tr
+}
+
+func TestTraceHOOutOfRange(t *testing.T) {
+	tr := traceWith(2, []Value{1, 2}, []PIDSet{SetOf(0), SetOf(0, 1)})
+	if tr.HO(0, 0) != EmptySet {
+		t.Error("HO at round 0 not empty")
+	}
+	if tr.HO(0, 2) != EmptySet {
+		t.Error("HO past last round not empty")
+	}
+	if tr.HO(1, 1) != SetOf(0, 1) {
+		t.Error("HO(1,1) wrong")
+	}
+}
+
+func TestTraceDecisionsAndAgreement(t *testing.T) {
+	tr := NewTrace(3, []Value{7, 8, 9})
+	if tr.AllDecided() {
+		t.Error("AllDecided on fresh trace")
+	}
+	tr.RecordDecision(0, 7, 2)
+	tr.RecordDecision(0, 8, 3) // ignored: first decision wins
+	if d := tr.Decisions[0]; !d.Decided || d.Value != 7 || d.Round != 2 {
+		t.Errorf("decision 0 = %v", d)
+	}
+	tr.RecordDecision(1, 7, 4)
+	if !tr.AgreementHolds() {
+		t.Error("agreement should hold")
+	}
+	tr.RecordDecision(2, 9, 4)
+	if tr.AgreementHolds() {
+		t.Error("agreement should be violated (7 vs 9)")
+	}
+	if !tr.AllDecided() {
+		t.Error("AllDecided should hold")
+	}
+	if tr.DecidedSet() != SetOf(0, 1, 2) {
+		t.Errorf("DecidedSet = %v", tr.DecidedSet())
+	}
+	if tr.MaxDecisionRound() != 4 {
+		t.Errorf("MaxDecisionRound = %d", tr.MaxDecisionRound())
+	}
+}
+
+func TestTraceIntegrity(t *testing.T) {
+	tr := NewTrace(2, []Value{1, 2})
+	tr.RecordDecision(0, 2, 1)
+	if !tr.IntegrityHolds() {
+		t.Error("integrity should hold for initial value")
+	}
+	tr.RecordDecision(1, 42, 1)
+	if tr.IntegrityHolds() {
+		t.Error("integrity should be violated for non-initial value")
+	}
+	if err := tr.CheckConsensusSafety(); err == nil {
+		t.Error("CheckConsensusSafety should report a violation")
+	}
+}
+
+func TestTraceKernel(t *testing.T) {
+	tr := traceWith(3, []Value{0, 0, 0},
+		[]PIDSet{SetOf(0, 1, 2), SetOf(0, 1), SetOf(1, 2)},
+	)
+	if k := tr.Kernel(1, FullSet(3)); k != SetOf(1) {
+		t.Errorf("Kernel = %v, want {1}", k)
+	}
+	if k := tr.Kernel(1, SetOf(0, 1)); k != SetOf(0, 1) {
+		t.Errorf("restricted Kernel = %v, want {0,1}", k)
+	}
+}
+
+func TestRecordRoundCopies(t *testing.T) {
+	ho := []PIDSet{SetOf(0), SetOf(1)}
+	tr := NewTrace(2, []Value{0, 0})
+	tr.RecordRound(ho)
+	ho[0] = SetOf(0, 1) // mutate caller slice
+	if tr.HO(0, 1) != SetOf(0) {
+		t.Error("RecordRound did not copy the slice")
+	}
+}

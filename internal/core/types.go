@@ -1,0 +1,58 @@
+// Package core implements the Heard-Of (HO) computation model of
+// Charron-Bost and Schiper as used in Hutle & Schiper (DSN 2007),
+// "Communication Predicates: A High-Level Abstraction for Coping with
+// Transient and Dynamic Faults".
+//
+// An HO algorithm is a pair of functions per round r and process p: a
+// sending function S_p^r and a transition function T_p^r. Computation
+// proceeds in communication-closed rounds: in round r every process sends a
+// message computed from its state, and then makes a state transition based
+// on the partial vector of round-r messages it received. The support of
+// that vector is the heard-of set HO(p, r). Faults never appear explicitly
+// at this layer; a process q missing from HO(p, r) simply means the round-r
+// message from q to p suffered a transmission fault.
+//
+// The package provides the algorithm interfaces, a deterministic lock-step
+// Runner that executes HO algorithms against an HOProvider (an adversary
+// choosing heard-of sets), and Trace recording so that communication
+// predicates (package predicate) can be checked after the fact.
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ProcessID identifies a process in Π. Processes are numbered 0 through
+// n-1.
+type ProcessID int
+
+// Round is a communication-closed round number. Rounds are numbered
+// starting at 1, matching the paper (r > 0).
+type Round int
+
+// Value is a consensus proposal or decision value. The paper leaves the
+// value domain abstract but requires a total order ("smallest x_q
+// received" in Algorithm 1), which int64 provides.
+type Value int64
+
+// String implements fmt.Stringer.
+func (p ProcessID) String() string { return "p" + strconv.Itoa(int(p)) }
+
+// String implements fmt.Stringer.
+func (r Round) String() string { return "r" + strconv.Itoa(int(r)) }
+
+// Decision records whether and how a process decided.
+type Decision struct {
+	Decided bool
+	Value   Value
+	Round   Round // round at whose end the decision was taken
+}
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	if !d.Decided {
+		return "undecided"
+	}
+	return fmt.Sprintf("decided(%d@%s)", d.Value, d.Round)
+}

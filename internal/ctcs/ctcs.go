@@ -1,0 +1,265 @@
+// Package ctcs implements Algorithm 5 of the paper's Appendix A: the
+// Chandra–Toueg rotating-coordinator consensus algorithm for the
+// crash-stop model with the ◇S failure detector.
+//
+// The algorithm is the baseline the paper argues against: it presumes
+// reliable links. Its wait-until statements (a coordinator waiting for
+// ⌈(n+1)/2⌉ estimates or acks, a participant waiting for the coordinator
+// unless the detector suspects it) have no escape for message loss —
+// footnote 2 of the paper. Experiment E9 demonstrates this empirically by
+// running it over lossy links.
+package ctcs
+
+import (
+	"heardof/internal/core"
+	"heardof/internal/fd"
+	"heardof/internal/quorum"
+	"heardof/internal/runtime"
+)
+
+// Message types. Rounds are numbered from 1; the coordinator of round r is
+// process (r−1) mod n (the 0-indexed form of the paper's (r mod n)+1).
+type (
+	// estimateMsg is phase 1: participant → coordinator.
+	estimateMsg struct {
+		R        int
+		Estimate core.Value
+		TS       int
+	}
+	// newEstimateMsg is phase 2: coordinator → all.
+	newEstimateMsg struct {
+		R        int
+		Estimate core.Value
+	}
+	// ackMsg is phase 3: participant → coordinator (Ack false is a nack).
+	ackMsg struct {
+		R   int
+		Ack bool
+	}
+	// decideMsg is the reliable broadcast of the decision.
+	decideMsg struct {
+		Estimate core.Value
+	}
+)
+
+// Coord returns the coordinator of round r in a system of n processes.
+func Coord(r, n int) core.ProcessID { return core.ProcessID((r - 1) % n) }
+
+// Node is one process running Algorithm 5.
+type Node struct {
+	n        int
+	detector *fd.EventuallyStrong
+	poll     runtime.Time
+
+	// Participant state.
+	estimate core.Value
+	ts       int
+	r        int
+	decided  bool
+	decision core.Value
+	relayed  bool
+	// waitingCoord is the round whose NEWESTIMATE we are blocked on in
+	// phase 3 (0 when not waiting).
+	waitingCoord int
+
+	// Coordinator state, per round led by this node.
+	phase1    map[int][]estimateMsg
+	phase2Out map[int]bool
+	acks      map[int]int
+	nacks     map[int]int
+	acked     map[int]bool
+}
+
+var _ runtime.Handler = (*Node)(nil)
+
+// NewNode creates a node with initial value v. poll is the detector
+// polling interval used while waiting for a coordinator.
+func NewNode(n int, v core.Value, detector *fd.EventuallyStrong, poll runtime.Time) *Node {
+	return &Node{
+		n:         n,
+		detector:  detector,
+		poll:      poll,
+		estimate:  v,
+		phase1:    make(map[int][]estimateMsg),
+		phase2Out: make(map[int]bool),
+		acks:      make(map[int]int),
+		nacks:     make(map[int]int),
+		acked:     make(map[int]bool),
+	}
+}
+
+// NewNodeDeferred creates a node whose detector is attached later with
+// SetDetector — the detector needs the runtime simulation, which needs
+// the node handlers first.
+func NewNodeDeferred(n int, v core.Value, poll runtime.Time) *Node {
+	return NewNode(n, v, nil, poll)
+}
+
+// SetDetector attaches the ◇S detector. It must be called before the
+// simulation starts processing events.
+func (nd *Node) SetDetector(d *fd.EventuallyStrong) { nd.detector = d }
+
+// Decided reports the node's decision.
+func (nd *Node) Decided() (core.Value, bool) { return nd.decision, nd.decided }
+
+// Round returns the node's current round (for tests).
+func (nd *Node) Round() int { return nd.r }
+
+// Start implements runtime.Handler.
+func (nd *Node) Start(ctx *runtime.Context) { nd.enterRound(ctx, 1) }
+
+// enterRound runs phase 1 of round r.
+func (nd *Node) enterRound(ctx *runtime.Context, r int) {
+	if nd.decided {
+		return
+	}
+	nd.r = r
+	coord := Coord(r, nd.n)
+	// Phase 1: send the current estimate to the coordinator.
+	if coord == ctx.ID() {
+		nd.OnMessage(ctx, ctx.ID(), estimateMsg{R: r, Estimate: nd.estimate, TS: nd.ts})
+	} else {
+		ctx.Send(coord, estimateMsg{R: r, Estimate: nd.estimate, TS: nd.ts})
+	}
+	// Phase 3: wait for the coordinator's NEWESTIMATE or suspicion.
+	nd.waitingCoord = r
+	ctx.After(nd.poll, r)
+}
+
+// OnTimer implements runtime.Handler: the phase 3 detector poll.
+func (nd *Node) OnTimer(ctx *runtime.Context, round int) {
+	if nd.decided || nd.waitingCoord != round || nd.r != round {
+		return
+	}
+	coord := Coord(round, nd.n)
+	if nd.detector.Suspects(ctx.ID(), nd.n).Has(coord) {
+		// Suspect the coordinator: nack and move on.
+		nd.waitingCoord = 0
+		nd.sendToCoord(ctx, coord, ackMsg{R: round, Ack: false})
+		nd.enterRound(ctx, round+1)
+		return
+	}
+	ctx.After(nd.poll, round)
+}
+
+func (nd *Node) sendToCoord(ctx *runtime.Context, coord core.ProcessID, m any) {
+	if coord == ctx.ID() {
+		nd.OnMessage(ctx, ctx.ID(), m)
+	} else {
+		ctx.Send(coord, m)
+	}
+}
+
+// OnMessage implements runtime.Handler.
+func (nd *Node) OnMessage(ctx *runtime.Context, from core.ProcessID, msg any) {
+	switch m := msg.(type) {
+	case estimateMsg:
+		nd.coordPhase2(ctx, m)
+	case newEstimateMsg:
+		nd.participantPhase3(ctx, m)
+	case ackMsg:
+		nd.coordPhase4(ctx, m)
+	case decideMsg:
+		nd.deliverDecide(ctx, m)
+	}
+}
+
+// coordPhase2 collects phase 1 estimates; at ⌈(n+1)/2⌉ it picks the
+// estimate with the largest timestamp and broadcasts it.
+func (nd *Node) coordPhase2(ctx *runtime.Context, m estimateMsg) {
+	if Coord(m.R, nd.n) != ctx.ID() || nd.phase2Out[m.R] {
+		return
+	}
+	nd.phase1[m.R] = append(nd.phase1[m.R], m)
+	if len(nd.phase1[m.R]) < quorum.CeilHalf(nd.n) {
+		return
+	}
+	best := nd.phase1[m.R][0]
+	for _, e := range nd.phase1[m.R][1:] {
+		if e.TS > best.TS {
+			best = e
+		}
+	}
+	nd.phase2Out[m.R] = true
+	delete(nd.phase1, m.R)
+	out := newEstimateMsg{R: m.R, Estimate: best.Estimate}
+	for q := 0; q < nd.n; q++ {
+		if core.ProcessID(q) == ctx.ID() {
+			nd.OnMessage(ctx, ctx.ID(), out)
+		} else {
+			ctx.Send(core.ProcessID(q), out)
+		}
+	}
+}
+
+// participantPhase3 adopts the coordinator's estimate and acks.
+func (nd *Node) participantPhase3(ctx *runtime.Context, m newEstimateMsg) {
+	if nd.decided || m.R != nd.r || nd.waitingCoord != m.R {
+		return
+	}
+	nd.waitingCoord = 0
+	nd.estimate = m.Estimate
+	nd.ts = m.R
+	nd.sendToCoord(ctx, Coord(m.R, nd.n), ackMsg{R: m.R, Ack: true})
+	nd.enterRound(ctx, m.R+1)
+}
+
+// coordPhase4 counts acks; on ⌈(n+1)/2⌉ positive acks it reliably
+// broadcasts the decision.
+func (nd *Node) coordPhase4(ctx *runtime.Context, m ackMsg) {
+	if Coord(m.R, nd.n) != ctx.ID() || nd.acked[m.R] {
+		return
+	}
+	if m.Ack {
+		nd.acks[m.R]++
+	} else {
+		nd.nacks[m.R]++
+	}
+	if nd.acks[m.R] >= quorum.CeilHalf(nd.n) {
+		nd.acked[m.R] = true
+		nd.deliverDecide(ctx, decideMsg{Estimate: nd.estimateForRound(m.R)})
+		ctx.Broadcast(decideMsg{Estimate: nd.decision})
+	} else if nd.acks[m.R]+nd.nacks[m.R] >= quorum.CeilHalf(nd.n) {
+		nd.acked[m.R] = true // round failed; participants moved on already
+	}
+}
+
+// estimateForRound returns the estimate this coordinator proposed in r.
+// Since phase 2 set nd.estimate via its own participantPhase3 (the
+// coordinator acks itself), the current estimate is the proposed one
+// whenever the ack quorum for r is reached.
+func (nd *Node) estimateForRound(int) core.Value { return nd.estimate }
+
+// deliverDecide is the R-broadcast delivery: decide once and relay once.
+func (nd *Node) deliverDecide(ctx *runtime.Context, m decideMsg) {
+	if !nd.relayed {
+		nd.relayed = true
+		ctx.Broadcast(m)
+	}
+	if !nd.decided {
+		nd.decided = true
+		nd.decision = m.Estimate
+		nd.waitingCoord = 0
+	}
+}
+
+// OnCrash implements runtime.Handler. Algorithm 5 is a crash-stop
+// algorithm: a crashed node stays silent forever (the runtime never
+// reboots it in E8/E9 scenarios for this baseline).
+func (nd *Node) OnCrash() {}
+
+// OnRecover implements runtime.Handler: crash-stop algorithms have no
+// recovery procedure; a rebooted node rejoins with volatile state lost,
+// which is exactly the behaviour the paper's §2.1 identifies as unsound
+// for this algorithm (it may violate agreement). It restarts from round 1
+// with its initial state wiped to the last estimate it held — here we
+// model the naive restart the paper warns about.
+func (nd *Node) OnRecover(ctx *runtime.Context) {
+	nd.phase1 = make(map[int][]estimateMsg)
+	nd.phase2Out = make(map[int]bool)
+	nd.acks = make(map[int]int)
+	nd.nacks = make(map[int]int)
+	nd.acked = make(map[int]bool)
+	nd.waitingCoord = 0
+	nd.enterRound(ctx, 1)
+}

@@ -1,0 +1,120 @@
+// Package experiments regenerates every quantitative result of Hutle &
+// Schiper (DSN 2007) — the per-experiment index lives in DESIGN.md §4 and
+// the measured outcomes in EXPERIMENTS.md. Each experiment returns a
+// Table that cmd/hobench prints and bench_test.go exercises.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row built from the arguments' default formatting.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if _, err := fmt.Fprintln(tw, strings.Join(t.Header, "\t")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table (used
+// to regenerate EXPERIMENTS.md).
+func (t *Table) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | ")); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "\n*%s*\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// All runs every experiment in order. Failures inside an experiment are
+// reported as table notes rather than aborting the suite.
+func All(seed uint64) []*Table {
+	return []*Table{
+		E1Theorem3(seed),
+		E2Corollary4(seed),
+		E3InitialVsNonInitial(seed),
+		E4Theorem6(seed),
+		E5Theorem7(seed),
+		E6FullStack(seed),
+		E7SafetyAndLiveness(seed),
+		E8Uniformity(seed),
+		E9LossSweep(seed),
+		Ablations(seed),
+	}
+}
+
+// RenderAll renders all tables as text.
+func RenderAll(w io.Writer, tables []*Table) error {
+	for _, t := range tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

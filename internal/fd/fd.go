@@ -1,0 +1,108 @@
+// Package fd provides the failure detectors of the baselines in
+// Appendix A of Hutle & Schiper (DSN 2007):
+//
+//   - ◇S (eventually strong, Chandra & Toueg): strong completeness plus
+//     eventual weak accuracy. Before GST the detector may suspect
+//     arbitrarily; from GST on it suspects exactly the crashed processes.
+//   - ◇S_u (Aguilera, Chen & Toueg): for the crash-recovery model; each
+//     query returns a trustlist and per-process epoch numbers that
+//     increase when a process crashes and recovers.
+//
+// The detectors are simulation oracles: they read the runtime's ground
+// truth, exactly as the failure-detector model assumes an abstract module
+// satisfying the axioms. Implementing them over unreliable links is the
+// very problem the paper's §1 identifies; here they are granted by fiat so
+// that the baselines compete under their own model's best case.
+package fd
+
+import (
+	"heardof/internal/core"
+	"heardof/internal/runtime"
+	"heardof/internal/xrand"
+)
+
+// EventuallyStrong is a ◇S oracle over a runtime simulation.
+type EventuallyStrong struct {
+	sim *runtime.Sim
+	gst runtime.Time
+	rng *xrand.Rand
+	// wrongProb is the pre-GST probability that a given alive process is
+	// (wrongly) suspected on a query.
+	wrongProb float64
+}
+
+// NewEventuallyStrong creates a ◇S detector that behaves arbitrarily
+// before gst and is perfect afterwards.
+func NewEventuallyStrong(sim *runtime.Sim, gst runtime.Time, seed uint64) *EventuallyStrong {
+	return &EventuallyStrong{sim: sim, gst: gst, rng: xrand.New(seed), wrongProb: 0.25}
+}
+
+// Suspects returns the set D_p of processes suspected by querier at the
+// current time: all permanently crashed processes (strong completeness)
+// plus, before GST, random false suspicions (no accuracy yet). From GST
+// on, no alive process is suspected (eventual weak — in fact strong —
+// accuracy).
+func (d *EventuallyStrong) Suspects(querier core.ProcessID, n int) core.PIDSet {
+	var out core.PIDSet
+	now := d.sim.Now()
+	for p := 0; p < n; p++ {
+		pid := core.ProcessID(p)
+		if pid == querier {
+			continue
+		}
+		if !d.sim.Up(pid) {
+			out = out.Add(pid)
+			continue
+		}
+		if now < d.gst && d.rng.Bool(d.wrongProb) {
+			out = out.Add(pid)
+		}
+	}
+	return out
+}
+
+// View is one query result of the ◇S_u detector of Aguilera et al.: the
+// processes currently deemed up, and an epoch number per process that
+// increases whenever the process crashes and recovers.
+type View struct {
+	TrustList core.PIDSet
+	Epoch     []int64
+}
+
+// Trusts reports whether the view trusts p.
+func (v View) Trusts(p core.ProcessID) bool { return v.TrustList.Has(p) }
+
+// EventuallySu is the ◇S_u oracle for the crash-recovery model.
+type EventuallySu struct {
+	sim *runtime.Sim
+	gst runtime.Time
+	rng *xrand.Rand
+	// distrustProb is the pre-GST probability of wrongly distrusting an
+	// up process per query.
+	distrustProb float64
+}
+
+// NewEventuallySu creates a ◇S_u detector stabilizing at gst.
+func NewEventuallySu(sim *runtime.Sim, gst runtime.Time, seed uint64) *EventuallySu {
+	return &EventuallySu{sim: sim, gst: gst, rng: xrand.New(seed), distrustProb: 0.25}
+}
+
+// Query returns the current view for a querier: after GST the trustlist
+// is exactly the up processes and epochs are exact; before GST the
+// trustlist may wrongly omit up processes.
+func (d *EventuallySu) Query(querier core.ProcessID, n int) View {
+	v := View{Epoch: make([]int64, n)}
+	now := d.sim.Now()
+	for p := 0; p < n; p++ {
+		pid := core.ProcessID(p)
+		v.Epoch[p] = d.sim.Epoch(pid)
+		if !d.sim.Up(pid) {
+			continue
+		}
+		if pid != querier && now < d.gst && d.rng.Bool(d.distrustProb) {
+			continue // false distrust pre-GST
+		}
+		v.TrustList = v.TrustList.Add(pid)
+	}
+	return v
+}

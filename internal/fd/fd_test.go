@@ -1,0 +1,100 @@
+package fd
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+	"heardof/internal/runtime"
+)
+
+type idle struct{}
+
+func (idle) Start(*runtime.Context)                          {}
+func (idle) OnMessage(*runtime.Context, runtime.NodeID, any) {}
+func (idle) OnTimer(*runtime.Context, int)                   {}
+func (idle) OnCrash()                                        {}
+func (idle) OnRecover(*runtime.Context)                      {}
+
+func newSim(t *testing.T, n int, crashes []runtime.CrashEvent) *runtime.Sim {
+	t.Helper()
+	sim, err := runtime.New(runtime.Config{
+		N: n, MinDelay: 1, MaxDelay: 2, Seed: 9, Crashes: crashes,
+	}, func(runtime.NodeID) runtime.Handler { return idle{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+func TestEventuallyStrongCompleteness(t *testing.T) {
+	sim := newSim(t, 4, []runtime.CrashEvent{{P: 3, At: 5, RecoverAt: -1}})
+	d := NewEventuallyStrong(sim, 50, 1)
+	sim.RunUntilTime(100) // past GST
+	sus := d.Suspects(0, 4)
+	if !sus.Has(3) {
+		t.Error("crashed process not suspected (completeness violated)")
+	}
+	if sus.Has(1) || sus.Has(2) {
+		t.Error("alive process suspected after GST (accuracy violated)")
+	}
+	if sus.Has(0) {
+		t.Error("querier suspects itself")
+	}
+}
+
+func TestEventuallyStrongPreGSTCanBeWrong(t *testing.T) {
+	sim := newSim(t, 6, nil)
+	d := NewEventuallyStrong(sim, 1e9, 2)
+	wrong := 0
+	for i := 0; i < 200; i++ {
+		if !d.Suspects(0, 6).IsEmpty() {
+			wrong++
+		}
+	}
+	if wrong == 0 {
+		t.Error("pre-GST detector never made a false suspicion; unrealistically perfect")
+	}
+}
+
+func TestEventuallySuTrustAndEpochs(t *testing.T) {
+	sim := newSim(t, 3, []runtime.CrashEvent{{P: 1, At: 5, RecoverAt: 20}})
+	d := NewEventuallySu(sim, 50, 3)
+
+	sim.RunUntilTime(10) // process 1 down
+	v := d.Query(0, 3)
+	if v.Trusts(1) {
+		t.Error("down process trusted")
+	}
+	if v.Epoch[1] != 0 {
+		t.Errorf("epoch before recovery = %d, want 0", v.Epoch[1])
+	}
+
+	sim.RunUntilTime(100) // recovered, past GST
+	v = d.Query(0, 3)
+	if !v.Trusts(1) {
+		t.Error("recovered process not trusted after GST")
+	}
+	if v.Epoch[1] != 1 {
+		t.Errorf("epoch after recovery = %d, want 1", v.Epoch[1])
+	}
+	if !v.Trusts(0) || !v.Trusts(2) {
+		t.Error("stable processes not trusted after GST")
+	}
+}
+
+func TestEventuallySuAlwaysTrustsSelf(t *testing.T) {
+	sim := newSim(t, 3, nil)
+	d := NewEventuallySu(sim, 1e9, 4)
+	for i := 0; i < 100; i++ {
+		if !d.Query(2, 3).Trusts(2) {
+			t.Fatal("querier distrusted itself pre-GST")
+		}
+	}
+}
+
+func TestViewTrusts(t *testing.T) {
+	v := View{TrustList: core.SetOf(0, 2)}
+	if !v.Trusts(0) || v.Trusts(1) || !v.Trusts(2) {
+		t.Error("View.Trusts wrong")
+	}
+}

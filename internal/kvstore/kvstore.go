@@ -1,0 +1,256 @@
+// Package kvstore builds a replicated key-value store on top of repeated
+// consensus in the Heard-Of model — the kind of application the paper's
+// introduction motivates (consensus "appears when implementing atomic
+// broadcast, group membership, etc.").
+//
+// Each log slot is decided by one consensus instance (any core.Algorithm;
+// OneThirdRule by default). Replicas propose the oldest command in their
+// pending queue; the decided command is applied to every replica's state
+// machine in slot order, so all replicas converge to the same state no
+// matter which transmission faults the environment inflicts — provided
+// each slot's instance eventually meets its liveness predicate.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"heardof/internal/core"
+)
+
+// Op is a state machine operation.
+type Op int
+
+const (
+	// OpPut sets a key.
+	OpPut Op = iota + 1
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// Command is one replicated operation.
+type Command struct {
+	Op    Op
+	Key   string
+	Value string
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	if c.Op == OpDelete {
+		return "del " + c.Key
+	}
+	return "put " + c.Key + "=" + c.Value
+}
+
+// StateMachine is the deterministic KV state machine.
+type StateMachine struct {
+	data map[string]string
+	log  []Command
+}
+
+// NewStateMachine returns an empty state machine.
+func NewStateMachine() *StateMachine {
+	return &StateMachine{data: make(map[string]string)}
+}
+
+// Apply executes one command.
+func (sm *StateMachine) Apply(cmd Command) {
+	switch cmd.Op {
+	case OpPut:
+		sm.data[cmd.Key] = cmd.Value
+	case OpDelete:
+		delete(sm.data, cmd.Key)
+	}
+	sm.log = append(sm.log, cmd)
+}
+
+// Get reads a key.
+func (sm *StateMachine) Get(key string) (string, bool) {
+	v, ok := sm.data[key]
+	return v, ok
+}
+
+// Len returns the number of applied commands.
+func (sm *StateMachine) Len() int { return len(sm.log) }
+
+// Fingerprint summarizes the state deterministically, for convergence
+// checks across replicas.
+func (sm *StateMachine) Fingerprint() string {
+	keys := make([]string, 0, len(sm.data))
+	for k := range sm.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(sm.data[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// noOpValue is proposed by replicas with empty queues. It must compare
+// larger than every real command index: OneThirdRule falls back to the
+// smallest received value, so a smaller sentinel would starve real
+// commands whenever any replica's queue is empty.
+const noOpValue core.Value = math.MaxInt64
+
+// Replica is one member of the replicated store.
+type Replica struct {
+	ID      core.ProcessID
+	SM      *StateMachine
+	pending []core.Value // command-table indexes awaiting replication
+}
+
+// Cluster replicates a KV store across n replicas using one consensus
+// instance per log slot.
+type Cluster struct {
+	n         int
+	algorithm core.Algorithm
+	provider  func(slot int) core.HOProvider
+	maxRounds core.Round
+
+	table    []Command // append-only command table; core.Value = index
+	replicas []*Replica
+	chosen   []core.Value
+}
+
+// ErrSlotUndecided is returned when a slot's consensus instance exhausts
+// its round budget (the environment never satisfied the predicate).
+var ErrSlotUndecided = errors.New("kvstore: slot undecided within the round budget")
+
+// NewCluster creates a cluster of n replicas deciding slots with alg under
+// the per-slot HO provider. maxRounds bounds each slot's instance.
+func NewCluster(n int, alg core.Algorithm, provider func(slot int) core.HOProvider, maxRounds core.Round) (*Cluster, error) {
+	if n < 1 || n > core.MaxProcesses {
+		return nil, fmt.Errorf("kvstore: n = %d out of range", n)
+	}
+	if alg == nil || provider == nil {
+		return nil, errors.New("kvstore: nil algorithm or provider")
+	}
+	c := &Cluster{
+		n:         n,
+		algorithm: alg,
+		provider:  provider,
+		maxRounds: maxRounds,
+		replicas:  make([]*Replica, n),
+	}
+	for i := range c.replicas {
+		c.replicas[i] = &Replica{ID: core.ProcessID(i), SM: NewStateMachine()}
+	}
+	return c, nil
+}
+
+// Replica returns replica i.
+func (c *Cluster) Replica(i int) *Replica { return c.replicas[i] }
+
+// Slots returns the number of decided slots.
+func (c *Cluster) Slots() int { return len(c.chosen) }
+
+// Submit accepts a command at the contact replica and forwards it to
+// every replica's pending queue, as Paxos-style replicated state machines
+// do: with only a minority proposing a command, OneThirdRule's
+// all-but-⌊n/3⌋ rule would let the idle majority's no-ops win every slot.
+// Forwarding makes all queues identical, so each slot decides the oldest
+// outstanding command.
+func (c *Cluster) Submit(contact int, cmd Command) {
+	_ = c.replicas[contact] // the contact only validates the replica id
+	c.table = append(c.table, cmd)
+	idx := core.Value(len(c.table) - 1)
+	for _, r := range c.replicas {
+		r.pending = append(r.pending, idx)
+	}
+}
+
+// PendingTotal counts queued-but-unreplicated commands.
+func (c *Cluster) PendingTotal() int {
+	total := 0
+	for _, r := range c.replicas {
+		total += len(r.pending)
+	}
+	return total
+}
+
+// DecideSlot runs one consensus instance for the next slot and applies the
+// chosen command everywhere. It returns the applied command (ok reports
+// whether the slot chose a real command rather than a no-op).
+func (c *Cluster) DecideSlot() (Command, bool, error) {
+	slot := len(c.chosen)
+	initial := make([]core.Value, c.n)
+	for i, r := range c.replicas {
+		if len(r.pending) > 0 {
+			initial[i] = r.pending[0]
+		} else {
+			initial[i] = noOpValue
+		}
+	}
+	ru, err := core.NewRunner(c.algorithm, initial, c.provider(slot))
+	if err != nil {
+		return Command{}, false, err
+	}
+	tr, err := ru.Run(c.maxRounds)
+	if err != nil {
+		return Command{}, false, fmt.Errorf("slot %d: %w", slot, ErrSlotUndecided)
+	}
+	if err := tr.CheckConsensusSafety(); err != nil {
+		return Command{}, false, fmt.Errorf("slot %d: %w", slot, err)
+	}
+	chosen := tr.Decisions[0].Value
+	c.chosen = append(c.chosen, chosen)
+
+	if chosen == noOpValue {
+		return Command{}, false, nil
+	}
+	if chosen < 0 || int(chosen) >= len(c.table) {
+		return Command{}, false, fmt.Errorf("slot %d: decided an unknown command index %d", slot, chosen)
+	}
+	cmd := c.table[chosen]
+	for _, r := range c.replicas {
+		r.SM.Apply(cmd)
+		// The chosen command leaves whatever queue holds it.
+		for k, idx := range r.pending {
+			if idx == chosen {
+				r.pending = append(r.pending[:k], r.pending[k+1:]...)
+				break
+			}
+		}
+	}
+	return cmd, true, nil
+}
+
+// Drain decides slots until no commands are pending or the slot budget is
+// exhausted, returning the number of commands applied.
+func (c *Cluster) Drain(maxSlots int) (int, error) {
+	applied := 0
+	for s := 0; s < maxSlots && c.PendingTotal() > 0; s++ {
+		_, ok, err := c.DecideSlot()
+		if err != nil {
+			return applied, err
+		}
+		if ok {
+			applied++
+		}
+	}
+	if c.PendingTotal() > 0 {
+		return applied, fmt.Errorf("kvstore: %d commands still pending after %d slots",
+			c.PendingTotal(), maxSlots)
+	}
+	return applied, nil
+}
+
+// Converged reports whether all replicas have identical state.
+func (c *Cluster) Converged() bool {
+	want := c.replicas[0].SM.Fingerprint()
+	for _, r := range c.replicas[1:] {
+		if r.SM.Fingerprint() != want {
+			return false
+		}
+	}
+	return true
+}

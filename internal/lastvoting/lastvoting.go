@@ -1,0 +1,214 @@
+// Package lastvoting implements the LastVoting algorithm — Paxos
+// expressed in the Heard-Of model, as referenced by §5 of the DSN 2007
+// paper ("a consensus algorithm à la Paxos in the HO model can be found
+// in [6]"). It is a coordinated algorithm with four rounds per phase and
+// majority quorums, tolerating any transmission faults; liveness needs a
+// phase in which the coordinator and a majority hear each other.
+//
+// Phase φ (coordinator c = (φ−1) mod n) occupies rounds 4φ−3 … 4φ:
+//
+//	round 4φ−3: everyone sends ⟨x_p, ts_p⟩; if c hears a majority it
+//	            selects the value with the highest timestamp as its vote.
+//	round 4φ−2: c sends ⟨vote⟩; receivers adopt it and set ts_p := φ.
+//	round 4φ−1: processes with ts_p = φ send ⟨ack⟩; if c hears a majority
+//	            of acks it becomes ready to decide.
+//	round 4φ:   c sends ⟨decide, vote⟩; receivers decide.
+package lastvoting
+
+import (
+	"heardof/internal/core"
+	"heardof/internal/quorum"
+)
+
+// Algorithm is the LastVoting factory.
+type Algorithm struct{}
+
+var _ core.Algorithm = Algorithm{}
+
+// Name implements core.Algorithm.
+func (Algorithm) Name() string { return "LastVoting" }
+
+// NewInstance implements core.Algorithm.
+func (Algorithm) NewInstance(p core.ProcessID, n int, initial core.Value) core.Instance {
+	return &Instance{p: p, n: n, x: initial}
+}
+
+// Coord returns the coordinator of phase φ.
+func Coord(phase core.Round, n int) core.ProcessID {
+	return core.ProcessID(int(phase-1) % n)
+}
+
+// PhaseOf returns the phase of round r and the position 1..4 within it.
+func PhaseOf(r core.Round) (phase core.Round, pos int) {
+	phase = (r + 3) / 4
+	pos = int(r - 4*(phase-1))
+	return phase, pos
+}
+
+// Message payloads. A nil payload models "sends nothing relevant" (the HO
+// model's null message).
+type (
+	estimateMsg struct {
+		X  core.Value
+		TS core.Round
+	}
+	voteMsg struct {
+		V core.Value
+	}
+	ackMsg    struct{}
+	decideMsg struct {
+		V core.Value
+	}
+)
+
+// Instance is one process's LastVoting state.
+type Instance struct {
+	p core.ProcessID
+	n int
+
+	x  core.Value
+	ts core.Round // phase of the last adoption
+
+	// Coordinator-only phase state.
+	vote    core.Value
+	commit  bool
+	ready   bool
+	ackable bool // this process adopted in the current phase (sends ack)
+
+	decided  bool
+	decision core.Value
+}
+
+var (
+	_ core.Instance    = (*Instance)(nil)
+	_ core.Recoverable = (*Instance)(nil)
+)
+
+// X returns the current estimate (for tests).
+func (i *Instance) X() core.Value { return i.x }
+
+// Send implements S_p^r.
+func (i *Instance) Send(r core.Round) core.Message {
+	phase, pos := PhaseOf(r)
+	c := Coord(phase, i.n)
+	switch pos {
+	case 1:
+		return estimateMsg{X: i.x, TS: i.ts}
+	case 2:
+		if i.p == c && i.commit {
+			return voteMsg{V: i.vote}
+		}
+	case 3:
+		if i.ackable {
+			return ackMsg{}
+		}
+	case 4:
+		if i.p == c && i.ready {
+			return decideMsg{V: i.vote}
+		}
+	}
+	return nil
+}
+
+// Transition implements T_p^r.
+func (i *Instance) Transition(r core.Round, msgs []core.IncomingMessage) {
+	phase, pos := PhaseOf(r)
+	c := Coord(phase, i.n)
+	switch pos {
+	case 1:
+		if i.p != c {
+			return
+		}
+		i.commit = false
+		count := 0
+		var best estimateMsg
+		haveBest := false
+		for _, m := range msgs {
+			em, ok := m.Payload.(estimateMsg)
+			if !ok {
+				continue
+			}
+			count++
+			if !haveBest || em.TS > best.TS {
+				best, haveBest = em, true
+			}
+		}
+		if quorum.ExceedsMajority(count, i.n) && haveBest {
+			i.vote = best.X
+			i.commit = true
+		}
+	case 2:
+		i.ackable = false
+		for _, m := range msgs {
+			if m.From != c {
+				continue
+			}
+			if vm, ok := m.Payload.(voteMsg); ok {
+				i.x = vm.V
+				i.ts = phase
+				i.ackable = true
+			}
+		}
+	case 3:
+		if i.p != c {
+			return
+		}
+		i.ready = false
+		acks := 0
+		for _, m := range msgs {
+			if _, ok := m.Payload.(ackMsg); ok {
+				acks++
+			}
+		}
+		if quorum.ExceedsMajority(acks, i.n) {
+			i.ready = true
+		}
+	case 4:
+		for _, m := range msgs {
+			if m.From != c {
+				continue
+			}
+			if dm, ok := m.Payload.(decideMsg); ok && !i.decided {
+				i.decided = true
+				i.decision = dm.V
+			}
+		}
+		// Phase bookkeeping resets.
+		i.commit = false
+		i.ready = false
+		i.ackable = false
+	}
+}
+
+// Decided implements core.Instance.
+func (i *Instance) Decided() (core.Value, bool) { return i.decision, i.decided }
+
+// snapshot is the stable-storage image.
+type snapshot struct {
+	x        core.Value
+	ts       core.Round
+	vote     core.Value
+	commit   bool
+	ready    bool
+	ackable  bool
+	decided  bool
+	decision core.Value
+}
+
+// Snapshot implements core.Recoverable.
+func (i *Instance) Snapshot() core.Snapshot {
+	return snapshot{
+		x: i.x, ts: i.ts, vote: i.vote, commit: i.commit,
+		ready: i.ready, ackable: i.ackable, decided: i.decided, decision: i.decision,
+	}
+}
+
+// Restore implements core.Recoverable.
+func (i *Instance) Restore(s core.Snapshot) {
+	sn, ok := s.(snapshot)
+	if !ok {
+		return
+	}
+	i.x, i.ts, i.vote, i.commit = sn.x, sn.ts, sn.vote, sn.commit
+	i.ready, i.ackable, i.decided, i.decision = sn.ready, sn.ackable, sn.decided, sn.decision
+}

@@ -1,0 +1,211 @@
+package lastvoting
+
+import (
+	"testing"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/xrand"
+)
+
+func vals(vs ...int64) []core.Value {
+	out := make([]core.Value, len(vs))
+	for i, v := range vs {
+		out[i] = core.Value(v)
+	}
+	return out
+}
+
+func TestPhaseArithmetic(t *testing.T) {
+	tests := []struct {
+		r     core.Round
+		phase core.Round
+		pos   int
+	}{
+		{1, 1, 1}, {2, 1, 2}, {3, 1, 3}, {4, 1, 4},
+		{5, 2, 1}, {8, 2, 4}, {9, 3, 1},
+	}
+	for _, tt := range tests {
+		phase, pos := PhaseOf(tt.r)
+		if phase != tt.phase || pos != tt.pos {
+			t.Errorf("PhaseOf(%d) = (%d, %d), want (%d, %d)", tt.r, phase, pos, tt.phase, tt.pos)
+		}
+	}
+	if Coord(1, 4) != 0 || Coord(2, 4) != 1 || Coord(5, 4) != 0 {
+		t.Error("Coord rotation wrong")
+	}
+}
+
+func TestFaultFreeDecidesInOnePhase(t *testing.T) {
+	ru, err := core.NewRunner(Algorithm{}, vals(3, 1, 4, 1, 5), adversary.Full{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ru.Run(8)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.NumRounds() != 4 {
+		t.Errorf("decided after %d rounds, want 4 (one phase)", tr.NumRounds())
+	}
+	if err := tr.CheckConsensusSafety(); err != nil {
+		t.Fatal(err)
+	}
+	// All timestamps are 0 in phase 1, so the coordinator picks the
+	// highest-ts (first best) — any initial value; agreement is what
+	// matters, plus it must equal the coordinator's vote.
+	want := tr.Decisions[0].Value
+	for p, d := range tr.Decisions {
+		if !d.Decided || d.Value != want {
+			t.Errorf("p%d decision %v, want %d", p, d, want)
+		}
+	}
+}
+
+func TestMajorityHOSufficesUnlikeOTR(t *testing.T) {
+	// LastVoting needs only majorities: with HO sets of size 3 of n=5
+	// (60% < 2n/3+ǫ required by OTR for n=5 ⇒ 4), consensus still
+	// completes provided the coordinator is heard. Everyone hears
+	// {coordinator, p, p+1}... simplest: everyone hears {0, 1, 2}.
+	pi0 := core.SetOf(0, 1, 2)
+	prov := core.HOProviderFunc(func(r core.Round, n int) []core.PIDSet {
+		out := make([]core.PIDSet, n)
+		for p := range out {
+			out[p] = pi0
+		}
+		return out
+	})
+	ru, err := core.NewRunner(Algorithm{}, vals(9, 8, 7, 6, 5), prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ru.Run(8)
+	if err != nil {
+		t.Fatalf("LastVoting did not decide with majority HO sets: %v", err)
+	}
+	if err := tr.CheckConsensusSafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoDecisionWithoutMajority(t *testing.T) {
+	// HO sets of size 2 of n=5: below majority, the coordinator never
+	// commits and nobody ever decides.
+	prov := core.HOProviderFunc(func(r core.Round, n int) []core.PIDSet {
+		out := make([]core.PIDSet, n)
+		for p := range out {
+			out[p] = core.SetOf(0, 1)
+		}
+		return out
+	})
+	ru, err := core.NewRunner(Algorithm{}, vals(1, 2, 3, 4, 5), prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ru.RunRounds(40)
+	if !ru.Trace().DecidedSet().IsEmpty() {
+		t.Error("decided below majority")
+	}
+}
+
+func TestCoordinatorCrashRotatesToNextPhase(t *testing.T) {
+	// Phase 1's coordinator (process 0) is silent from the start (SP
+	// crash); phase 2's coordinator (process 1) completes the protocol.
+	prov := adversary.CrashStop{CrashRound: map[core.ProcessID]core.Round{0: 1}}
+	ru, err := core.NewRunner(Algorithm{}, vals(4, 4, 4, 4, 4), prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ru.Run(16)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if tr.MaxDecisionRound() != 8 {
+		t.Errorf("decided at round %d, want 8 (end of phase 2)", tr.MaxDecisionRound())
+	}
+	if err := tr.CheckConsensusSafety(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSafetyUnderArbitraryAdversary(t *testing.T) {
+	for seed := uint64(0); seed < 500; seed++ {
+		n := 2 + int(seed%6)
+		prov := &adversary.Arbitrary{RNG: xrand.New(seed), EmptyBias: 0.2}
+		initial := make([]core.Value, n)
+		rng := xrand.New(seed ^ 0x1111)
+		for i := range initial {
+			initial[i] = core.Value(rng.Intn(3))
+		}
+		ru, err := core.NewRunner(Algorithm{}, initial, prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru.RunRounds(40)
+		if err := ru.Trace().CheckConsensusSafety(); err != nil {
+			t.Fatalf("seed %d n=%d: %v", seed, n, err)
+		}
+	}
+}
+
+func TestSafetyUnderTransmissionLoss(t *testing.T) {
+	// The paper's Paxos remark: LastVoting works in the crash-recovery
+	// model because loss is just a transmission fault. 30% loss, many
+	// seeds: safety always, liveness usually.
+	decided := 0
+	const runs = 40
+	for seed := uint64(0); seed < runs; seed++ {
+		prov := &adversary.TransmissionLoss{Rate: 0.3, RNG: xrand.New(seed)}
+		ru, err := core.NewRunner(Algorithm{}, vals(1, 2, 3, 4, 5), prov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, runErr := ru.Run(200)
+		if runErr == nil {
+			decided++
+		}
+		if err := tr.CheckConsensusSafety(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if decided < runs/2 {
+		t.Errorf("only %d/%d runs decided under 30%% loss", decided, runs)
+	}
+}
+
+func TestNullPayloadRounds(t *testing.T) {
+	// Non-coordinators send nil in rounds 2 and 4; nils must be ignored.
+	inst := Algorithm{}.NewInstance(1, 3, 5).(*Instance)
+	if msg := inst.Send(2); msg != nil {
+		t.Errorf("non-committed coordinator round-2 send = %v, want nil", msg)
+	}
+	inst.Transition(2, []core.IncomingMessage{
+		{From: 0, Payload: nil},
+		{From: 2, Payload: nil},
+	})
+	if inst.ackable {
+		t.Error("became ackable without a vote message")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	inst := Algorithm{}.NewInstance(0, 3, 5).(*Instance)
+	inst.Transition(1, []core.IncomingMessage{
+		{From: 0, Payload: estimateMsg{X: 5, TS: 0}},
+		{From: 1, Payload: estimateMsg{X: 7, TS: 2}},
+	})
+	if !inst.commit || inst.vote != 7 {
+		t.Fatalf("coordinator did not commit to the highest-ts value: commit=%v vote=%d",
+			inst.commit, inst.vote)
+	}
+	snap := inst.Snapshot()
+	fresh := Algorithm{}.NewInstance(0, 3, 0).(*Instance)
+	fresh.Restore(snap)
+	if !fresh.commit || fresh.vote != 7 {
+		t.Error("restore incomplete")
+	}
+	fresh.Restore(123)
+	if fresh.vote != 7 {
+		t.Error("garbage restore clobbered state")
+	}
+}

@@ -1,0 +1,124 @@
+package modelcheck
+
+import (
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/uv"
+)
+
+// Encodings assume binary value domains {0, 1}; the checkers verify
+// consensus over binary inputs, which is the standard small-scope
+// reduction (agreement violations manifest already with two values).
+
+// OTRCoder encodes OneThirdRule states: x ∈ {0,1}, decided flag, and the
+// decision value.
+//
+// Layout: bit0 = x, bit1 = decided, bit2 = decision.
+type OTRCoder struct{}
+
+var _ StateCoder = OTRCoder{}
+
+// Name implements StateCoder.
+func (OTRCoder) Name() string { return "OneThirdRule" }
+
+// RoundPeriod implements StateCoder: every OTR round is alike.
+func (OTRCoder) RoundPeriod() int { return 1 }
+
+// Initial implements StateCoder.
+func (OTRCoder) Initial(_ core.ProcessID, _ int, v core.Value) uint16 {
+	return uint16(v & 1)
+}
+
+// Instantiate implements StateCoder.
+func (OTRCoder) Instantiate(p core.ProcessID, n int, enc uint16) core.Instance {
+	inst := otr.Algorithm{}.NewInstance(p, n, core.Value(enc&1))
+	if enc&2 != 0 {
+		// Rebuild a decided instance via its snapshot interface: decided
+		// instances restore from a snapshot of a decided twin.
+		twin := otr.Algorithm{}.NewInstance(p, n, core.Value(enc&1)).(*otr.Instance)
+		twin.ForceStateForTest(core.Value(enc&1), true, core.Value((enc>>2)&1))
+		inst.(*otr.Instance).Restore(twin.Snapshot())
+	}
+	return inst
+}
+
+// Encode implements StateCoder.
+func (OTRCoder) Encode(inst core.Instance) uint16 {
+	oi, ok := inst.(*otr.Instance)
+	if !ok {
+		return 0
+	}
+	enc := uint16(oi.X() & 1)
+	if v, decided := oi.Decided(); decided {
+		enc |= 2
+		enc |= uint16(v&1) << 2
+	}
+	return enc
+}
+
+// Decision implements StateCoder.
+func (OTRCoder) Decision(enc uint16) (core.Value, bool) {
+	if enc&2 == 0 {
+		return 0, false
+	}
+	return core.Value((enc >> 2) & 1), true
+}
+
+// UVCoder encodes UniformVoting states: x ∈ {0,1}, vote ∈ {⊥,0,1},
+// decided flag and decision.
+//
+// Layout: bit0 = x, bit1 = hasVote, bit2 = vote, bit3 = decided,
+// bit4 = decision.
+type UVCoder struct{}
+
+var _ StateCoder = UVCoder{}
+
+// Name implements StateCoder.
+func (UVCoder) Name() string { return "UniformVoting" }
+
+// RoundPeriod implements StateCoder: UV alternates proposal and vote
+// rounds.
+func (UVCoder) RoundPeriod() int { return 2 }
+
+// Initial implements StateCoder.
+func (UVCoder) Initial(_ core.ProcessID, _ int, v core.Value) uint16 {
+	return uint16(v & 1)
+}
+
+// Instantiate implements StateCoder.
+func (UVCoder) Instantiate(p core.ProcessID, n int, enc uint16) core.Instance {
+	inst := uv.Algorithm{}.NewInstance(p, n, core.Value(enc&1)).(*uv.Instance)
+	inst.ForceStateForTest(
+		core.Value(enc&1),
+		core.Value((enc>>2)&1), enc&2 != 0,
+		enc&8 != 0, core.Value((enc>>4)&1),
+	)
+	return inst
+}
+
+// Encode implements StateCoder.
+func (UVCoder) Encode(inst core.Instance) uint16 {
+	ui, ok := inst.(*uv.Instance)
+	if !ok {
+		return 0
+	}
+	x, vote, hasVote, decided, decision := ui.StateForTest()
+	enc := uint16(x & 1)
+	if hasVote {
+		enc |= 2
+		enc |= uint16(vote&1) << 2
+	}
+	if decided {
+		enc |= 8
+		enc |= uint16(decision&1) << 4
+	}
+	return enc
+}
+
+// Decision implements StateCoder.
+func (UVCoder) Decision(enc uint16) (core.Value, bool) {
+	if enc&8 == 0 {
+		return 0, false
+	}
+	return core.Value((enc >> 4) & 1), true
+}

@@ -1,0 +1,235 @@
+// Package modelcheck exhaustively verifies HO-algorithm safety for small
+// systems: it explores the set of global states reachable under EVERY
+// possible heard-of assignment, round after round, until a fixpoint, and
+// checks the consensus safety invariants on each reachable state.
+//
+// Because the transition relation of a communication-closed round depends
+// only on the current global state and the chosen heard-of sets — not on
+// the round number, for round-symmetric algorithms like OneThirdRule —
+// the reachable-set fixpoint covers ALL rounds, i.e. the verification is
+// exhaustive for unbounded executions, not just bounded prefixes. This is
+// the style of result the paper's verification follow-on work (e.g.
+// PSync, and the cutoff results for the HO model) mechanizes; here it is
+// a plain breadth-first closure, feasible for n ≤ 4 and binary inputs.
+package modelcheck
+
+import (
+	"fmt"
+
+	"heardof/internal/core"
+)
+
+// StateCoder abstracts the algorithm-specific part of the checker: it
+// encodes a process's local state into a comparable value and builds an
+// instance from an encoded state. Implementations exist for OneThirdRule
+// (OTRCoder) and UniformVoting (UVCoder).
+type StateCoder interface {
+	// Name identifies the algorithm.
+	Name() string
+	// Initial returns the encoded initial state for value v.
+	Initial(p core.ProcessID, n int, v core.Value) uint16
+	// Instantiate builds an instance of the algorithm in the given
+	// encoded state.
+	Instantiate(p core.ProcessID, n int, enc uint16) core.Instance
+	// Encode extracts the encoded state from an instance.
+	Encode(inst core.Instance) uint16
+	// Decision interprets an encoded state's decision, if any.
+	Decision(enc uint16) (core.Value, bool)
+	// RoundPeriod is the algorithm's round symmetry: OneThirdRule treats
+	// every round alike (period 1); UniformVoting alternates between
+	// proposal and vote rounds (period 2). The checker runs the closure
+	// per round-phase.
+	RoundPeriod() int
+}
+
+// Global is a global state: one encoded local state per process.
+type Global struct {
+	Enc [maxN]uint16
+	N   int8
+	// Phase is the round phase (0 ≤ Phase < RoundPeriod).
+	Phase int8
+}
+
+const maxN = 4
+
+// Result summarizes an exhaustive exploration.
+type Result struct {
+	States      int   // distinct reachable global states
+	Transitions int64 // explored (state, HO assignment) pairs
+	Violation   *Violation
+}
+
+// Violation describes a reachable safety violation.
+type Violation struct {
+	State   Global
+	Message string
+}
+
+// Checker runs the exploration.
+type Checker struct {
+	coder   StateCoder
+	n       int
+	initial []core.Value
+	// maxStates aborts pathological explosions.
+	maxStates int
+	// hoFilter restricts the heard-of assignments the adversary may pick
+	// (nil = completely arbitrary). Used to model predicate-constrained
+	// environments, e.g. non-empty kernels for UniformVoting.
+	hoFilter func(ho []core.PIDSet) bool
+}
+
+// New creates a checker for n ≤ 4 processes with the given initial
+// values.
+func New(coder StateCoder, initial []core.Value) (*Checker, error) {
+	n := len(initial)
+	if n < 1 || n > maxN {
+		return nil, fmt.Errorf("modelcheck supports 1..%d processes, got %d", maxN, n)
+	}
+	return &Checker{
+		coder:     coder,
+		n:         n,
+		initial:   initial,
+		maxStates: 2_000_000,
+	}, nil
+}
+
+// RestrictHO constrains the adversary to heard-of assignments accepted by
+// filter.
+func (c *Checker) RestrictHO(filter func(ho []core.PIDSet) bool) { c.hoFilter = filter }
+
+// Run explores the reachable state space to a fixpoint and checks
+// agreement and integrity on every reachable state.
+func (c *Checker) Run() (Result, error) {
+	var res Result
+
+	start := Global{N: int8(c.n)}
+	for p := 0; p < c.n; p++ {
+		start.Enc[p] = c.coder.Initial(core.ProcessID(p), c.n, c.initial[p])
+	}
+
+	seen := map[Global]bool{start: true}
+	frontier := []Global{start}
+	if v := c.check(start); v != nil {
+		res.Violation = v
+		res.States = 1
+		return res, nil
+	}
+
+	// Enumerate all heard-of assignments: each process's HO set is any
+	// subset of Π, so there are (2^n)^n assignments per round.
+	numSets := 1 << uint(c.n)
+	period := c.coder.RoundPeriod()
+
+	for len(frontier) > 0 {
+		state := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		// The messages each process would send in this phase.
+		msgs := make([]core.Message, c.n)
+		insts := make([]core.Instance, c.n)
+		for p := 0; p < c.n; p++ {
+			insts[p] = c.coder.Instantiate(core.ProcessID(p), c.n, state.Enc[p])
+			msgs[p] = insts[p].Send(core.Round(int(state.Phase) + 1))
+		}
+
+		ho := make([]core.PIDSet, c.n)
+		var enumerate func(p int) error
+		enumerate = func(p int) error {
+			if p == c.n {
+				if c.hoFilter != nil && !c.hoFilter(ho) {
+					return nil
+				}
+				res.Transitions++
+				next, err := c.step(state, msgs, ho, period)
+				if err != nil {
+					return err
+				}
+				if !seen[next] {
+					if len(seen) >= c.maxStates {
+						return fmt.Errorf("state budget %d exhausted", c.maxStates)
+					}
+					seen[next] = true
+					frontier = append(frontier, next)
+					if v := c.check(next); v != nil && res.Violation == nil {
+						res.Violation = v
+					}
+				}
+				return nil
+			}
+			for mask := 0; mask < numSets; mask++ {
+				ho[p] = core.PIDSet(mask)
+				if err := enumerate(p + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := enumerate(0); err != nil {
+			return res, err
+		}
+		if res.Violation != nil {
+			break
+		}
+	}
+
+	res.States = len(seen)
+	return res, nil
+}
+
+// step applies one round transition under the chosen heard-of sets.
+func (c *Checker) step(state Global, msgs []core.Message, ho []core.PIDSet, period int) (Global, error) {
+	next := Global{N: state.N, Phase: int8((int(state.Phase) + 1) % period)}
+	round := core.Round(int(state.Phase) + 1)
+	for p := 0; p < c.n; p++ {
+		inst := c.coder.Instantiate(core.ProcessID(p), c.n, state.Enc[p])
+		inbox := make([]core.IncomingMessage, 0, ho[p].Len())
+		ho[p].Intersect(core.FullSet(c.n)).ForEach(func(q core.ProcessID) {
+			inbox = append(inbox, core.IncomingMessage{From: q, Payload: msgs[q]})
+		})
+		inst.Transition(round, inbox)
+		next.Enc[p] = c.coder.Encode(inst)
+	}
+	return next, nil
+}
+
+// check evaluates agreement and integrity on a global state.
+func (c *Checker) check(g Global) *Violation {
+	var firstVal core.Value
+	haveFirst := false
+	for p := 0; p < c.n; p++ {
+		v, ok := c.coder.Decision(g.Enc[p])
+		if !ok {
+			continue
+		}
+		// Integrity: the decision is an initial value.
+		found := false
+		for _, iv := range c.initial {
+			if iv == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &Violation{State: g, Message: fmt.Sprintf("integrity: p%d decided %d", p, v)}
+		}
+		// Agreement.
+		if haveFirst && v != firstVal {
+			return &Violation{State: g, Message: fmt.Sprintf("agreement: %d vs %d", firstVal, v)}
+		}
+		firstVal, haveFirst = v, true
+	}
+	return nil
+}
+
+// NonEmptyKernelFilter accepts only heard-of assignments whose kernel
+// (∩_p HO(p)) is non-empty — the predicate class UniformVoting is paired
+// with.
+func NonEmptyKernelFilter(n int) func(ho []core.PIDSet) bool {
+	return func(ho []core.PIDSet) bool {
+		k := core.FullSet(n)
+		for _, s := range ho {
+			k = k.Intersect(s)
+		}
+		return !k.IsEmpty()
+	}
+}

@@ -1,0 +1,418 @@
+// Package predicate implements the communication predicates of Hutle &
+// Schiper (DSN 2007) as checkable predicates over recorded HO traces.
+//
+// A communication predicate is a condition on the collection of heard-of
+// sets (HO(p, r)) for p ∈ Π and r > 0. A problem is solved by a pair
+// ⟨algorithm, predicate⟩: the algorithm guarantees safety unconditionally
+// and the predicate captures the liveness obligation of the environment.
+//
+// The package provides the predicates of Table 1 (P_otr, P_otr^restr), the
+// §4.2 family (P_su, P_k, P_otr^2, P_otr^1/1), generic building blocks
+// (space uniformity, kernels, cardinality bounds), and boolean combinators.
+package predicate
+
+import (
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/quorum"
+)
+
+// Predicate is a checkable communication predicate over a finite trace.
+// Holds is interpreted over exactly the recorded rounds: existential
+// quantifiers over rounds range over [1, trace.NumRounds()].
+type Predicate interface {
+	// Name returns a short human-readable identifier.
+	Name() string
+	// Holds reports whether the predicate is satisfied by the trace.
+	Holds(tr *core.Trace) bool
+}
+
+// Func adapts a function to the Predicate interface.
+type Func struct {
+	ID string
+	F  func(tr *core.Trace) bool
+}
+
+// Name implements Predicate.
+func (f Func) Name() string { return f.ID }
+
+// Holds implements Predicate.
+func (f Func) Holds(tr *core.Trace) bool { return f.F(tr) }
+
+// ---------------------------------------------------------------------------
+// Building blocks: P_su and P_k (§4.2).
+// ---------------------------------------------------------------------------
+
+// SpaceUniform is P_su(Π0, From, To): every process of Π0 has heard-of set
+// exactly Π0 in every round of [From, To].
+type SpaceUniform struct {
+	Pi0      core.PIDSet
+	From, To core.Round
+}
+
+// Name implements Predicate.
+func (p SpaceUniform) Name() string {
+	return fmt.Sprintf("Psu(%s,%d,%d)", p.Pi0, p.From, p.To)
+}
+
+// Holds implements Predicate.
+func (p SpaceUniform) Holds(tr *core.Trace) bool {
+	if p.From < 1 || p.To > tr.NumRounds() || p.From > p.To {
+		return false
+	}
+	for r := p.From; r <= p.To; r++ {
+		ok := true
+		p.Pi0.ForEach(func(q core.ProcessID) {
+			if tr.HO(q, r) != p.Pi0 {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Kernel is P_k(Π0, From, To): every process of Π0 has heard-of set
+// containing Π0 (a superset) in every round of [From, To].
+type Kernel struct {
+	Pi0      core.PIDSet
+	From, To core.Round
+}
+
+// Name implements Predicate.
+func (p Kernel) Name() string {
+	return fmt.Sprintf("Pk(%s,%d,%d)", p.Pi0, p.From, p.To)
+}
+
+// Holds implements Predicate.
+func (p Kernel) Holds(tr *core.Trace) bool {
+	if p.From < 1 || p.To > tr.NumRounds() || p.From > p.To {
+		return false
+	}
+	for r := p.From; r <= p.To; r++ {
+		ok := true
+		p.Pi0.ForEach(func(q core.ProcessID) {
+			if !tr.HO(q, r).Contains(p.Pi0) {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// The §4.2 existential forms.
+// ---------------------------------------------------------------------------
+
+// P2otr is P_otr^2(Π0): there is a round r0 with P_su(Π0, r0, r0) followed
+// immediately by a round satisfying P_k(Π0, r0+1, r0+1).
+type P2otr struct {
+	Pi0 core.PIDSet
+}
+
+// Name implements Predicate.
+func (p P2otr) Name() string { return fmt.Sprintf("P2otr(%s)", p.Pi0) }
+
+// Holds implements Predicate.
+func (p P2otr) Holds(tr *core.Trace) bool {
+	_, ok := FindP2otrWitness(tr, p.Pi0)
+	return ok
+}
+
+// FindP2otrWitness returns the smallest r0 witnessing P_otr^2(Π0).
+func FindP2otrWitness(tr *core.Trace, pi0 core.PIDSet) (core.Round, bool) {
+	last := tr.NumRounds()
+	for r0 := core.Round(1); r0+1 <= last; r0++ {
+		if (SpaceUniform{Pi0: pi0, From: r0, To: r0}).Holds(tr) &&
+			(Kernel{Pi0: pi0, From: r0 + 1, To: r0 + 1}).Holds(tr) {
+			return r0, true
+		}
+	}
+	return 0, false
+}
+
+// P11otr is P_otr^1/1(Π0): there are rounds r0 < r1 with P_su(Π0, r0, r0)
+// and P_k(Π0, r1, r1); the two rounds need not be consecutive.
+type P11otr struct {
+	Pi0 core.PIDSet
+}
+
+// Name implements Predicate.
+func (p P11otr) Name() string { return fmt.Sprintf("P11otr(%s)", p.Pi0) }
+
+// Holds implements Predicate.
+func (p P11otr) Holds(tr *core.Trace) bool {
+	last := tr.NumRounds()
+	for r0 := core.Round(1); r0 < last; r0++ {
+		if !(SpaceUniform{Pi0: p.Pi0, From: r0, To: r0}).Holds(tr) {
+			continue
+		}
+		for r1 := r0 + 1; r1 <= last; r1++ {
+			if (Kernel{Pi0: p.Pi0, From: r1, To: r1}).Holds(tr) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Table 1: P_otr and P_otr^restr.
+// ---------------------------------------------------------------------------
+
+// Potr is predicate (1) of Table 1: there exist a round r0 and a set Π0
+// with |Π0| > 2n/3 such that every process in Π hears exactly Π0 at r0, and
+// every process p has a later round r_p in which it hears more than 2n/3
+// processes.
+type Potr struct{}
+
+// Name implements Predicate.
+func (Potr) Name() string { return "Potr" }
+
+// Holds implements Predicate.
+func (Potr) Holds(tr *core.Trace) bool {
+	_, _, ok := FindPotrWitness(tr)
+	return ok
+}
+
+// FindPotrWitness returns the smallest witnessing round r0 and the set Π0
+// for P_otr.
+func FindPotrWitness(tr *core.Trace) (core.Round, core.PIDSet, bool) {
+	n := tr.N
+	last := tr.NumRounds()
+	all := core.FullSet(n)
+	for r0 := core.Round(1); r0 <= last; r0++ {
+		pi0 := tr.HO(0, r0)
+		if !quorum.ExceedsTwoThirds(pi0.Len(), n) {
+			continue
+		}
+		uniform := true
+		all.ForEach(func(p core.ProcessID) {
+			if tr.HO(p, r0) != pi0 {
+				uniform = false
+			}
+		})
+		if !uniform {
+			continue
+		}
+		// ∀p ∈ Π, ∃rp > r0: |HO(p, rp)| > 2n/3.
+		allHaveLater := true
+		all.ForEach(func(p core.ProcessID) {
+			found := false
+			for rp := r0 + 1; rp <= last; rp++ {
+				if quorum.ExceedsTwoThirds(tr.HO(p, rp).Len(), n) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				allHaveLater = false
+			}
+		})
+		if allHaveLater {
+			return r0, pi0, true
+		}
+	}
+	return 0, 0, false
+}
+
+// PrestrOtr is predicate (2) of Table 1, the restricted-scope variant of
+// P_otr: the requirements apply only to processes in Π0, and the later
+// rounds only need HO(p, r_p) ⊇ Π0.
+type PrestrOtr struct{}
+
+// Name implements Predicate.
+func (PrestrOtr) Name() string { return "PrestrOtr" }
+
+// Holds implements Predicate.
+func (PrestrOtr) Holds(tr *core.Trace) bool {
+	_, _, ok := FindPrestrOtrWitness(tr)
+	return ok
+}
+
+// FindPrestrOtrWitness returns the smallest witnessing round r0 and set Π0
+// for P_otr^restr. Candidate sets Π0 are drawn from the heard-of sets
+// occurring in the trace (a witness set must equal HO(p, r0) for its own
+// members, so it occurs in the trace).
+func FindPrestrOtrWitness(tr *core.Trace) (core.Round, core.PIDSet, bool) {
+	n := tr.N
+	last := tr.NumRounds()
+	for r0 := core.Round(1); r0 <= last; r0++ {
+		seen := map[core.PIDSet]bool{}
+		for p := 0; p < n; p++ {
+			pi0 := tr.HO(core.ProcessID(p), r0)
+			if seen[pi0] || !quorum.ExceedsTwoThirds(pi0.Len(), n) {
+				continue
+			}
+			seen[pi0] = true
+			if prestrWitnessAt(tr, r0, pi0) {
+				return r0, pi0, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+func prestrWitnessAt(tr *core.Trace, r0 core.Round, pi0 core.PIDSet) bool {
+	// ∀p ∈ Π0: HO(p, r0) = Π0.
+	if !(SpaceUniform{Pi0: pi0, From: r0, To: r0}).Holds(tr) {
+		return false
+	}
+	// ∀p ∈ Π0, ∃rp > r0: HO(p, rp) ⊇ Π0.
+	last := tr.NumRounds()
+	ok := true
+	pi0.ForEach(func(p core.ProcessID) {
+		found := false
+		for rp := r0 + 1; rp <= last; rp++ {
+			if tr.HO(p, rp).Contains(pi0) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// ---------------------------------------------------------------------------
+// Generic predicates.
+// ---------------------------------------------------------------------------
+
+// MinCardinality requires |HO(p, r)| ≥ K for every process and every
+// recorded round. With K = ⌊n/2⌋+1 this is the "every round every process
+// hears a majority" example of §3.1.
+type MinCardinality struct {
+	K int
+}
+
+// Name implements Predicate.
+func (p MinCardinality) Name() string { return fmt.Sprintf("MinCard(%d)", p.K) }
+
+// Holds implements Predicate.
+func (p MinCardinality) Holds(tr *core.Trace) bool {
+	for r := core.Round(1); r <= tr.NumRounds(); r++ {
+		for q := 0; q < tr.N; q++ {
+			if tr.HO(core.ProcessID(q), r).Len() < p.K {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MajorityEveryRound is the §3.1 example predicate
+// ∀r, ∀p: |HO(p, r)| > n/2.
+func MajorityEveryRound(n int) Predicate {
+	return Func{
+		ID: "MajorityEveryRound",
+		F:  MinCardinality{K: quorum.MajorityThreshold(n)}.Holds,
+	}
+}
+
+// NonEmptyKernels requires every recorded round to have a non-empty kernel
+// (∩_p HO(p, r) ≠ ∅), the class of predicates singled out in the Heard-Of
+// model paper.
+type NonEmptyKernels struct{}
+
+// Name implements Predicate.
+func (NonEmptyKernels) Name() string { return "NonEmptyKernels" }
+
+// Holds implements Predicate.
+func (NonEmptyKernels) Holds(tr *core.Trace) bool {
+	all := core.FullSet(tr.N)
+	for r := core.Round(1); r <= tr.NumRounds(); r++ {
+		if tr.Kernel(r, all).IsEmpty() {
+			return false
+		}
+	}
+	return true
+}
+
+// UniformRoundExists requires some round in which all processes hear the
+// same set (the first example of §3.1).
+type UniformRoundExists struct{}
+
+// Name implements Predicate.
+func (UniformRoundExists) Name() string { return "UniformRoundExists" }
+
+// Holds implements Predicate.
+func (UniformRoundExists) Holds(tr *core.Trace) bool {
+	for r := core.Round(1); r <= tr.NumRounds(); r++ {
+		uniform := true
+		first := tr.HO(0, r)
+		for p := 1; p < tr.N; p++ {
+			if tr.HO(core.ProcessID(p), r) != first {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Combinators.
+// ---------------------------------------------------------------------------
+
+// And returns the conjunction of the predicates.
+func And(ps ...Predicate) Predicate {
+	return Func{ID: "And", F: func(tr *core.Trace) bool {
+		for _, p := range ps {
+			if !p.Holds(tr) {
+				return false
+			}
+		}
+		return true
+	}}
+}
+
+// Or returns the disjunction of the predicates.
+func Or(ps ...Predicate) Predicate {
+	return Func{ID: "Or", F: func(tr *core.Trace) bool {
+		for _, p := range ps {
+			if p.Holds(tr) {
+				return true
+			}
+		}
+		return false
+	}}
+}
+
+// Not returns the negation of the predicate.
+func Not(p Predicate) Predicate {
+	return Func{ID: "Not(" + p.Name() + ")", F: func(tr *core.Trace) bool {
+		return !p.Holds(tr)
+	}}
+}
+
+// ExistsPi0 quantifies a Π0-parameterized predicate over all subsets drawn
+// from the heard-of sets occurring in the trace whose size exceeds 2n/3,
+// e.g. ExistsPi0(tr, P2otr-witness) for the implication
+// (∃Π0, |Π0|>2n/3 : P_otr^2(Π0)) ⇒ P_otr^restr.
+func ExistsPi0(tr *core.Trace, mk func(pi0 core.PIDSet) Predicate) bool {
+	seen := map[core.PIDSet]bool{}
+	for r := core.Round(1); r <= tr.NumRounds(); r++ {
+		for p := 0; p < tr.N; p++ {
+			pi0 := tr.HO(core.ProcessID(p), r)
+			if seen[pi0] || !quorum.ExceedsTwoThirds(pi0.Len(), tr.N) {
+				continue
+			}
+			seen[pi0] = true
+			if mk(pi0).Holds(tr) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+package predicate
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+	"heardof/internal/xrand"
+)
+
+func traceOf(n int, rounds ...[]core.PIDSet) *core.Trace {
+	tr := core.NewTrace(n, make([]core.Value, n))
+	for _, r := range rounds {
+		tr.RecordRound(r)
+	}
+	return tr
+}
+
+func uniformRound(n int, pi0 core.PIDSet) []core.PIDSet {
+	out := make([]core.PIDSet, n)
+	for p := 0; p < n; p++ {
+		out[p] = pi0
+	}
+	return out
+}
+
+func pi0UniformRound(n int, pi0 core.PIDSet) []core.PIDSet {
+	out := make([]core.PIDSet, n)
+	for p := 0; p < n; p++ {
+		if pi0.Has(core.ProcessID(p)) {
+			out[p] = pi0
+		}
+	}
+	return out
+}
+
+func TestSpaceUniform(t *testing.T) {
+	pi0 := core.SetOf(0, 1, 2)
+	tr := traceOf(4,
+		pi0UniformRound(4, pi0),
+		pi0UniformRound(4, pi0),
+		uniformRound(4, core.SetOf(0)),
+	)
+	if !(SpaceUniform{Pi0: pi0, From: 1, To: 2}).Holds(tr) {
+		t.Error("Psu(Π0,1,2) should hold")
+	}
+	if (SpaceUniform{Pi0: pi0, From: 1, To: 3}).Holds(tr) {
+		t.Error("Psu(Π0,1,3) should fail (round 3 not uniform for Π0)")
+	}
+	if (SpaceUniform{Pi0: pi0, From: 0, To: 1}).Holds(tr) {
+		t.Error("Psu with From<1 should fail")
+	}
+	if (SpaceUniform{Pi0: pi0, From: 2, To: 5}).Holds(tr) {
+		t.Error("Psu past the trace should fail")
+	}
+}
+
+func TestKernelWeakerThanSpaceUniform(t *testing.T) {
+	pi0 := core.SetOf(0, 1)
+	// Round where HO ⊋ Π0 for a Π0 member: Pk holds, Psu does not.
+	rnd := []core.PIDSet{core.SetOf(0, 1, 2), pi0, core.EmptySet}
+	tr := traceOf(3, rnd)
+	if !(Kernel{Pi0: pi0, From: 1, To: 1}).Holds(tr) {
+		t.Error("Pk should hold")
+	}
+	if (SpaceUniform{Pi0: pi0, From: 1, To: 1}).Holds(tr) {
+		t.Error("Psu should fail (superset, not equality)")
+	}
+}
+
+func TestPsuImpliesPk(t *testing.T) {
+	// Psu(Π0, r1, r2) ⇒ Pk(Π0, r1, r2) on random traces.
+	rng := xrand.New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(6)
+		rounds := 1 + rng.Intn(6)
+		tr := core.NewTrace(n, make([]core.Value, n))
+		for i := 0; i < rounds; i++ {
+			ho := make([]core.PIDSet, n)
+			for p := range ho {
+				ho[p] = core.PIDSet(rng.Uint64()) & core.FullSet(n)
+			}
+			tr.RecordRound(ho)
+		}
+		pi0 := core.PIDSet(rng.Uint64()) & core.FullSet(n)
+		from := core.Round(1 + rng.Intn(rounds))
+		to := from + core.Round(rng.Intn(rounds))
+		su := SpaceUniform{Pi0: pi0, From: from, To: to}
+		k := Kernel{Pi0: pi0, From: from, To: to}
+		if su.Holds(tr) && !k.Holds(tr) {
+			t.Fatalf("trial %d: Psu holds but Pk does not", trial)
+		}
+	}
+}
+
+func TestP2otrAndP11otr(t *testing.T) {
+	n := 4
+	pi0 := core.SetOf(0, 1, 2) // |Π0| = 3 > 8/3
+	kernelRound := []core.PIDSet{pi0.Add(3), pi0, pi0.Add(3), core.EmptySet}
+
+	// Consecutive: uniform at r1, kernel at r2.
+	tr := traceOf(n, pi0UniformRound(n, pi0), kernelRound)
+	if _, ok := FindP2otrWitness(tr, pi0); !ok {
+		t.Error("P2otr should hold for consecutive rounds")
+	}
+	if !(P2otr{Pi0: pi0}).Holds(tr) {
+		t.Error("P2otr.Holds disagrees with FindP2otrWitness")
+	}
+	if !(P11otr{Pi0: pi0}).Holds(tr) {
+		t.Error("P2otr ⇒ P11otr violated")
+	}
+
+	// Non-consecutive: uniform at r1, junk at r2, kernel at r3.
+	junk := make([]core.PIDSet, n)
+	tr2 := traceOf(n, pi0UniformRound(n, pi0), junk, kernelRound)
+	if (P2otr{Pi0: pi0}).Holds(tr2) {
+		t.Error("P2otr should fail with a junk round in between")
+	}
+	if !(P11otr{Pi0: pi0}).Holds(tr2) {
+		t.Error("P11otr should hold for non-consecutive witness rounds")
+	}
+}
+
+func TestPotrWitness(t *testing.T) {
+	n := 4
+	pi0 := core.SetOf(0, 1, 2)
+	bad := make([]core.PIDSet, n)
+	tr := traceOf(n,
+		bad,
+		uniformRound(n, pi0), // r0 = 2: ALL of Π hear exactly Π0
+		uniformRound(n, pi0), // each p has rp = 3 with |HO| = 3 > 8/3
+	)
+	r0, got, ok := FindPotrWitness(tr)
+	if !ok || r0 != 2 || got != pi0 {
+		t.Fatalf("FindPotrWitness = (%d, %v, %v), want (2, %v, true)", r0, got, ok, pi0)
+	}
+	if !(Potr{}).Holds(tr) {
+		t.Error("Potr.Holds disagrees")
+	}
+
+	// Without the later rounds, Potr fails (no rp > r0).
+	tr2 := traceOf(n, bad, uniformRound(n, pi0))
+	if (Potr{}).Holds(tr2) {
+		t.Error("Potr should fail without later quorum rounds")
+	}
+}
+
+func TestPotrRequiresGlobalUniformity(t *testing.T) {
+	n := 4
+	pi0 := core.SetOf(0, 1, 2)
+	// Process 3 (outside Π0) hears nothing at the candidate round — P_otr
+	// requires ALL of Π to hear Π0, so it fails; PrestrOtr succeeds.
+	tr := traceOf(n,
+		pi0UniformRound(n, pi0),
+		pi0UniformRound(n, pi0),
+	)
+	if (Potr{}).Holds(tr) {
+		t.Error("Potr should fail when a process outside Π0 differs")
+	}
+	if !(PrestrOtr{}).Holds(tr) {
+		t.Error("PrestrOtr should hold")
+	}
+}
+
+func TestPotrDoesNotImplyPrestrOtr(t *testing.T) {
+	// The two Table 1 predicates are incomparable: P_otr's later-round
+	// condition is a cardinality bound (|HO| > 2n/3), while P_otr^restr
+	// demands HO(p, r_p) ⊇ Π0. A trace whose later quorum rounds miss a
+	// Π0 member satisfies the former but not the latter.
+	n := 4
+	pi0 := core.SetOf(0, 1, 2)
+	other := core.SetOf(1, 2, 3) // > 2n/3 but ⊉ Π0 and not space-uniform for itself
+	tr := traceOf(n,
+		uniformRound(n, pi0),   // r0 = 1 for Potr: everyone hears Π0
+		uniformRound(n, other), // rp = 2: |HO| = 3 > 8/3 but misses process 0
+	)
+	if !(Potr{}).Holds(tr) {
+		t.Fatal("Potr should hold")
+	}
+	if (PrestrOtr{}).Holds(tr) {
+		t.Error("PrestrOtr should fail: no later round contains Π0, and " +
+			"round 2's set is not space-uniform for its own members at any r0 with a later kernel round")
+	}
+}
+
+func TestP2otrImpliesPrestrOtrTable1(t *testing.T) {
+	// (∃Π0, |Π0| > 2n/3 : P2otr(Π0)) ⇒ PrestrOtr — the displayed
+	// implication of §4.2.
+	rng := xrand.New(1234)
+	found := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(4)
+		tr := core.NewTrace(n, make([]core.Value, n))
+		for i := 0; i < 5; i++ {
+			if rng.Bool(0.6) {
+				set := core.PIDSet(rng.Uint64()) & core.FullSet(n)
+				tr.RecordRound(uniformRound(n, set))
+			} else {
+				ho := make([]core.PIDSet, n)
+				for p := range ho {
+					ho[p] = core.FullSet(n)
+				}
+				tr.RecordRound(ho)
+			}
+		}
+		holds := ExistsPi0(tr, func(pi0 core.PIDSet) Predicate { return P2otr{Pi0: pi0} })
+		if holds {
+			found++
+			if !(PrestrOtr{}).Holds(tr) {
+				t.Fatalf("trial %d: P2otr(Π0) holds but PrestrOtr does not", trial)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("test vacuous: P2otr never held; adjust generator")
+	}
+}
+
+func TestMinCardinalityAndMajority(t *testing.T) {
+	n := 5
+	maj := uniformRound(n, core.SetOf(0, 1, 2))
+	tr := traceOf(n, maj, maj)
+	if !MajorityEveryRound(n).Holds(tr) {
+		t.Error("majority predicate should hold for |HO| = 3 of 5")
+	}
+	tr2 := traceOf(n, maj, uniformRound(n, core.SetOf(0, 1)))
+	if MajorityEveryRound(n).Holds(tr2) {
+		t.Error("majority predicate should fail for |HO| = 2 of 5")
+	}
+	if !(MinCardinality{K: 0}).Holds(tr2) {
+		t.Error("MinCard(0) should always hold")
+	}
+}
+
+func TestNonEmptyKernels(t *testing.T) {
+	n := 3
+	tr := traceOf(n,
+		[]core.PIDSet{core.SetOf(0, 1), core.SetOf(1, 2), core.SetOf(1)},
+	)
+	if !(NonEmptyKernels{}).Holds(tr) {
+		t.Error("kernel {1} should be non-empty")
+	}
+	tr2 := traceOf(n,
+		[]core.PIDSet{core.SetOf(0), core.SetOf(1), core.SetOf(2)},
+	)
+	if (NonEmptyKernels{}).Holds(tr2) {
+		t.Error("disjoint HO sets have an empty kernel")
+	}
+}
+
+func TestUniformRoundExists(t *testing.T) {
+	n := 3
+	mixed := []core.PIDSet{core.SetOf(0), core.SetOf(1), core.SetOf(2)}
+	tr := traceOf(n, mixed, uniformRound(n, core.SetOf(0, 2)))
+	if !(UniformRoundExists{}).Holds(tr) {
+		t.Error("round 2 is uniform")
+	}
+	if (UniformRoundExists{}).Holds(traceOf(n, mixed)) {
+		t.Error("no uniform round exists")
+	}
+}
+
+func TestCombinators(t *testing.T) {
+	n := 3
+	tr := traceOf(n, uniformRound(n, core.FullSet(n)))
+	yes := UniformRoundExists{}
+	no := MinCardinality{K: n + 1}
+	if !And(yes, Not(no)).Holds(tr) {
+		t.Error("And/Not combination failed")
+	}
+	if !Or(no, yes).Holds(tr) {
+		t.Error("Or combination failed")
+	}
+	if Or(no, Not(yes)).Holds(tr) {
+		t.Error("Or of false predicates held")
+	}
+	if And().Holds(tr) != true || Or().Holds(tr) != false {
+		t.Error("empty And/Or have wrong identities")
+	}
+}
+
+func TestPredicateNames(t *testing.T) {
+	names := []struct {
+		p    Predicate
+		want string
+	}{
+		{Potr{}, "Potr"},
+		{PrestrOtr{}, "PrestrOtr"},
+		{NonEmptyKernels{}, "NonEmptyKernels"},
+		{UniformRoundExists{}, "UniformRoundExists"},
+	}
+	for _, tt := range names {
+		if tt.p.Name() != tt.want {
+			t.Errorf("Name = %q, want %q", tt.p.Name(), tt.want)
+		}
+	}
+	if (SpaceUniform{Pi0: core.SetOf(1), From: 2, To: 3}).Name() == "" {
+		t.Error("empty Psu name")
+	}
+}

@@ -1,0 +1,141 @@
+package predicate
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+	"heardof/internal/xrand"
+)
+
+// randomTrace builds a random trace for property tests.
+func randomTrace(rng *xrand.Rand) *core.Trace {
+	n := 2 + rng.Intn(7)
+	tr := core.NewTrace(n, make([]core.Value, n))
+	rounds := 1 + rng.Intn(8)
+	for i := 0; i < rounds; i++ {
+		ho := make([]core.PIDSet, n)
+		for p := range ho {
+			ho[p] = core.PIDSet(rng.Uint64()) & core.FullSet(n)
+		}
+		tr.RecordRound(ho)
+	}
+	return tr
+}
+
+// Property: P_k is antitone in Π0 — if the kernel property holds for a
+// set, it holds for every subset (over the same window).
+func TestKernelAntitoneInPi0(t *testing.T) {
+	rng := xrand.New(21)
+	checked := 0
+	for trial := 0; trial < 500; trial++ {
+		tr := randomTrace(rng)
+		pi0 := core.PIDSet(rng.Uint64()) & core.FullSet(tr.N)
+		sub := pi0 & core.PIDSet(rng.Uint64())
+		from := core.Round(1 + rng.Intn(int(tr.NumRounds())))
+		to := from + core.Round(rng.Intn(int(tr.NumRounds())))
+		if to > tr.NumRounds() {
+			to = tr.NumRounds()
+		}
+		if (Kernel{Pi0: pi0, From: from, To: to}).Holds(tr) {
+			checked++
+			if !(Kernel{Pi0: sub, From: from, To: to}).Holds(tr) && !sub.IsEmpty() == true && sub != pi0 {
+				// Careful: Pk(sub) quantifies over members of sub only —
+				// each member of sub is also a member of pi0, and its HO
+				// contains pi0 ⊇ sub, so this must hold.
+				t.Fatalf("trial %d: Pk(%v) holds but Pk(%v) does not", trial, pi0, sub)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Skip("generator never produced a holding kernel; widen windows")
+	}
+}
+
+// Property: widening the window can only make Psu/Pk harder — if a window
+// holds, every sub-window holds.
+func TestWindowMonotonicity(t *testing.T) {
+	rng := xrand.New(22)
+	for trial := 0; trial < 500; trial++ {
+		tr := randomTrace(rng)
+		pi0 := core.PIDSet(rng.Uint64()) & core.FullSet(tr.N)
+		from := core.Round(1)
+		to := tr.NumRounds()
+		if (Kernel{Pi0: pi0, From: from, To: to}).Holds(tr) {
+			for f := from; f <= to; f++ {
+				for e := f; e <= to; e++ {
+					if !(Kernel{Pi0: pi0, From: f, To: e}).Holds(tr) {
+						t.Fatalf("trial %d: Pk holds on [%d,%d] but not on sub-window [%d,%d]",
+							trial, from, to, f, e)
+					}
+				}
+			}
+		}
+		if (SpaceUniform{Pi0: pi0, From: from, To: to}).Holds(tr) {
+			for f := from; f <= to; f++ {
+				if !(SpaceUniform{Pi0: pi0, From: f, To: f}).Holds(tr) {
+					t.Fatalf("trial %d: Psu holds on [%d,%d] but not at round %d",
+						trial, from, to, f)
+				}
+			}
+		}
+	}
+}
+
+// Property: the witness finders agree with the boolean checkers.
+func TestWitnessFindersAgreeWithHolds(t *testing.T) {
+	rng := xrand.New(23)
+	for trial := 0; trial < 800; trial++ {
+		tr := randomTrace(rng)
+		_, _, foundPotr := FindPotrWitness(tr)
+		if foundPotr != (Potr{}).Holds(tr) {
+			t.Fatalf("trial %d: Potr finder and checker disagree", trial)
+		}
+		_, _, foundRestr := FindPrestrOtrWitness(tr)
+		if foundRestr != (PrestrOtr{}).Holds(tr) {
+			t.Fatalf("trial %d: PrestrOtr finder and checker disagree", trial)
+		}
+	}
+}
+
+// Property: a Potr witness set is valid — re-checking its definition
+// directly on the trace succeeds.
+func TestPotrWitnessIsSelfConsistent(t *testing.T) {
+	rng := xrand.New(24)
+	found := 0
+	for trial := 0; trial < 2000; trial++ {
+		n := 3 + rng.Intn(4)
+		tr := core.NewTrace(n, make([]core.Value, n))
+		for i := 0; i < 4; i++ {
+			if rng.Bool(0.6) {
+				set := core.PIDSet(rng.Uint64()) & core.FullSet(n)
+				ho := make([]core.PIDSet, n)
+				for p := range ho {
+					ho[p] = set
+				}
+				tr.RecordRound(ho)
+			} else {
+				ho := make([]core.PIDSet, n)
+				for p := range ho {
+					ho[p] = core.PIDSet(rng.Uint64()) & core.FullSet(n)
+				}
+				tr.RecordRound(ho)
+			}
+		}
+		r0, pi0, ok := FindPotrWitness(tr)
+		if !ok {
+			continue
+		}
+		found++
+		if 3*pi0.Len() <= 2*n {
+			t.Fatalf("witness Π0 %v too small for n=%d", pi0, n)
+		}
+		for p := 0; p < n; p++ {
+			if tr.HO(core.ProcessID(p), r0) != pi0 {
+				t.Fatalf("witness round %d not uniform at p%d", r0, p)
+			}
+		}
+	}
+	if found == 0 {
+		t.Error("generator never satisfied Potr; test vacuous")
+	}
+}

@@ -1,0 +1,49 @@
+package predimpl
+
+import "heardof/internal/simtime"
+
+// Ablation switches off individual design choices of Algorithms 2 and 3
+// so benchmarks can show why the paper's choices matter (DESIGN.md §5).
+// The zero value is the paper-faithful configuration.
+type Ablation struct {
+	// Alg2Policy overrides Algorithm 2's highest-round-first reception
+	// policy (e.g. with simtime.FIFO{}).
+	Alg2Policy simtime.ReceptionPolicy
+	// Alg3Policy, if non-nil, builds a per-process replacement for
+	// Algorithm 3's round-robin-highest policy.
+	Alg3Policy func(n int) simtime.ReceptionPolicy
+	// InitQuorum overrides the f+1 INIT quorum of Algorithm 3 (0 keeps
+	// the paper's value). Setting it to 1 lets a single fast process's
+	// timeout drag everyone out of a round prematurely.
+	InitQuorum int
+	// DisableCatchup removes Algorithm 3's immediate jump on a
+	// higher-round ROUND message — the "fast synchronization" that
+	// distinguishes it from Byzantine clock synchronization (§4.2.2).
+	DisableCatchup bool
+}
+
+// apply2 configures an Alg2 instance.
+func (ab *Ablation) apply2(a *Alg2) {
+	if ab == nil {
+		return
+	}
+	if ab.Alg2Policy != nil {
+		a.policy = ab.Alg2Policy
+	}
+}
+
+// apply3 configures an Alg3 instance.
+func (ab *Ablation) apply3(a *Alg3) {
+	if ab == nil {
+		return
+	}
+	if ab.Alg3Policy != nil {
+		a.policyOverride = ab.Alg3Policy
+		a.policy = nil
+		a.altPolicy = ab.Alg3Policy(a.n)
+	}
+	if ab.InitQuorum > 0 {
+		a.initQuorum = ab.InitQuorum
+	}
+	a.disableCatchup = ab.DisableCatchup
+}

@@ -1,0 +1,123 @@
+package predimpl
+
+import (
+	"testing"
+
+	"heardof/internal/simtime"
+)
+
+// TestAblationFIFOPolicySlowsAlg2 probes Algorithm 2's reception policy.
+// Reproduction finding: Algorithm 2's own traffic is self-balancing (the
+// receive-step budget 2δ+(n+2)φ exceeds the n messages a round produces),
+// so buffers stay shallow and FIFO costs at most a small constant versus
+// highest-round-first. The policy is still required by the PROOFS: Lemma
+// B.5's "received by τ+δ+φ" constant holds only under highest-round
+// first. The test asserts FIFO is never *faster* and documents the small
+// measured gap.
+func TestAblationFIFOPolicySlowsAlg2(t *testing.T) {
+	base := GoodPeriodExperiment{
+		Kind: UseAlg2, N: 7, Phi: 1, Delta: 10, X: 2, TG: 300, Seed: 11,
+		// Lossless slow bad period: deep buffers of stale messages at tG.
+		Bad: &simtime.BadConfig{LossProb: 0, MinDelay: 1, MaxDelay: 40, MinGap: 0.5, MaxGap: 2},
+	}
+	pure, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ablated := base
+	ablated.Ablation = &Ablation{Alg2Policy: simtime.FIFO{}}
+	ablated.Horizon = base.TG + 20*pure.Bound
+	fifo, err := ablated.Run()
+	if err != nil {
+		// Never establishing the window within a generous horizon is an
+		// acceptable (and telling) ablation outcome.
+		t.Logf("FIFO ablation failed to establish the window at all: %v", err)
+		return
+	}
+	if fifo.Elapsed < pure.Elapsed-1e-9 {
+		t.Errorf("FIFO (%.1f) was faster than highest-round-first (%.1f); ablation expected no speedup",
+			fifo.Elapsed, pure.Elapsed)
+	}
+	t.Logf("FIFO %.2f vs highest-round-first %.2f (self-balancing traffic keeps the gap small)",
+		fifo.Elapsed, pure.Elapsed)
+}
+
+// TestAblationInitQuorumOne shows why the f+1 INIT quorum matters: with
+// quorum 1, a π0-arbitrary outsider running far faster than the synchrony
+// envelope self-advances on its own INIT (everyone receives their own
+// broadcasts), races through rounds, and its high-round ROUND messages
+// yank π0 out of rounds prematurely — empty transitions, broken P_k
+// windows. With the paper's f+1 quorum the outsider cannot advance alone,
+// so π0 is insulated.
+func TestAblationInitQuorumOne(t *testing.T) {
+	fastOutsider := &simtime.BadConfig{
+		LossProb: 0,
+		MinDelay: 1, MaxDelay: 5,
+		MinGap: 0.05, MaxGap: 0.15, // ~10–20× faster than π0
+	}
+	base := GoodPeriodExperiment{
+		Kind: UseAlg3, N: 5, F: 1, Phi: 1, Delta: 5, X: 3, TG: 0, Seed: 13,
+		Bad: fastOutsider,
+	}
+	pure, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ablated := base
+	ablated.Ablation = &Ablation{InitQuorum: 1}
+	ablated.Horizon = 20 * pure.Bound
+	quick, err := ablated.Run()
+	if err != nil {
+		t.Logf("quorum-1 ablation never established Pk (expected breakage): %v", err)
+		return
+	}
+	if quick.Elapsed <= pure.Elapsed {
+		t.Errorf("quorum-1 (%.1f) not slower than f+1 (%.1f) despite a racing outsider",
+			quick.Elapsed, pure.Elapsed)
+	}
+}
+
+// TestAblationNoCatchup shows the value of the immediate jump on a
+// higher-round ROUND message (the "fast synchronization" of §4.2.2):
+// without it, a process that fell behind during the bad period
+// resynchronizes only via INIT messages, taking far longer.
+func TestAblationNoCatchup(t *testing.T) {
+	base := GoodPeriodExperiment{
+		Kind: UseAlg3, N: 5, F: 2, Phi: 1, Delta: 5, X: 2, TG: 400, Seed: 17,
+	}
+	pure, err := base.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ablated := base
+	ablated.Ablation = &Ablation{DisableCatchup: true}
+	ablated.Horizon = base.TG + 30*pure.Bound
+	slow, err := ablated.Run()
+	if err != nil {
+		t.Logf("no-catchup ablation never established Pk: %v", err)
+		return
+	}
+	if slow.Elapsed <= pure.Elapsed {
+		t.Errorf("no-catchup (%.1f) not slower than catch-up (%.1f)",
+			slow.Elapsed, pure.Elapsed)
+	}
+}
+
+// TestAblationIsolation: ablations must not leak into paper-faithful runs
+// (a nil Ablation keeps the defaults).
+func TestAblationIsolation(t *testing.T) {
+	var ab *Ablation
+	a3 := &Alg3{n: 4, f: 1, initQuorum: 2}
+	ab.apply3(a3) // nil receiver: no-op
+	if a3.initQuorum != 2 || a3.disableCatchup {
+		t.Error("nil ablation changed Alg3 state")
+	}
+	a2 := &Alg2{policy: simtime.HighestRoundFirst{}}
+	ab.apply2(a2)
+	if _, ok := a2.policy.(simtime.HighestRoundFirst); !ok {
+		t.Error("nil ablation changed Alg2 policy")
+	}
+}

@@ -1,0 +1,267 @@
+package predimpl
+
+import (
+	"math"
+
+	"heardof/internal/core"
+	"heardof/internal/simtime"
+	"heardof/internal/stable"
+)
+
+// RoundMsg is the message of Algorithm 2: the HO-layer payload tagged with
+// its round number.
+type RoundMsg struct {
+	R core.Round
+	M core.Message
+}
+
+// RoundNumber implements simtime.RoundMessage for the highest-round-first
+// reception policy.
+func (m RoundMsg) RoundNumber() core.Round { return m.R }
+
+// Stable-storage keys shared by Algorithms 2 and 3: the paper stores the
+// round number r_p and the HO-algorithm state s_p.
+const (
+	keyRound = "rp"
+	keyState = "sp"
+)
+
+// Alg2 is Algorithm 2 of the paper: it ensures P_su(π0, ·, ·) in a
+// "π0-down" good period. Each round consists of one send step followed by
+// receive steps until ⌈2δ+(n+2)φ⌉ of them have been taken (timeout) or a
+// higher-round message arrives; then the HO layer's transition function
+// runs for the finished round and empty transitions for any skipped
+// rounds.
+//
+// r_p and s_p live on stable storage; msgsRcv, next_r and i_p are volatile
+// and reinitialized on recovery, exactly as in the paper.
+type Alg2 struct {
+	p       core.ProcessID
+	n       int
+	timeout float64 // 2δ + (n+2)φ, in receive steps
+	inst    core.Instance
+	store   *stable.Store
+	rec     *Recorder
+	policy  simtime.ReceptionPolicy
+
+	// Volatile state.
+	sending bool
+	rp      core.Round
+	nextR   core.Round
+	ip      int
+	msgsRcv map[core.Round]map[core.ProcessID]core.Message
+}
+
+var _ simtime.Proto = (*Alg2)(nil)
+
+// Alg2Timeout returns the receive-step budget of a round: 2δ + (n+2)φ.
+func Alg2Timeout(n int, phi, delta float64) float64 {
+	return 2*delta + float64(n+2)*phi
+}
+
+// NewAlg2 builds process p's Algorithm 2 protocol around the HO instance
+// inst. The recorder may be nil.
+func NewAlg2(p core.ProcessID, n int, phi, delta float64, inst core.Instance,
+	store *stable.Store, rec *Recorder) *Alg2 {
+	a := &Alg2{
+		p:       p,
+		n:       n,
+		timeout: Alg2Timeout(n, phi, delta),
+		inst:    inst,
+		store:   store,
+		rec:     rec,
+		policy:  simtime.HighestRoundFirst{},
+	}
+	a.resetVolatile()
+	a.rp = 1
+	a.nextR = 1
+	a.persist()
+	return a
+}
+
+// Instance returns the HO-layer instance driven by this protocol.
+func (a *Alg2) Instance() core.Instance { return a.inst }
+
+// Round returns the current round r_p (for tests).
+func (a *Alg2) Round() core.Round { return a.rp }
+
+func (a *Alg2) resetVolatile() {
+	a.sending = true
+	a.ip = 0
+	a.msgsRcv = make(map[core.Round]map[core.ProcessID]core.Message)
+}
+
+func (a *Alg2) persist() {
+	a.store.Save(keyRound, a.rp)
+	if rec, ok := a.inst.(core.Recoverable); ok {
+		a.store.Save(keyState, rec.Snapshot())
+	}
+}
+
+// Step implements simtime.Proto (the while loop of Algorithm 2, one atomic
+// step per invocation).
+func (a *Alg2) Step(ctx *simtime.StepContext) {
+	if a.sending {
+		// Lines 7–9: send ⟨S_p^rp(s_p), rp⟩ to all.
+		msg := a.inst.Send(a.rp)
+		ctx.Broadcast(RoundMsg{R: a.rp, M: msg})
+		if a.rec != nil {
+			a.rec.RecordSend(a.p, a.rp, ctx.Now())
+		}
+		a.ip = 0
+		a.sending = false
+		return
+	}
+
+	// Line 11–12: i_p is incremented and checked against the timeout
+	// before the receive of the same iteration.
+	a.ip++
+	if float64(a.ip) >= a.timeout {
+		a.nextR = maxRound(a.nextR, a.rp+1)
+	}
+
+	// Lines 14–18: receive one message (or λ).
+	if env, ok := ctx.Receive(a.policy); ok {
+		if rm, isRound := env.Payload.(RoundMsg); isRound {
+			if rm.R >= a.rp {
+				a.record(rm.R, env.From, rm.M, ctx.Now())
+			}
+			if rm.R > a.rp {
+				a.nextR = maxRound(a.nextR, rm.R)
+			}
+		}
+	}
+
+	if a.nextR != a.rp {
+		a.finishRounds(ctx.Now())
+	}
+}
+
+func (a *Alg2) record(rd core.Round, from core.ProcessID, m core.Message, now simtime.Time) {
+	byFrom, ok := a.msgsRcv[rd]
+	if !ok {
+		byFrom = make(map[core.ProcessID]core.Message)
+		a.msgsRcv[rd] = byFrom
+	}
+	if _, dup := byFrom[from]; !dup {
+		byFrom[from] = m
+		if a.rec != nil {
+			a.rec.RecordReception(a.p, rd, from, now)
+		}
+	}
+}
+
+// finishRounds runs lines 19–22: T_p^rp with the received round-rp
+// messages, empty transitions for skipped rounds, then advances to next_r.
+func (a *Alg2) finishRounds(now simtime.Time) {
+	inbox, ho := collectInbox(a.msgsRcv[a.rp])
+	a.inst.Transition(a.rp, inbox)
+	a.observe(a.rp, ho, now)
+
+	for rd := a.rp + 1; rd < a.nextR; rd++ {
+		a.inst.Transition(rd, nil)
+		a.observe(rd, core.EmptySet, now)
+	}
+
+	// Discard messages for rounds below the new round (the space
+	// optimization the paper notes is safe).
+	for rd := range a.msgsRcv {
+		if rd < a.nextR {
+			delete(a.msgsRcv, rd)
+		}
+	}
+
+	a.rp = a.nextR
+	a.persist()
+	a.sending = true
+}
+
+func (a *Alg2) observe(rd core.Round, ho core.PIDSet, now simtime.Time) {
+	if a.rec == nil {
+		return
+	}
+	a.rec.RecordTransition(a.p, rd, ho, now)
+	if v, ok := a.inst.Decided(); ok {
+		a.rec.RecordDecision(a.p, v, rd, now)
+	}
+}
+
+// OnCrash implements simtime.Proto: all volatile state is lost.
+func (a *Alg2) OnCrash() {
+	a.msgsRcv = nil
+}
+
+// OnRecover implements simtime.Proto: r_p and s_p are reloaded from stable
+// storage; msgsRcv and next_r are reinitialized and the algorithm restarts
+// at its loop head (line 6), i.e. by sending its round-r_p message.
+func (a *Alg2) OnRecover() {
+	a.resetVolatile()
+	if v, ok := a.store.Load(keyRound); ok {
+		if rd, isRound := v.(core.Round); isRound {
+			a.rp = rd
+		}
+	}
+	a.nextR = a.rp
+	if v, ok := a.store.Load(keyState); ok {
+		if rec, isRec := a.inst.(core.Recoverable); isRec {
+			rec.Restore(v)
+		}
+	}
+}
+
+func maxRound(a, b core.Round) core.Round {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// collectInbox converts a per-sender message map into a deterministic
+// inbox slice plus its heard-of set.
+func collectInbox(byFrom map[core.ProcessID]core.Message) ([]core.IncomingMessage, core.PIDSet) {
+	if len(byFrom) == 0 {
+		return nil, core.EmptySet
+	}
+	var ho core.PIDSet
+	for from := range byFrom {
+		ho = ho.Add(from)
+	}
+	inbox := make([]core.IncomingMessage, 0, len(byFrom))
+	ho.ForEach(func(from core.ProcessID) {
+		inbox = append(inbox, core.IncomingMessage{From: from, Payload: byFrom[from]})
+	})
+	return inbox, ho
+}
+
+// Theorem3GoodPeriodBound is the closed-form bound of Theorem 3: the
+// minimal length of a (non-initial) π0-down good period after which
+// Algorithm 2 guarantees P_su(π0, ρ0, ρ0+x−1):
+//
+//	(x+1)(2δ+(n+2)φ+1)φ + δ + φ.
+func Theorem3GoodPeriodBound(n int, phi, delta float64, x int) float64 {
+	return float64(x+1)*(2*delta+float64(n+2)*phi+1)*phi + delta + phi
+}
+
+// Theorem5InitialBound is the closed-form bound of Theorem 5: the minimal
+// length of an initial good period for P_su(π0, 1, x):
+//
+//	x(2δ+(n+2)φ+1)φ.
+func Theorem5InitialBound(n int, phi, delta float64, x int) float64 {
+	return float64(x) * (2*delta + float64(n+2)*phi + 1) * phi
+}
+
+// Corollary4P2otrBound is the single-good-period length for P_otr^2 via
+// Algorithm 2 (Corollary 4): (6δ+3nφ+6φ+3)φ + δ + φ.
+func Corollary4P2otrBound(n int, phi, delta float64) float64 {
+	return (6*delta+3*float64(n)*phi+6*phi+3)*phi + delta + phi
+}
+
+// Corollary4P11otrBound is the per-period length when P_otr^1/1 is
+// implemented with two good periods (Corollary 4): (4δ+2nφ+4φ+2)φ + δ + φ.
+func Corollary4P11otrBound(n int, phi, delta float64) float64 {
+	return (4*delta+2*float64(n)*phi+4*phi+2)*phi + delta + phi
+}
+
+// CeilTimeout returns the integral number of receive steps implied by the
+// real-valued timeout (for tests that count steps).
+func CeilTimeout(timeout float64) int { return int(math.Ceil(timeout)) }

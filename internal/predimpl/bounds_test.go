@@ -1,0 +1,231 @@
+package predimpl
+
+import (
+	"math"
+	"testing"
+
+	"heardof/internal/core"
+)
+
+// TestTheorem3And5BoundsSweep is experiment E1+E3 in test form: measured
+// good-period consumption of Algorithm 2 never exceeds the closed-form
+// bounds, across a parameter sweep, under worst-case scheduling.
+func TestTheorem3And5BoundsSweep(t *testing.T) {
+	for _, n := range []int{2, 4, 7, 10} {
+		for _, delta := range []float64{2, 5, 20} {
+			for _, phi := range []float64{1, 2} {
+				for _, x := range []int{1, 2, 3} {
+					for _, tg := range []float64{0, 150} {
+						e := GoodPeriodExperiment{
+							Kind: UseAlg2, N: n, Phi: phi, Delta: delta,
+							X: x, TG: tg, Seed: uint64(n*1000 + int(delta)*10 + x),
+						}
+						res, err := e.Run()
+						if err != nil {
+							t.Fatalf("n=%d δ=%v φ=%v x=%d tg=%v: %v", n, delta, phi, x, tg, err)
+						}
+						if res.Elapsed > res.Bound+1e-9 {
+							t.Errorf("n=%d δ=%v φ=%v x=%d tg=%v: elapsed %.2f exceeds bound %.2f",
+								n, delta, phi, x, tg, res.Elapsed, res.Bound)
+						}
+						if tg == 0 && math.Abs(res.Ratio-1) > 0.02 {
+							// Initial good periods under worst-case
+							// scheduling should sit essentially at the
+							// Theorem 5 bound (tightness).
+							t.Errorf("n=%d δ=%v φ=%v x=%d initial ratio %.3f, want ≈ 1",
+								n, delta, phi, x, res.Ratio)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTheorem6And7BoundsSweep is experiment E4+E5 in test form for
+// Algorithm 3 in π0-arbitrary good periods.
+func TestTheorem6And7BoundsSweep(t *testing.T) {
+	cases := []struct{ n, f int }{{3, 1}, {5, 2}, {7, 3}, {9, 2}}
+	for _, c := range cases {
+		for _, delta := range []float64{2, 5, 10} {
+			for _, phi := range []float64{1, 2} {
+				for _, x := range []int{1, 2, 3} {
+					for _, tg := range []float64{0, 150} {
+						e := GoodPeriodExperiment{
+							Kind: UseAlg3, N: c.n, F: c.f, Phi: phi, Delta: delta,
+							X: x, TG: tg, Seed: uint64(c.n*1000 + int(delta)*10 + x),
+						}
+						res, err := e.Run()
+						if err != nil {
+							t.Fatalf("n=%d f=%d δ=%v φ=%v x=%d tg=%v: %v", c.n, c.f, delta, phi, x, tg, err)
+						}
+						if res.Elapsed > res.Bound+1e-9 {
+							t.Errorf("n=%d f=%d δ=%v φ=%v x=%d tg=%v: elapsed %.2f exceeds bound %.2f",
+								c.n, c.f, delta, phi, x, tg, res.Elapsed, res.Bound)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFactorThreeHalvesAtX2 checks the paper's §4.2.1 headline: the
+// non-initial/initial good-period length ratio is ≈ 3/2 for x = 2, both
+// on the closed-form bounds and within slack on measurements.
+func TestFactorThreeHalvesAtX2(t *testing.T) {
+	for _, n := range []int{4, 7, 10} {
+		for _, delta := range []float64{5, 20} {
+			b3 := Theorem3GoodPeriodBound(n, 1, delta, 2)
+			b5 := Theorem5InitialBound(n, 1, delta, 2)
+			ratio := b3 / b5
+			if ratio < 1.5 || ratio > 1.75 {
+				t.Errorf("n=%d δ=%v: bound ratio %.3f outside [1.5, 1.75]", n, delta, ratio)
+			}
+		}
+	}
+}
+
+// TestCorollary4TradeOff checks the Corollary 4 trade-off direction: one
+// P2otr period is longer than each of the two P1/1otr periods, but
+// shorter than their sum.
+func TestCorollary4TradeOff(t *testing.T) {
+	for _, n := range []int{4, 7, 10} {
+		for _, delta := range []float64{2, 5, 20} {
+			for _, phi := range []float64{1, 2} {
+				p2 := Corollary4P2otrBound(n, phi, delta)
+				p11 := Corollary4P11otrBound(n, phi, delta)
+				if p2 <= p11 {
+					t.Errorf("n=%d δ=%v φ=%v: P2otr %.1f not longer than one P11otr period %.1f",
+						n, delta, phi, p2, p11)
+				}
+				if p2 >= 2*p11 {
+					t.Errorf("n=%d δ=%v φ=%v: P2otr %.1f not shorter than two P11otr periods %.1f",
+						n, delta, phi, p2, 2*p11)
+				}
+			}
+		}
+	}
+}
+
+// TestBoundsGrowLinearly checks the shape of the bounds: linear in x and
+// in δ, as the formulas state.
+func TestBoundsGrowLinearly(t *testing.T) {
+	base := Theorem3GoodPeriodBound(4, 1, 5, 1)
+	step := Theorem3GoodPeriodBound(4, 1, 5, 2) - base
+	for x := 3; x <= 6; x++ {
+		want := base + float64(x-1)*step
+		got := Theorem3GoodPeriodBound(4, 1, 5, x)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("Theorem3 not linear in x at x=%d: got %v want %v", x, got, want)
+		}
+	}
+	b1 := Theorem6GoodPeriodBound(5, 1, 2, 1)
+	b2 := Theorem6GoodPeriodBound(5, 1, 4, 1)
+	b3 := Theorem6GoodPeriodBound(5, 1, 6, 1)
+	if math.Abs((b3-b2)-(b2-b1)) > 1e-9 {
+		t.Error("Theorem6 not linear in δ")
+	}
+}
+
+// TestMeasurementDeterminism: the same experiment with the same seed
+// reproduces the same numbers exactly.
+func TestMeasurementDeterminism(t *testing.T) {
+	e := GoodPeriodExperiment{Kind: UseAlg3, N: 5, F: 2, Phi: 1.5, Delta: 4, X: 2, TG: 80, Seed: 321}
+	r1, err1 := e.Run()
+	r2, err2 := e.Run()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1.Elapsed != r2.Elapsed || r1.Rho0 != r2.Rho0 || r1.Stats != r2.Stats {
+		t.Errorf("non-deterministic measurement: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestRho0Definition pins down the Appendix B definition of ρ0.
+func TestRho0Definition(t *testing.T) {
+	rec := NewRecorder(3)
+	if got := rec.Rho0(10); got != 1 {
+		t.Errorf("ρ0 with no sends = %d, want 1", got)
+	}
+	rec.RecordSend(0, 1, 2)
+	rec.RecordSend(1, 1, 3)
+	rec.RecordSend(0, 2, 8)
+	rec.RecordSend(2, 5, 50) // after tG
+	if got := rec.Rho0(10); got != 3 {
+		t.Errorf("ρ0 = %d, want 3 (rounds 1,2 sent by t=10)", got)
+	}
+	if got := rec.Rho0(60); got != 6 {
+		t.Errorf("ρ0 = %d, want 6", got)
+	}
+}
+
+func TestRecorderWindowsAndTrace(t *testing.T) {
+	pi0 := core.SetOf(0, 1)
+	rec := NewRecorder(3)
+	rec.RecordTransition(0, 1, pi0, 5)
+	rec.RecordTransition(1, 1, pi0, 6)
+	rec.RecordTransition(0, 2, pi0.Add(2), 9)
+	rec.RecordTransition(1, 2, pi0, 10)
+
+	if at, ok := rec.PsuWindowDone(pi0, 1, 1); !ok || at != 6 {
+		t.Errorf("PsuWindowDone(1,1) = (%v, %v), want (6, true)", at, ok)
+	}
+	if _, ok := rec.PsuWindowDone(pi0, 1, 2); ok {
+		t.Error("Psu(1,2) should fail: p0 heard a superset at round 2")
+	}
+	if at, ok := rec.PkWindowDone(pi0, 1, 2); !ok || at != 10 {
+		t.Errorf("PkWindowDone(1,2) = (%v, %v), want (10, true)", at, ok)
+	}
+
+	// Receipt-based accounting for the final round.
+	rec.RecordReception(0, 3, 0, 11)
+	rec.RecordReception(0, 3, 1, 12)
+	rec.RecordReception(1, 3, 0, 11.5)
+	if _, ok := rec.PkEstablished(pi0, 1, 3); ok {
+		t.Error("PkEstablished should fail: p1 missing round-3 message from 1")
+	}
+	rec.RecordReception(1, 3, 1, 13)
+	if at, ok := rec.PkEstablished(pi0, 1, 3); !ok || at != 13 {
+		t.Errorf("PkEstablished = (%v, %v), want (13, true)", at, ok)
+	}
+
+	// Duplicate receptions/transitions keep the first timestamp.
+	rec.RecordReception(1, 3, 1, 99)
+	if at, _ := rec.PkEstablished(pi0, 1, 3); at != 13 {
+		t.Error("duplicate reception overwrote the timestamp")
+	}
+	rec.RecordTransition(0, 1, core.EmptySet, 99)
+	if tr, _ := rec.Transition(0, 1); tr.HO != pi0 {
+		t.Error("duplicate transition overwrote the record")
+	}
+
+	// Trace conversion: 3 rounds, sparse HO sets default to empty.
+	rec.RecordDecision(0, 42, 2, 9)
+	tr := rec.ToTrace(make([]core.Value, 3))
+	// Only executed (transitioned) rounds are materialized: receptions for
+	// round 3 alone do not extend the trace.
+	if tr.NumRounds() != 2 {
+		t.Fatalf("trace rounds = %d, want 2", tr.NumRounds())
+	}
+	if tr.HO(2, 1) != core.EmptySet {
+		t.Error("unexecuted process should have empty HO")
+	}
+	if tr.HO(0, 2) != pi0.Add(2) {
+		t.Error("trace HO mismatch")
+	}
+	if d := tr.Decisions[0]; !d.Decided || d.Value != 42 || d.Round != 2 {
+		t.Errorf("trace decision = %v", d)
+	}
+
+	// FirstPsuWindow/FirstPkWindow search.
+	if rd, _, ok := rec.FirstPsuWindow(pi0, 1, 1); !ok || rd != 1 {
+		t.Errorf("FirstPsuWindow = (%d, %v)", rd, ok)
+	}
+	if rd, _, ok := rec.FirstPkWindow(pi0, 2, 1); !ok || rd != 1 {
+		t.Errorf("FirstPkWindow = (%d, %v)", rd, ok)
+	}
+	if _, _, ok := rec.FirstPsuWindow(pi0, 5, 1); ok {
+		t.Error("FirstPsuWindow found an impossible window")
+	}
+}

@@ -1,0 +1,121 @@
+package predimpl
+
+import (
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/simtime"
+	"heardof/internal/translation"
+)
+
+// FullStackExperiment is the §4.2.2(c) composition measured end to end:
+// OneThirdRule over the Algorithm 4 translation over Algorithm 3, in a
+// π0-arbitrary good period starting at TG (preceded by a bad period when
+// TG > 0). It measures the good-period time until every π0 member has
+// decided and compares it against the 2f+3-round bound
+// (2f+5)[τ0φ+δ+nφ+2φ]+τ0φ.
+//
+// Requires |π0| = n−f > 2n/3 (OneThirdRule's quorum), hence f < n/3.
+type FullStackExperiment struct {
+	N     int
+	F     int
+	Phi   float64
+	Delta float64
+	TG    simtime.Time
+	Seed  uint64
+	// OutsidersDown crashes the π0̄ processes at TG (legal behaviour in a
+	// π0-arbitrary period); it makes the run deterministic with respect
+	// to the translation's macro heard-of sets. When false, outsiders
+	// keep running with lossy links.
+	OutsidersDown bool
+	// Initial values; defaults to distinct values 0..n-1.
+	Initial []core.Value
+	// Horizon defaults to TG + 4× the bound.
+	Horizon simtime.Time
+}
+
+// FullStackResult is the outcome of one end-to-end run.
+type FullStackResult struct {
+	// Elapsed is last-decision time − TG.
+	Elapsed float64
+	// Bound is the §4.2.2(c) closed form.
+	Bound float64
+	// Ratio is Elapsed / Bound.
+	Ratio float64
+	// Decision is the agreed value.
+	Decision core.Value
+	// Rounds is the largest outer (Algorithm 3) round executed.
+	Rounds core.Round
+	Stats  simtime.Stats
+}
+
+// Run executes the experiment.
+func (e FullStackExperiment) Run() (FullStackResult, error) {
+	if 3*e.F >= e.N {
+		return FullStackResult{}, fmt.Errorf(
+			"full stack requires |π0| = n−f > 2n/3, i.e. f < n/3; got n=%d f=%d", e.N, e.F)
+	}
+	pi0 := core.FullSet(e.N - e.F)
+	bound := Section422cFullStackBound(e.N, e.F, e.Phi, e.Delta)
+	horizon := e.Horizon
+	if horizon == 0 {
+		horizon = e.TG + 4*bound + 100
+	}
+	initial := e.Initial
+	if initial == nil {
+		initial = make([]core.Value, e.N)
+		for i := range initial {
+			initial[i] = core.Value(i)
+		}
+	}
+
+	var periods []simtime.Period
+	if e.TG > 0 {
+		periods = append(periods, simtime.Period{Start: 0, Kind: simtime.Bad})
+	}
+	periods = append(periods, simtime.Period{Start: e.TG, Kind: simtime.GoodArbitrary, Pi0: pi0})
+
+	var crashes []simtime.CrashEvent
+	if e.OutsidersDown {
+		pi0.Complement(e.N).ForEach(func(p core.ProcessID) {
+			crashes = append(crashes, simtime.CrashEvent{P: p, At: e.TG, RecoverAt: -1})
+		})
+	}
+
+	stack, err := BuildStack(StackConfig{
+		Kind:      UseAlg3,
+		F:         e.F,
+		Algorithm: translation.Algorithm{Inner: otr.Algorithm{}, F: e.F},
+		Initial:   initial,
+		Sim: simtime.Config{
+			N: e.N, Phi: e.Phi, Delta: e.Delta,
+			Periods: periods, Crashes: crashes, Seed: e.Seed,
+		},
+	})
+	if err != nil {
+		return FullStackResult{}, err
+	}
+
+	last := stack.RunUntilAllDecided(pi0, horizon)
+	if last < 0 {
+		return FullStackResult{}, fmt.Errorf(
+			"full stack n=%d f=%d φ=%v δ=%v tg=%v: π0 did not decide by horizon %v",
+			e.N, e.F, e.Phi, e.Delta, e.TG, horizon)
+	}
+	tr := stack.Trace()
+	if err := tr.CheckConsensusSafety(); err != nil {
+		return FullStackResult{}, fmt.Errorf("safety violated: %w", err)
+	}
+	var decision core.Value
+	pi0.ForEach(func(p core.ProcessID) { decision = tr.Decisions[p].Value })
+
+	return FullStackResult{
+		Elapsed:  last - e.TG,
+		Bound:    bound,
+		Ratio:    (last - e.TG) / bound,
+		Decision: decision,
+		Rounds:   stack.Recorder.MaxRound(),
+		Stats:    stack.Sim.Stats(),
+	}, nil
+}

@@ -1,0 +1,213 @@
+package predimpl
+
+import (
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/simtime"
+)
+
+// GoodPeriodExperiment measures how much good-period time Algorithm 2 or 3
+// needs to establish its predicate — the empirical counterpart of
+// Theorems 3, 5, 6 and 7. The schedule is: a bad period on [0, TG) (absent
+// when TG = 0, the "initial good period" scenario), then a good period of
+// the configured kind lasting to the horizon. The run measures the time
+// from TG until the target predicate window is established.
+type GoodPeriodExperiment struct {
+	Kind  ProtoKind
+	N     int
+	F     int     // Alg3 only
+	Phi   float64 // φ
+	Delta float64 // δ
+	X     int     // window width (consecutive predicate rounds)
+	TG    simtime.Time
+	Pi0   core.PIDSet // defaults to Π for Alg2, Π minus the F top ids for Alg3
+	Seed  uint64
+
+	// StepMode/DeliveryMode default to worst case, which is what the
+	// paper's bounds describe.
+	StepMode     simtime.StepMode
+	DeliveryMode simtime.DeliveryMode
+	// Horizon defaults to TG plus four times the theorem bound.
+	Horizon simtime.Time
+	// Ablation, if non-nil, runs the experiment with a design choice
+	// disabled (see the Ablation type).
+	Ablation *Ablation
+	// Bad, if non-nil, overrides the bad-period/outsider behaviour
+	// envelope (step gaps, delays, loss).
+	Bad *simtime.BadConfig
+}
+
+// GoodPeriodResult is the outcome of one measurement.
+type GoodPeriodResult struct {
+	Rho0        core.Round
+	WindowStart core.Round
+	WindowEnd   core.Round
+	// Elapsed is the good-period time consumed until the window was
+	// established (completion time − TG).
+	Elapsed float64
+	// Bound is the corresponding theorem's closed-form worst-case bound.
+	Bound float64
+	// Ratio is Elapsed / Bound (≤ 1 when the run respects the model).
+	Ratio float64
+	// Stats are the simulator counters at completion.
+	Stats simtime.Stats
+	// StableWrites counts stable-storage writes across all processes.
+	StableWrites int64
+}
+
+func (e *GoodPeriodExperiment) defaults() {
+	if e.StepMode == 0 {
+		e.StepMode = simtime.StepWorstCase
+	}
+	if e.DeliveryMode == 0 {
+		e.DeliveryMode = simtime.DeliverWorstCase
+	}
+	if e.Pi0.IsEmpty() {
+		if e.Kind == UseAlg3 {
+			e.Pi0 = core.FullSet(e.N - e.F)
+		} else {
+			e.Pi0 = core.FullSet(e.N)
+		}
+	}
+	if e.X == 0 {
+		e.X = 1
+	}
+}
+
+// Bound returns the theorem bound matching the experiment's configuration.
+func (e *GoodPeriodExperiment) Bound() float64 {
+	e.defaults()
+	switch {
+	case e.Kind == UseAlg2 && e.TG > 0:
+		return Theorem3GoodPeriodBound(e.N, e.Phi, e.Delta, e.X)
+	case e.Kind == UseAlg2:
+		return Theorem5InitialBound(e.N, e.Phi, e.Delta, e.X)
+	case e.TG > 0:
+		return Theorem6GoodPeriodBound(e.N, e.Phi, e.Delta, e.X)
+	default:
+		return Theorem7InitialBound(e.N, e.Phi, e.Delta, e.X)
+	}
+}
+
+// Run executes the experiment.
+func (e GoodPeriodExperiment) Run() (GoodPeriodResult, error) {
+	e.defaults()
+	bound := e.Bound()
+	horizon := e.Horizon
+	if horizon == 0 {
+		horizon = e.TG + 4*bound + 50
+	}
+
+	goodKind := simtime.GoodDown
+	if e.Kind == UseAlg3 {
+		goodKind = simtime.GoodArbitrary
+	}
+	var periods []simtime.Period
+	if e.TG > 0 {
+		periods = append(periods, simtime.Period{Start: 0, Kind: simtime.Bad})
+	}
+	periods = append(periods, simtime.Period{Start: e.TG, Kind: goodKind, Pi0: e.Pi0})
+
+	stack, err := BuildStack(StackConfig{
+		Kind:      e.Kind,
+		F:         e.F,
+		Algorithm: passiveAlgorithm{},
+		Initial:   make([]core.Value, e.N),
+		Ablation:  e.Ablation,
+		Sim: simtime.Config{
+			N:            e.N,
+			Phi:          e.Phi,
+			Delta:        e.Delta,
+			Periods:      periods,
+			StepMode:     e.StepMode,
+			DeliveryMode: e.DeliveryMode,
+			Bad:          badOrZero(e.Bad),
+			Seed:         e.Seed,
+		},
+	})
+	if err != nil {
+		return GoodPeriodResult{}, err
+	}
+
+	// Advance to the good period start, anchor ρ0 there, then run until
+	// the predicate window is established.
+	stack.Sim.RunUntilTime(e.TG)
+	rho0 := stack.Recorder.Rho0(e.TG)
+
+	var from, to core.Round
+	if e.TG > 0 {
+		// Theorem 3: P_su(π0, ρ0, ρ0+x−1); Theorem 6: P_k(π0, ρ0+1, ρ0+x)
+		// — with our ρ0 anchored at "first unsent round", both windows
+		// start at ρ0.
+		from, to = rho0, rho0+core.Round(e.X)-1
+	} else {
+		from, to = 1, core.Round(e.X)
+	}
+
+	window := func() (simtime.Time, bool) {
+		if e.Kind == UseAlg2 {
+			return stack.Recorder.PsuWindowDone(e.Pi0, from, to)
+		}
+		return stack.Recorder.PkEstablished(e.Pi0, from, to)
+	}
+	ok := stack.Sim.RunUntil(func() bool { _, done := window(); return done }, horizon)
+	if !ok {
+		return GoodPeriodResult{}, fmt.Errorf(
+			"%v n=%d f=%d φ=%v δ=%v x=%d: predicate window [%d,%d] not established by horizon %v",
+			e.Kind, e.N, e.F, e.Phi, e.Delta, e.X, from, to, horizon)
+	}
+	doneAt, _ := window()
+	elapsed := doneAt - e.TG
+
+	return GoodPeriodResult{
+		Rho0:         rho0,
+		WindowStart:  from,
+		WindowEnd:    to,
+		Elapsed:      elapsed,
+		Bound:        bound,
+		Ratio:        elapsed / bound,
+		Stats:        stack.Sim.Stats(),
+		StableWrites: stack.Stores.TotalWrites(),
+	}, nil
+}
+
+func badOrZero(b *simtime.BadConfig) simtime.BadConfig {
+	if b == nil {
+		return simtime.BadConfig{}
+	}
+	return *b
+}
+
+// passiveAlgorithm is the trivial HO algorithm used when only the
+// predicate layer is being measured: it sends its round number and never
+// decides.
+type passiveAlgorithm struct{}
+
+// Name implements core.Algorithm.
+func (passiveAlgorithm) Name() string { return "passive" }
+
+// NewInstance implements core.Algorithm.
+func (passiveAlgorithm) NewInstance(p core.ProcessID, n int, initial core.Value) core.Instance {
+	return &passiveInstance{}
+}
+
+type passiveInstance struct {
+	rounds int
+}
+
+func (pi *passiveInstance) Send(r core.Round) core.Message { return int64(r) }
+
+func (pi *passiveInstance) Transition(core.Round, []core.IncomingMessage) { pi.rounds++ }
+
+func (pi *passiveInstance) Decided() (core.Value, bool) { return 0, false }
+
+// Snapshot implements core.Recoverable.
+func (pi *passiveInstance) Snapshot() core.Snapshot { return pi.rounds }
+
+// Restore implements core.Recoverable.
+func (pi *passiveInstance) Restore(s core.Snapshot) {
+	if v, ok := s.(int); ok {
+		pi.rounds = v
+	}
+}

@@ -1,0 +1,124 @@
+package predimpl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"heardof/internal/core"
+	"heardof/internal/simtime"
+)
+
+func TestExperimentBoundDispatch(t *testing.T) {
+	// The Bound method must select the matching theorem.
+	tests := []struct {
+		name string
+		e    GoodPeriodExperiment
+		want float64
+	}{
+		{"Theorem 3", GoodPeriodExperiment{Kind: UseAlg2, N: 4, Phi: 1, Delta: 5, X: 2, TG: 100},
+			Theorem3GoodPeriodBound(4, 1, 5, 2)},
+		{"Theorem 5", GoodPeriodExperiment{Kind: UseAlg2, N: 4, Phi: 1, Delta: 5, X: 2, TG: 0},
+			Theorem5InitialBound(4, 1, 5, 2)},
+		{"Theorem 6", GoodPeriodExperiment{Kind: UseAlg3, N: 5, F: 2, Phi: 1, Delta: 5, X: 2, TG: 100},
+			Theorem6GoodPeriodBound(5, 1, 5, 2)},
+		{"Theorem 7", GoodPeriodExperiment{Kind: UseAlg3, N: 5, F: 2, Phi: 1, Delta: 5, X: 2, TG: 0},
+			Theorem7InitialBound(5, 1, 5, 2)},
+	}
+	for _, tt := range tests {
+		if got := tt.e.Bound(); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("%s: Bound = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestExperimentDefaults(t *testing.T) {
+	e := GoodPeriodExperiment{Kind: UseAlg3, N: 7, F: 3, Phi: 1, Delta: 5}
+	e.defaults()
+	if e.X != 1 {
+		t.Errorf("X default = %d, want 1", e.X)
+	}
+	if e.Pi0 != core.FullSet(4) {
+		t.Errorf("Pi0 default = %v, want {0..3}", e.Pi0)
+	}
+	if e.StepMode != simtime.StepWorstCase || e.DeliveryMode != simtime.DeliverWorstCase {
+		t.Error("modes not defaulted to worst case")
+	}
+	e2 := GoodPeriodExperiment{Kind: UseAlg2, N: 4, Phi: 1, Delta: 5}
+	e2.defaults()
+	if e2.Pi0 != core.FullSet(4) {
+		t.Errorf("Alg2 Pi0 default = %v", e2.Pi0)
+	}
+}
+
+func TestExperimentHorizonFailure(t *testing.T) {
+	// An impossible horizon yields a descriptive error, not a hang.
+	e := GoodPeriodExperiment{
+		Kind: UseAlg2, N: 4, Phi: 1, Delta: 5, X: 2, TG: 100, Seed: 1,
+		Horizon: 101, // the good period barely starts
+	}
+	_, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "not established") {
+		t.Errorf("error = %v, want 'not established'", err)
+	}
+}
+
+func TestPassiveAlgorithmContract(t *testing.T) {
+	inst := passiveAlgorithm{}.NewInstance(0, 3, 0)
+	if (passiveAlgorithm{}).Name() != "passive" {
+		t.Error("name wrong")
+	}
+	if msg := inst.Send(7); msg != int64(7) {
+		t.Errorf("Send = %v, want round echo", msg)
+	}
+	inst.Transition(1, nil)
+	if _, ok := inst.Decided(); ok {
+		t.Error("passive instance decided")
+	}
+	rec, ok := inst.(core.Recoverable)
+	if !ok {
+		t.Fatal("passive instance must be recoverable (stable storage)")
+	}
+	snap := rec.Snapshot()
+	inst.Transition(2, nil)
+	rec.Restore(snap)
+	if pi := inst.(*passiveInstance); pi.rounds != 1 {
+		t.Errorf("restored rounds = %d, want 1", pi.rounds)
+	}
+	rec.Restore("garbage") // no-op
+}
+
+func TestFullStackDefaultsAndInitial(t *testing.T) {
+	e := FullStackExperiment{N: 4, F: 1, Phi: 1, Delta: 5, Seed: 1, OutsidersDown: true}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision < 0 || res.Decision > 3 {
+		t.Errorf("decision %d not one of the default initial values 0..3", res.Decision)
+	}
+	if res.Rounds < 2 {
+		t.Errorf("rounds = %d, suspiciously few", res.Rounds)
+	}
+	custom := FullStackExperiment{
+		N: 4, F: 1, Phi: 1, Delta: 5, Seed: 1, OutsidersDown: true,
+		Initial: []core.Value{9, 9, 9, 9},
+	}
+	res, err = custom.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != 9 {
+		t.Errorf("decision = %d, want 9 for unanimous inputs", res.Decision)
+	}
+}
+
+func TestBadOrZero(t *testing.T) {
+	if badOrZero(nil) != (simtime.BadConfig{}) {
+		t.Error("nil should produce the zero config")
+	}
+	b := simtime.BadConfig{LossProb: 0.5}
+	if badOrZero(&b) != b {
+		t.Error("non-nil should pass through")
+	}
+}

@@ -1,0 +1,308 @@
+// Package predimpl is the predicate implementation layer of Figure 1: it
+// contains Algorithm 2 (implementing P_su in π0-down good periods) and
+// Algorithm 3 (implementing P_k in π0-arbitrary good periods) of Hutle &
+// Schiper (DSN 2007), running on the simtime system model and driving an
+// arbitrary HO algorithm (core.Instance) above them.
+package predimpl
+
+import (
+	"sort"
+
+	"heardof/internal/core"
+	"heardof/internal/simtime"
+)
+
+// TransitionRec records one executed round at one process: the heard-of
+// set delivered to the HO layer's transition function and the time it ran.
+type TransitionRec struct {
+	HO core.PIDSet
+	At simtime.Time
+}
+
+// DecisionRec records an HO-layer decision with its wall-clock time.
+type DecisionRec struct {
+	Decided bool
+	Value   core.Value
+	At      simtime.Time
+	Round   core.Round
+}
+
+// Recorder collects the observable history of a predicate-implementation
+// run: per-process round transitions with their heard-of sets, the first
+// send time of every round number, and HO-layer decisions. The good-period
+// measurements of EXPERIMENTS.md are all computed from a Recorder.
+type Recorder struct {
+	n           int
+	transitions []map[core.Round]TransitionRec
+	firstSend   map[core.Round]simtime.Time
+	sendsBy     []map[core.Round]simtime.Time
+	recvTimes   []map[core.Round]map[core.ProcessID]simtime.Time
+	decisions   []DecisionRec
+	maxRound    core.Round
+}
+
+// NewRecorder creates a recorder for n processes.
+func NewRecorder(n int) *Recorder {
+	r := &Recorder{
+		n:           n,
+		transitions: make([]map[core.Round]TransitionRec, n),
+		firstSend:   make(map[core.Round]simtime.Time),
+		sendsBy:     make([]map[core.Round]simtime.Time, n),
+		recvTimes:   make([]map[core.Round]map[core.ProcessID]simtime.Time, n),
+		decisions:   make([]DecisionRec, n),
+	}
+	for p := 0; p < n; p++ {
+		r.transitions[p] = make(map[core.Round]TransitionRec)
+		r.sendsBy[p] = make(map[core.Round]simtime.Time)
+		r.recvTimes[p] = make(map[core.Round]map[core.ProcessID]simtime.Time)
+	}
+	return r
+}
+
+// RecordReception notes that p received (and retained) the round-rd
+// message of process from at time t.
+func (r *Recorder) RecordReception(p core.ProcessID, rd core.Round, from core.ProcessID, t simtime.Time) {
+	byFrom, ok := r.recvTimes[p][rd]
+	if !ok {
+		byFrom = make(map[core.ProcessID]simtime.Time)
+		r.recvTimes[p][rd] = byFrom
+	}
+	if _, dup := byFrom[from]; !dup {
+		byFrom[from] = t
+	}
+}
+
+// ReceiptCovered returns the time at which p had received round-rd
+// messages from every member of pi0 (false if it has not yet).
+func (r *Recorder) ReceiptCovered(p core.ProcessID, rd core.Round, pi0 core.PIDSet) (simtime.Time, bool) {
+	byFrom := r.recvTimes[p][rd]
+	var latest simtime.Time
+	ok := true
+	pi0.ForEach(func(q core.ProcessID) {
+		t, have := byFrom[q]
+		if !have {
+			ok = false
+			return
+		}
+		if t > latest {
+			latest = t
+		}
+	})
+	if !ok {
+		return 0, false
+	}
+	return latest, true
+}
+
+// N returns the number of processes.
+func (r *Recorder) N() int { return r.n }
+
+// RecordSend notes that p sent its round-rd message at time t.
+func (r *Recorder) RecordSend(p core.ProcessID, rd core.Round, t simtime.Time) {
+	if _, ok := r.sendsBy[p][rd]; !ok {
+		r.sendsBy[p][rd] = t
+	}
+	if first, ok := r.firstSend[rd]; !ok || t < first {
+		r.firstSend[rd] = t
+	}
+}
+
+// RecordTransition notes that p executed T_p^rd with heard-of set ho at t.
+func (r *Recorder) RecordTransition(p core.ProcessID, rd core.Round, ho core.PIDSet, t simtime.Time) {
+	if _, dup := r.transitions[p][rd]; dup {
+		return // a recovered process may re-run a round; keep the first
+	}
+	r.transitions[p][rd] = TransitionRec{HO: ho, At: t}
+	if rd > r.maxRound {
+		r.maxRound = rd
+	}
+}
+
+// RecordDecision notes p's first HO-layer decision.
+func (r *Recorder) RecordDecision(p core.ProcessID, v core.Value, rd core.Round, t simtime.Time) {
+	if r.decisions[p].Decided {
+		return
+	}
+	r.decisions[p] = DecisionRec{Decided: true, Value: v, At: t, Round: rd}
+}
+
+// Decision returns p's decision record.
+func (r *Recorder) Decision(p core.ProcessID) DecisionRec { return r.decisions[p] }
+
+// AllDecided reports whether every process in members decided.
+func (r *Recorder) AllDecided(members core.PIDSet) bool {
+	ok := true
+	members.ForEach(func(p core.ProcessID) {
+		if !r.decisions[p].Decided {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// LastDecisionTime returns the latest decision time among members, or -1
+// if some member has not decided.
+func (r *Recorder) LastDecisionTime(members core.PIDSet) simtime.Time {
+	var last simtime.Time
+	missing := false
+	members.ForEach(func(p core.ProcessID) {
+		d := r.decisions[p]
+		if !d.Decided {
+			missing = true
+			return
+		}
+		if d.At > last {
+			last = d.At
+		}
+	})
+	if missing {
+		return -1
+	}
+	return last
+}
+
+// MaxRound returns the largest round any process has transitioned through.
+func (r *Recorder) MaxRound() core.Round { return r.maxRound }
+
+// Transition returns p's transition record for round rd.
+func (r *Recorder) Transition(p core.ProcessID, rd core.Round) (TransitionRec, bool) {
+	rec, ok := r.transitions[p][rd]
+	return rec, ok
+}
+
+// Rho0 computes ρ0 as defined in Appendix B for a good period starting at
+// tG: the largest round number such that no process has sent a round-ρ0
+// message by tG but some process has sent a round-(ρ0−1) message. With no
+// sends before tG (an initial good period), ρ0 = 1.
+func (r *Recorder) Rho0(tG simtime.Time) core.Round {
+	maxSent := core.Round(0)
+	for rd, t := range r.firstSend {
+		if t <= tG && rd > maxSent {
+			maxSent = rd
+		}
+	}
+	return maxSent + 1
+}
+
+// windowDone checks whether every process in pi0 has executed rounds
+// [from, to] with heard-of sets accepted by ok, and returns the latest
+// transition time of the window.
+func (r *Recorder) windowDone(pi0 core.PIDSet, from, to core.Round, ok func(core.PIDSet) bool) (simtime.Time, bool) {
+	var latest simtime.Time
+	done := true
+	pi0.ForEach(func(p core.ProcessID) {
+		for rd := from; rd <= to; rd++ {
+			rec, have := r.transitions[p][rd]
+			if !have || !ok(rec.HO) {
+				done = false
+				return
+			}
+			if rec.At > latest {
+				latest = rec.At
+			}
+		}
+	})
+	return latest, done
+}
+
+// PsuWindowDone reports whether P_su(pi0, from, to) has been established:
+// every pi0 member executed rounds [from, to] hearing exactly pi0. The
+// returned time is when the last transition of the window ran.
+func (r *Recorder) PsuWindowDone(pi0 core.PIDSet, from, to core.Round) (simtime.Time, bool) {
+	return r.windowDone(pi0, from, to, func(ho core.PIDSet) bool { return ho == pi0 })
+}
+
+// PkWindowDone is the P_k analogue: heard-of sets must contain pi0.
+func (r *Recorder) PkWindowDone(pi0 core.PIDSet, from, to core.Round) (simtime.Time, bool) {
+	return r.windowDone(pi0, from, to, func(ho core.PIDSet) bool { return ho.Contains(pi0) })
+}
+
+// FirstPsuWindow searches for the earliest round ρ ≥ minRound such that
+// P_su(pi0, ρ, ρ+x−1) has been established, returning ρ and the window's
+// completion time.
+func (r *Recorder) FirstPsuWindow(pi0 core.PIDSet, x int, minRound core.Round) (core.Round, simtime.Time, bool) {
+	for rd := minRound; rd+core.Round(x)-1 <= r.maxRound; rd++ {
+		if t, ok := r.PsuWindowDone(pi0, rd, rd+core.Round(x)-1); ok {
+			return rd, t, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FirstPkWindow is the P_k analogue of FirstPsuWindow.
+func (r *Recorder) FirstPkWindow(pi0 core.PIDSet, x int, minRound core.Round) (core.Round, simtime.Time, bool) {
+	for rd := minRound; rd+core.Round(x)-1 <= r.maxRound; rd++ {
+		if t, ok := r.PkWindowDone(pi0, rd, rd+core.Round(x)-1); ok {
+			return rd, t, true
+		}
+	}
+	return 0, 0, false
+}
+
+// PkEstablished reports when P_k(pi0, from, to) is established using the
+// paper's accounting for the final round (Theorems 6 and 7: "the INIT
+// messages can be ignored for the last round"): rounds [from, to−1] count
+// when their transitions execute, while round `to` counts as soon as every
+// pi0 member has received the round-`to` messages of all of pi0 — exiting
+// the round is not part of establishing the predicate.
+func (r *Recorder) PkEstablished(pi0 core.PIDSet, from, to core.Round) (simtime.Time, bool) {
+	var latest simtime.Time
+	done := true
+	pi0.ForEach(func(p core.ProcessID) {
+		for rd := from; rd < to; rd++ {
+			rec, have := r.transitions[p][rd]
+			if !have || !rec.HO.Contains(pi0) {
+				done = false
+				return
+			}
+			if rec.At > latest {
+				latest = rec.At
+			}
+		}
+		t, covered := r.ReceiptCovered(p, to, pi0)
+		if !covered {
+			done = false
+			return
+		}
+		if t > latest {
+			latest = t
+		}
+	})
+	if !done {
+		return 0, false
+	}
+	return latest, true
+}
+
+// ToTrace converts the recorded history into a core.Trace over rounds
+// 1..MaxRound (unexecuted rounds have empty heard-of sets), so that the
+// predicate package can evaluate communication predicates on
+// implementation-layer runs.
+func (r *Recorder) ToTrace(initial []core.Value) *core.Trace {
+	tr := core.NewTrace(r.n, initial)
+	for rd := core.Round(1); rd <= r.maxRound; rd++ {
+		ho := make([]core.PIDSet, r.n)
+		for p := 0; p < r.n; p++ {
+			if rec, ok := r.transitions[p][rd]; ok {
+				ho[p] = rec.HO
+			}
+		}
+		tr.RecordRound(ho)
+	}
+	for p := 0; p < r.n; p++ {
+		if d := r.decisions[p]; d.Decided {
+			tr.RecordDecision(core.ProcessID(p), d.Value, d.Round)
+		}
+	}
+	return tr
+}
+
+// RoundsExecuted returns the sorted rounds process p transitioned through.
+func (r *Recorder) RoundsExecuted(p core.ProcessID) []core.Round {
+	out := make([]core.Round, 0, len(r.transitions[p]))
+	for rd := range r.transitions[p] {
+		out = append(out, rd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

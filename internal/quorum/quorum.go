@@ -1,0 +1,35 @@
+// Package quorum centralizes the quorum arithmetic used throughout the
+// paper: the strict 2n/3 thresholds of the OneThirdRule algorithm and its
+// predicates, simple majorities, and the f+1 INIT quorum of Algorithm 3.
+// Keeping the comparisons here avoids scattering subtly different integer
+// roundings across packages.
+package quorum
+
+// ExceedsTwoThirds reports whether k > 2n/3, evaluated exactly in integer
+// arithmetic (3k > 2n).
+func ExceedsTwoThirds(k, n int) bool { return 3*k > 2*n }
+
+// TwoThirdsThreshold returns the smallest k with k > 2n/3.
+func TwoThirdsThreshold(n int) int { return 2*n/3 + 1 }
+
+// ExceedsMajority reports whether k > n/2 (2k > n).
+func ExceedsMajority(k, n int) bool { return 2*k > n }
+
+// MajorityThreshold returns the smallest k with k > n/2.
+func MajorityThreshold(n int) int { return n/2 + 1 }
+
+// CeilHalf returns ⌈(n+1)/2⌉, the quorum used by the Chandra–Toueg and
+// Aguilera et al. algorithms (wait for ⌈(n+1)/2⌉ processes).
+func CeilHalf(n int) int { return (n + 2) / 2 }
+
+// ThirdFloor returns ⌊n/3⌋, the "except at most ⌊n/3⌋" slack of the
+// OneThirdRule update rule.
+func ThirdFloor(n int) int { return n / 3 }
+
+// MaxFaultyArbitrary returns the largest f with f < n/2, the resilience of
+// Algorithm 3 (2f < n).
+func MaxFaultyArbitrary(n int) int { return (n - 1) / 2 }
+
+// MaxFaultyTranslation returns the largest f with n > 2f, the requirement
+// of the Algorithm 4 translation (same bound as MaxFaultyArbitrary).
+func MaxFaultyTranslation(n int) int { return (n - 1) / 2 }

@@ -1,0 +1,72 @@
+package quorum
+
+import "testing"
+
+func TestExceedsTwoThirds(t *testing.T) {
+	tests := []struct {
+		k, n int
+		want bool
+	}{
+		{3, 4, true},  // 9 > 8
+		{2, 3, false}, // 6 > 6 is false: need strictly more
+		{3, 3, true},
+		{5, 7, true},  // 15 > 14
+		{4, 7, false}, // 12 > 14 false
+		{0, 1, false},
+		{1, 1, true},
+	}
+	for _, tt := range tests {
+		if got := ExceedsTwoThirds(tt.k, tt.n); got != tt.want {
+			t.Errorf("ExceedsTwoThirds(%d, %d) = %v", tt.k, tt.n, got)
+		}
+	}
+}
+
+func TestThresholdsAreMinimal(t *testing.T) {
+	for n := 1; n <= 64; n++ {
+		k := TwoThirdsThreshold(n)
+		if !ExceedsTwoThirds(k, n) {
+			t.Errorf("n=%d: threshold %d does not exceed 2n/3", n, k)
+		}
+		if k > 0 && ExceedsTwoThirds(k-1, n) {
+			t.Errorf("n=%d: threshold %d is not minimal", n, k)
+		}
+		m := MajorityThreshold(n)
+		if !ExceedsMajority(m, n) || (m > 0 && ExceedsMajority(m-1, n)) {
+			t.Errorf("n=%d: majority threshold %d wrong", n, m)
+		}
+	}
+}
+
+func TestCeilHalf(t *testing.T) {
+	tests := []struct{ n, want int }{{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {7, 4}}
+	for _, tt := range tests {
+		if got := CeilHalf(tt.n); got != tt.want {
+			t.Errorf("CeilHalf(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestThirdFloor(t *testing.T) {
+	tests := []struct{ n, want int }{{1, 0}, {3, 1}, {4, 1}, {6, 2}, {7, 2}, {9, 3}}
+	for _, tt := range tests {
+		if got := ThirdFloor(tt.n); got != tt.want {
+			t.Errorf("ThirdFloor(%d) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestMaxFaulty(t *testing.T) {
+	for n := 2; n <= 64; n++ {
+		f := MaxFaultyArbitrary(n)
+		if 2*f >= n {
+			t.Errorf("n=%d: f=%d violates f < n/2", n, f)
+		}
+		if 2*(f+1) < n {
+			t.Errorf("n=%d: f=%d not maximal", n, f)
+		}
+		if MaxFaultyTranslation(n) != f {
+			t.Errorf("n=%d: translation and arbitrary bounds differ", n)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package runtime is a deterministic event-driven asynchronous runtime
+// for the failure-detector baselines of the paper (Appendix A): nodes with
+// message handlers and timers, a network with per-message delays, loss and
+// a global stabilization time (GST), and crash/recovery with volatile
+// state loss.
+//
+// It deliberately models the world the failure-detector literature
+// assumes — an asynchronous system that eventually stabilizes — rather
+// than the good/bad-period world of §4.1, so that the Chandra–Toueg and
+// Aguilera et al. algorithms run on their home turf. Comparing this
+// substrate against the communication-predicate stack is the point of
+// experiments E8 and E9.
+package runtime
+
+import (
+	"container/heap"
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/xrand"
+)
+
+// Time is simulated time (arbitrary units).
+type Time = float64
+
+// NodeID identifies a node (same index space as core.ProcessID).
+type NodeID = core.ProcessID
+
+// Handler is the algorithm running on one node. All callbacks run in the
+// single simulation thread.
+type Handler interface {
+	// Start runs when the node first boots.
+	Start(ctx *Context)
+	// OnMessage delivers a message.
+	OnMessage(ctx *Context, from NodeID, msg any)
+	// OnTimer fires a timer set with ctx.After.
+	OnTimer(ctx *Context, id int)
+	// OnCrash notifies loss of volatile state.
+	OnCrash()
+	// OnRecover runs when the node reboots after a crash.
+	OnRecover(ctx *Context)
+}
+
+// Context is the node's interface to the runtime during a callback.
+type Context struct {
+	sim *Sim
+	id  NodeID
+	now Time
+}
+
+// ID returns the executing node.
+func (c *Context) ID() NodeID { return c.id }
+
+// N returns the system size.
+func (c *Context) N() int { return c.sim.cfg.N }
+
+// Now returns the current time (for timers and logging; the baselines may
+// use timeouts, unlike the §4.1 processes).
+func (c *Context) Now() Time { return c.now }
+
+// Send transmits a message to one node.
+func (c *Context) Send(to NodeID, msg any) { c.sim.send(c.id, to, msg, c.now) }
+
+// Broadcast transmits a message to every node, including the sender.
+func (c *Context) Broadcast(msg any) {
+	for q := 0; q < c.sim.cfg.N; q++ {
+		c.sim.send(c.id, NodeID(q), msg, c.now)
+	}
+}
+
+// After schedules OnTimer(id) after delay d. Timers are volatile: they are
+// cancelled by a crash.
+func (c *Context) After(d Time, id int) { c.sim.setTimer(c.id, d, id, c.now) }
+
+// Config describes the network and fault environment.
+type Config struct {
+	N int
+	// MinDelay/MaxDelay bound message delays before GST.
+	MinDelay, MaxDelay Time
+	// LossProb is the pre-GST message loss probability.
+	LossProb float64
+	// GST is the global stabilization time: from GST on, messages are
+	// delivered within [MinDelay, StableDelay] and loss drops to
+	// StableLossProb.
+	GST Time
+	// StableDelay bounds post-GST delays (defaults to MaxDelay).
+	StableDelay Time
+	// StableLossProb is the post-GST loss probability (normally 0; E9
+	// raises it to model the "reliable links" assumption being violated).
+	StableLossProb float64
+	// Crashes schedules crash/recovery events.
+	Crashes []CrashEvent
+	Seed    uint64
+}
+
+// CrashEvent schedules a crash at At and, if RecoverAt ≥ 0, a recovery.
+type CrashEvent struct {
+	P         NodeID
+	At        Time
+	RecoverAt Time
+}
+
+// Validate checks the configuration and fills defaults.
+func (c *Config) Validate() error {
+	if c.N < 1 || c.N > core.MaxProcesses {
+		return fmt.Errorf("n = %d out of range [1, %d]", c.N, core.MaxProcesses)
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 0.1
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay * 10
+	}
+	if c.StableDelay == 0 {
+		c.StableDelay = c.MaxDelay
+	}
+	if c.StableDelay < c.MinDelay {
+		return fmt.Errorf("stable delay %v below min delay %v", c.StableDelay, c.MinDelay)
+	}
+	return nil
+}
+
+const (
+	evMsg = iota + 1
+	evTimer
+	evCrash
+	evRecover
+	evBoot
+)
+
+type event struct {
+	t       Time
+	seq     uint64
+	kind    int
+	node    NodeID
+	from    NodeID
+	msg     any
+	timerID int
+	epoch   int64 // timers are valid only within the epoch they were set
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+type nodeState struct {
+	up    bool
+	epoch int64 // incremented on every recovery (◇Su's epoch numbers)
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	Timers    int64
+	Crashes   int64
+	Recovers  int64
+}
+
+// Sim is the asynchronous runtime.
+type Sim struct {
+	cfg      Config
+	rng      *xrand.Rand
+	queue    eventQueue
+	seq      uint64
+	now      Time
+	nodes    []nodeState
+	handlers []Handler
+	stats    Stats
+}
+
+// New builds a runtime; factory creates each node's handler.
+func New(cfg Config, factory func(p NodeID) Handler) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime config: %w", err)
+	}
+	s := &Sim{
+		cfg:      cfg,
+		rng:      xrand.New(cfg.Seed ^ 0x51c3),
+		nodes:    make([]nodeState, cfg.N),
+		handlers: make([]Handler, cfg.N),
+	}
+	for p := 0; p < cfg.N; p++ {
+		s.nodes[p].up = true
+		s.handlers[p] = factory(NodeID(p))
+		s.push(&event{t: 0, kind: evBoot, node: NodeID(p)})
+	}
+	for _, ce := range cfg.Crashes {
+		if ce.P < 0 || int(ce.P) >= cfg.N {
+			return nil, fmt.Errorf("crash event for unknown node %d", ce.P)
+		}
+		s.push(&event{t: ce.At, kind: evCrash, node: ce.P})
+		if ce.RecoverAt >= 0 {
+			if ce.RecoverAt < ce.At {
+				return nil, fmt.Errorf("node %d recovery %v before crash %v", ce.P, ce.RecoverAt, ce.At)
+			}
+			s.push(&event{t: ce.RecoverAt, kind: evRecover, node: ce.P})
+		}
+	}
+	return s, nil
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Stats returns a copy of the counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Up reports whether node p is up.
+func (s *Sim) Up(p NodeID) bool { return s.nodes[p].up }
+
+// Epoch returns p's recovery epoch (0 before any crash).
+func (s *Sim) Epoch(p NodeID) int64 { return s.nodes[p].epoch }
+
+// Handler returns node p's handler for inspection.
+func (s *Sim) Handler(p NodeID) Handler { return s.handlers[p] }
+
+// CrashedForever reports whether p is down with no scheduled recovery.
+func (s *Sim) CrashedForever(p NodeID) bool {
+	if s.nodes[p].up {
+		return false
+	}
+	for i := range s.queue {
+		e := s.queue[i]
+		if e.kind == evRecover && e.node == p {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+func (s *Sim) ctx(p NodeID) *Context { return &Context{sim: s, id: p, now: s.now} }
+
+func (s *Sim) send(from, to NodeID, msg any, t Time) {
+	s.stats.Sent++
+	loss, maxD := s.cfg.LossProb, s.cfg.MaxDelay
+	if t >= s.cfg.GST {
+		loss, maxD = s.cfg.StableLossProb, s.cfg.StableDelay
+	}
+	if s.rng.Bool(loss) {
+		s.stats.Dropped++
+		return
+	}
+	delay := s.rng.Between(s.cfg.MinDelay, maxD)
+	s.push(&event{t: t + delay, kind: evMsg, node: to, from: from, msg: msg})
+}
+
+func (s *Sim) setTimer(p NodeID, d Time, id int, t Time) {
+	s.stats.Timers++
+	s.push(&event{t: t + d, kind: evTimer, node: p, timerID: id, epoch: s.nodes[p].epoch})
+}
+
+func (s *Sim) processEvent() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.t
+	n := &s.nodes[e.node]
+	switch e.kind {
+	case evBoot:
+		if n.up {
+			s.handlers[e.node].Start(s.ctx(e.node))
+		}
+	case evMsg:
+		if !n.up {
+			s.stats.Dropped++
+			return true
+		}
+		s.stats.Delivered++
+		s.handlers[e.node].OnMessage(s.ctx(e.node), e.from, e.msg)
+	case evTimer:
+		// Timers are volatile: only fire if the node is up and has not
+		// recovered since the timer was set.
+		if n.up && n.epoch == e.epoch {
+			s.handlers[e.node].OnTimer(s.ctx(e.node), e.timerID)
+		}
+	case evCrash:
+		if n.up {
+			n.up = false
+			s.stats.Crashes++
+			s.handlers[e.node].OnCrash()
+		}
+	case evRecover:
+		if !n.up {
+			n.up = true
+			n.epoch++
+			s.stats.Recovers++
+			s.handlers[e.node].OnRecover(s.ctx(e.node))
+		}
+	}
+	return true
+}
+
+// RunUntilTime processes events up to time t.
+func (s *Sim) RunUntilTime(t Time) {
+	for s.queue.Len() > 0 && s.queue[0].t <= t {
+		if !s.processEvent() {
+			return
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunUntil processes events until cond holds or the horizon passes,
+// reporting whether cond was met.
+func (s *Sim) RunUntil(cond func() bool, horizon Time) bool {
+	if cond() {
+		return true
+	}
+	for s.queue.Len() > 0 && s.queue[0].t <= horizon {
+		if !s.processEvent() {
+			return cond()
+		}
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}

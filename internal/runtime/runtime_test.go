@@ -1,0 +1,179 @@
+package runtime
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+)
+
+// echo broadcasts "hello" at start and counts deliveries.
+type echo struct {
+	got      int
+	timers   []int
+	crashes  int
+	recovers int
+}
+
+func (e *echo) Start(ctx *Context)              { ctx.Broadcast("hello") }
+func (e *echo) OnMessage(*Context, NodeID, any) { e.got++ }
+func (e *echo) OnTimer(_ *Context, id int)      { e.timers = append(e.timers, id) }
+func (e *echo) OnCrash()                        { e.crashes++ }
+func (e *echo) OnRecover(ctx *Context)          { e.recovers++; ctx.Broadcast("again") }
+
+func newEchoSim(t *testing.T, cfg Config) (*Sim, []*echo) {
+	t.Helper()
+	hs := make([]*echo, cfg.N)
+	sim, err := New(cfg, func(p NodeID) Handler {
+		hs[p] = &echo{}
+		return hs[p]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, hs
+}
+
+func TestReliableDelivery(t *testing.T) {
+	cfg := Config{N: 3, MinDelay: 1, MaxDelay: 2, Seed: 1}
+	sim, hs := newEchoSim(t, cfg)
+	sim.RunUntilTime(10)
+	for p, h := range hs {
+		if h.got != 3 {
+			t.Errorf("node %d got %d messages, want 3", p, h.got)
+		}
+	}
+	st := sim.Stats()
+	if st.Sent != 9 || st.Delivered != 9 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLossBeforeGSTReliableAfter(t *testing.T) {
+	cfg := Config{
+		N: 2, MinDelay: 1, MaxDelay: 2, LossProb: 1,
+		GST: 100, StableLossProb: 0, Seed: 2,
+	}
+	sim, hs := newEchoSim(t, cfg)
+	sim.RunUntilTime(50)
+	for p, h := range hs {
+		if h.got != 0 {
+			t.Errorf("node %d got %d pre-GST messages at loss 1", p, h.got)
+		}
+	}
+	// A post-GST broadcast goes through.
+	sim.RunUntilTime(150)
+	ctx := &Context{sim: sim, id: 0, now: sim.Now()}
+	ctx.Broadcast("post-gst")
+	sim.RunUntilTime(200)
+	if hs[1].got != 1 {
+		t.Errorf("node 1 got %d post-GST messages, want 1", hs[1].got)
+	}
+}
+
+func TestTimersFireInOrder(t *testing.T) {
+	cfg := Config{N: 1, MinDelay: 1, MaxDelay: 1, Seed: 3}
+	var sim *Sim
+	h := &echo{}
+	sim, err := New(cfg, func(NodeID) Handler { return h })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntilTime(0.5) // boot
+	ctx := &Context{sim: sim, id: 0, now: sim.Now()}
+	ctx.After(3, 30)
+	ctx.After(1, 10)
+	ctx.After(2, 20)
+	sim.RunUntilTime(10)
+	if len(h.timers) != 3 || h.timers[0] != 10 || h.timers[1] != 20 || h.timers[2] != 30 {
+		t.Errorf("timers fired as %v, want [10 20 30]", h.timers)
+	}
+}
+
+func TestCrashCancelsTimersAndIncrementsEpoch(t *testing.T) {
+	cfg := Config{
+		N: 1, MinDelay: 1, MaxDelay: 1, Seed: 4,
+		Crashes: []CrashEvent{{P: 0, At: 5, RecoverAt: 10}},
+	}
+	h := &echo{}
+	sim, err := New(cfg, func(NodeID) Handler { return h })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntilTime(1)
+	ctx := &Context{sim: sim, id: 0, now: sim.Now()}
+	ctx.After(7, 99) // would fire at t=8, but node crashes at 5
+	sim.RunUntilTime(20)
+	for _, id := range h.timers {
+		if id == 99 {
+			t.Error("timer from before the crash fired after recovery")
+		}
+	}
+	if h.crashes != 1 || h.recovers != 1 {
+		t.Errorf("crashes=%d recovers=%d", h.crashes, h.recovers)
+	}
+	if sim.Epoch(0) != 1 {
+		t.Errorf("epoch = %d, want 1", sim.Epoch(0))
+	}
+}
+
+func TestMessagesToDownNodeDropped(t *testing.T) {
+	cfg := Config{
+		N: 2, MinDelay: 5, MaxDelay: 5, Seed: 5,
+		Crashes: []CrashEvent{{P: 1, At: 1, RecoverAt: -1}},
+	}
+	sim, hs := newEchoSim(t, cfg)
+	sim.RunUntilTime(20)
+	if hs[1].got != 0 {
+		t.Errorf("down node received %d messages", hs[1].got)
+	}
+	if !sim.CrashedForever(1) {
+		t.Error("CrashedForever(1) = false")
+	}
+	if sim.CrashedForever(0) {
+		t.Error("CrashedForever(0) = true for an up node")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := Config{N: 0}
+	if _, err := New(bad, func(NodeID) Handler { return &echo{} }); err == nil {
+		t.Error("expected error for N=0")
+	}
+	bad = Config{N: 1, Crashes: []CrashEvent{{P: 0, At: 10, RecoverAt: 1}}}
+	if _, err := New(bad, func(NodeID) Handler { return &echo{} }); err == nil {
+		t.Error("expected error for recovery before crash")
+	}
+	bad = Config{N: 1, Crashes: []CrashEvent{{P: 3, At: 1, RecoverAt: -1}}}
+	if _, err := New(bad, func(NodeID) Handler { return &echo{} }); err == nil {
+		t.Error("expected error for unknown node")
+	}
+}
+
+func TestRunUntilCondition(t *testing.T) {
+	cfg := Config{N: 2, MinDelay: 1, MaxDelay: 1, Seed: 6}
+	sim, hs := newEchoSim(t, cfg)
+	if !sim.RunUntil(func() bool { return hs[0].got >= 2 }, 100) {
+		t.Fatal("condition never met")
+	}
+	if sim.Now() > 5 {
+		t.Errorf("ran to %v for a condition met at ~1", sim.Now())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() Stats {
+		cfg := Config{
+			N: 4, MinDelay: 0.5, MaxDelay: 4, LossProb: 0.3, GST: 30,
+			Seed:    77,
+			Crashes: []CrashEvent{{P: 2, At: 10, RecoverAt: 25}},
+		}
+		sim, _ := newEchoSim(t, cfg)
+		sim.RunUntilTime(60)
+		return sim.Stats()
+	}
+	if run() != run() {
+		t.Error("same seed diverged")
+	}
+}
+
+var _ = core.ProcessID(0) // keep the core import meaningful in docs

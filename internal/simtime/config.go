@@ -1,0 +1,213 @@
+// Package simtime implements the system model of §4.1 of Hutle & Schiper
+// (DSN 2007) as a deterministic discrete-event simulator.
+//
+// The model: processes execute atomic steps — send steps and receive
+// steps — separated by real-valued time; the network moves messages from
+// the per-process network set to the per-process buffer set with
+// make-ready transfers; a receive step receives at most one buffered
+// message, selected by a reception policy, or the empty message λ.
+//
+// All times are normalized by Φ− as in the paper: the minimum step gap is
+// 1, the maximum step gap of a synchronous process is φ = Φ+/Φ−, and the
+// transmission bound is δ = Δ/Φ−. The clock is the fictitious global
+// real-time clock of the paper — it drives the event queue and is never
+// exposed to protocols for decision making, only for trace timestamps.
+//
+// The system alternates between good and bad periods (§4.1): in a bad
+// period processes may crash and recover, run at arbitrary speeds, and
+// lose messages; in a "π0-down" good period the processes outside π0 are
+// down and none of their messages are in transit; in a "π0-arbitrary"
+// good period the processes outside π0 and their links are unconstrained.
+package simtime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"heardof/internal/core"
+)
+
+// Time is normalized simulation time (units of Φ−).
+type Time = float64
+
+// Forever is a time later than any event the simulator will process.
+const Forever Time = math.MaxFloat64 / 4
+
+// PeriodKind classifies the three period types of §4.1.
+type PeriodKind int
+
+const (
+	// Bad is a period with no synchrony or reliability guarantees.
+	Bad PeriodKind = iota + 1
+	// GoodDown is a "π0-down" good period: π0 is synchronous, the
+	// processes outside π0 are down, and no message from them is in
+	// transit. A Π-good period is GoodDown with Pi0 = Π.
+	GoodDown
+	// GoodArbitrary is a "π0-arbitrary" good period: π0 is synchronous;
+	// processes outside π0 and their links are completely unconstrained.
+	GoodArbitrary
+)
+
+// String implements fmt.Stringer.
+func (k PeriodKind) String() string {
+	switch k {
+	case Bad:
+		return "bad"
+	case GoodDown:
+		return "π0-down"
+	case GoodArbitrary:
+		return "π0-arbitrary"
+	default:
+		return fmt.Sprintf("PeriodKind(%d)", int(k))
+	}
+}
+
+// Period is one segment of the alternating schedule. A period extends from
+// Start to the Start of the next period (the last period extends forever).
+type Period struct {
+	Start Time
+	Kind  PeriodKind
+	// Pi0 is the synchronous subset for good periods; ignored for Bad.
+	Pi0 core.PIDSet
+}
+
+// StepMode selects how step gaps are drawn for synchronous processes
+// within [1, φ].
+type StepMode int
+
+const (
+	// StepWorstCase uses the slowest legal gap φ for every step. The
+	// paper's bounds are worst-case bounds, so this mode is the one that
+	// approaches them.
+	StepWorstCase StepMode = iota + 1
+	// StepFast uses the fastest legal gap 1.
+	StepFast
+	// StepJitter draws gaps uniformly from [1, φ].
+	StepJitter
+)
+
+// DeliveryMode selects how transmission delays are drawn for synchronous
+// links within (0, δ].
+type DeliveryMode int
+
+const (
+	// DeliverWorstCase delivers exactly δ after the send.
+	DeliverWorstCase DeliveryMode = iota + 1
+	// DeliverJitter draws delays uniformly from [δ/10, δ].
+	DeliverJitter
+)
+
+// BadConfig bounds the adversary's choices during bad periods and, for
+// processes outside π0, during π0-arbitrary good periods. "Arbitrary"
+// behaviour still needs concrete draws in a simulator; these ranges are
+// the envelope the pseudo-random adversary draws from.
+type BadConfig struct {
+	// LossProb is the per-message loss probability.
+	LossProb float64
+	// MinDelay/MaxDelay bound delivery delays of non-lost messages.
+	MinDelay, MaxDelay Time
+	// MinGap/MaxGap bound step gaps. MinGap may be below 1: asynchronous
+	// processes may be arbitrarily fast (the real-valued-clock remark of
+	// §4.1).
+	MinGap, MaxGap Time
+}
+
+// DefaultBad returns a bad-period envelope scaled to the system's δ and φ.
+func DefaultBad(delta, phi float64) BadConfig {
+	return BadConfig{
+		LossProb: 0.5,
+		MinDelay: delta / 4,
+		MaxDelay: 4 * delta,
+		MinGap:   0.25,
+		MaxGap:   4 * phi,
+	}
+}
+
+// CrashEvent schedules a crash (and optional recovery) of one process.
+// Crashing wipes volatile state — the protocol's OnCrash is invoked and
+// the buffer set is emptied; stable storage survives.
+type CrashEvent struct {
+	P  core.ProcessID
+	At Time
+	// RecoverAt is the recovery time; negative means the process never
+	// recovers on its own (it may still be forced up by a later period).
+	RecoverAt Time
+}
+
+// Config assembles a simulation.
+type Config struct {
+	N     int
+	Phi   float64 // φ = Φ+/Φ− ≥ 1
+	Delta float64 // δ = Δ/Φ− > 0
+
+	Periods []Period // sorted by Start; must begin at or before 0
+
+	StepMode     StepMode
+	DeliveryMode DeliveryMode
+	Bad          BadConfig
+
+	Crashes []CrashEvent
+
+	Seed uint64
+}
+
+// Validate checks the configuration and fills defaults (StepMode,
+// DeliveryMode, Bad envelope, an all-good period schedule).
+func (c *Config) Validate() error {
+	if c.N < 1 || c.N > core.MaxProcesses {
+		return fmt.Errorf("n = %d out of range [1, %d]", c.N, core.MaxProcesses)
+	}
+	if c.Phi < 1 {
+		return fmt.Errorf("phi = %v must be ≥ 1", c.Phi)
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("delta = %v must be > 0", c.Delta)
+	}
+	if c.StepMode == 0 {
+		c.StepMode = StepWorstCase
+	}
+	if c.DeliveryMode == 0 {
+		c.DeliveryMode = DeliverWorstCase
+	}
+	if c.Bad == (BadConfig{}) {
+		c.Bad = DefaultBad(c.Delta, c.Phi)
+	}
+	if len(c.Periods) == 0 {
+		c.Periods = []Period{{Start: 0, Kind: GoodDown, Pi0: core.FullSet(c.N)}}
+	}
+	if !sort.SliceIsSorted(c.Periods, func(i, j int) bool {
+		return c.Periods[i].Start < c.Periods[j].Start
+	}) {
+		return fmt.Errorf("periods not sorted by start time")
+	}
+	if c.Periods[0].Start > 0 {
+		return fmt.Errorf("first period starts at %v, must cover time 0", c.Periods[0].Start)
+	}
+	for i, p := range c.Periods {
+		switch p.Kind {
+		case Bad, GoodDown, GoodArbitrary:
+		default:
+			return fmt.Errorf("period %d has invalid kind %d", i, int(p.Kind))
+		}
+		if p.Kind != Bad && p.Pi0.Intersect(core.FullSet(c.N)).IsEmpty() {
+			return fmt.Errorf("good period %d has empty π0", i)
+		}
+	}
+	return nil
+}
+
+// PeriodAt returns the period in force at time t and its end time.
+func (c *Config) PeriodAt(t Time) (Period, Time) {
+	idx := sort.Search(len(c.Periods), func(i int) bool {
+		return c.Periods[i].Start > t
+	}) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	end := Forever
+	if idx+1 < len(c.Periods) {
+		end = c.Periods[idx+1].Start
+	}
+	return c.Periods[idx], end
+}

@@ -1,0 +1,106 @@
+package simtime
+
+import (
+	"strings"
+	"testing"
+
+	"heardof/internal/core"
+)
+
+func validConfig() Config {
+	return Config{
+		N:     4,
+		Phi:   1,
+		Delta: 5,
+	}
+}
+
+func TestValidateDefaults(t *testing.T) {
+	cfg := validConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StepMode != StepWorstCase || cfg.DeliveryMode != DeliverWorstCase {
+		t.Error("modes not defaulted to worst case")
+	}
+	if len(cfg.Periods) != 1 || cfg.Periods[0].Kind != GoodDown {
+		t.Errorf("default period schedule = %+v", cfg.Periods)
+	}
+	if cfg.Bad.MaxDelay == 0 {
+		t.Error("bad envelope not defaulted")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"n too small", func(c *Config) { c.N = 0 }, "out of range"},
+		{"n too large", func(c *Config) { c.N = 100 }, "out of range"},
+		{"phi below 1", func(c *Config) { c.Phi = 0.5 }, "phi"},
+		{"delta zero", func(c *Config) { c.Delta = 0 }, "delta"},
+		{"unsorted periods", func(c *Config) {
+			c.Periods = []Period{{Start: 5, Kind: Bad}, {Start: 0, Kind: Bad}}
+		}, "sorted"},
+		{"gap at zero", func(c *Config) {
+			c.Periods = []Period{{Start: 3, Kind: Bad}}
+		}, "cover time 0"},
+		{"bad kind", func(c *Config) {
+			c.Periods = []Period{{Start: 0, Kind: PeriodKind(9)}}
+		}, "invalid kind"},
+		{"empty pi0", func(c *Config) {
+			c.Periods = []Period{{Start: 0, Kind: GoodDown}}
+		}, "empty π0"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validConfig()
+			tt.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("error = %v, want containing %q", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestPeriodAt(t *testing.T) {
+	cfg := validConfig()
+	cfg.Periods = []Period{
+		{Start: 0, Kind: Bad},
+		{Start: 100, Kind: GoodDown, Pi0: core.FullSet(4)},
+		{Start: 250, Kind: GoodArbitrary, Pi0: core.SetOf(0, 1)},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		t    Time
+		kind PeriodKind
+		end  Time
+	}{
+		{0, Bad, 100},
+		{99.9, Bad, 100},
+		{100, GoodDown, 250},
+		{200, GoodDown, 250},
+		{250, GoodArbitrary, Forever},
+		{1e9, GoodArbitrary, Forever},
+	}
+	for _, tt := range tests {
+		per, end := cfg.PeriodAt(tt.t)
+		if per.Kind != tt.kind || end != tt.end {
+			t.Errorf("PeriodAt(%v) = (%v, %v), want (%v, %v)", tt.t, per.Kind, end, tt.kind, tt.end)
+		}
+	}
+}
+
+func TestPeriodKindString(t *testing.T) {
+	if Bad.String() != "bad" || GoodDown.String() != "π0-down" || GoodArbitrary.String() != "π0-arbitrary" {
+		t.Error("PeriodKind strings wrong")
+	}
+	if !strings.Contains(PeriodKind(42).String(), "42") {
+		t.Error("unknown kind string should include the value")
+	}
+}

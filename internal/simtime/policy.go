@@ -1,0 +1,127 @@
+package simtime
+
+import "heardof/internal/core"
+
+// Envelope is a message in the network or in a buffer set.
+type Envelope struct {
+	From    core.ProcessID
+	To      core.ProcessID
+	Payload any
+	SentAt  Time
+}
+
+// RoundMessage is implemented by payloads that carry a round number; the
+// round-aware reception policies of Algorithms 2 and 3 use it to order the
+// buffer. Payloads that do not implement it are treated as round 0.
+type RoundMessage interface {
+	RoundNumber() core.Round
+}
+
+func roundOf(payload any) core.Round {
+	if rm, ok := payload.(RoundMessage); ok {
+		return rm.RoundNumber()
+	}
+	return 0
+}
+
+// ReceptionPolicy selects which buffered message a receive step consumes:
+// Select returns an index into buf, or -1 to receive the empty message λ
+// even though the buffer is non-empty (no built-in policy does this, but
+// an adversarial policy may). Policies may keep internal state (the
+// round-robin policy counts receive steps) and are therefore per-process.
+type ReceptionPolicy interface {
+	Select(buf []Envelope) int
+}
+
+// FIFO receives the oldest buffered message. It is not used by the
+// paper's algorithms; it exists for the reception-policy ablation
+// (DESIGN.md §5).
+type FIFO struct{}
+
+// Select implements ReceptionPolicy.
+func (FIFO) Select(buf []Envelope) int {
+	if len(buf) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(buf); i++ {
+		if buf[i].SentAt < buf[best].SentAt {
+			best = i
+		}
+	}
+	return best
+}
+
+// HighestRoundFirst is the reception policy of Algorithm 2: the buffered
+// message with the highest round number is received first; ties break
+// towards the earliest send time, then the smallest sender.
+type HighestRoundFirst struct{}
+
+// Select implements ReceptionPolicy.
+func (HighestRoundFirst) Select(buf []Envelope) int {
+	if len(buf) == 0 {
+		return -1
+	}
+	best := 0
+	bestRound := roundOf(buf[0].Payload)
+	for i := 1; i < len(buf); i++ {
+		r := roundOf(buf[i].Payload)
+		switch {
+		case r > bestRound:
+			best, bestRound = i, r
+		case r == bestRound && less(buf[i], buf[best]):
+			best = i
+		}
+	}
+	return best
+}
+
+func less(a, b Envelope) bool {
+	if a.SentAt != b.SentAt {
+		return a.SentAt < b.SentAt
+	}
+	return a.From < b.From
+}
+
+// RoundRobinHighest is the reception policy of Algorithm 3: at the i-th
+// receive step, the highest-round message from process i mod n is
+// selected; if there is none, an arbitrary message is selected (we pick
+// the globally highest-round message, which the algorithm permits). The
+// policy guarantees that a fast process flooding high-round messages
+// cannot starve lower-round messages from other processes.
+type RoundRobinHighest struct {
+	N int
+	i int
+}
+
+// Select implements ReceptionPolicy.
+func (p *RoundRobinHighest) Select(buf []Envelope) int {
+	if p.N <= 0 {
+		return FIFO{}.Select(buf)
+	}
+	target := core.ProcessID(p.i % p.N)
+	p.i++
+	if len(buf) == 0 {
+		return -1
+	}
+	best := -1
+	var bestRound core.Round
+	for i := range buf {
+		if buf[i].From != target {
+			continue
+		}
+		r := roundOf(buf[i].Payload)
+		if best == -1 || r > bestRound ||
+			(r == bestRound && less(buf[i], buf[best])) {
+			best, bestRound = i, r
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return HighestRoundFirst{}.Select(buf)
+}
+
+// Steps reports how many receive steps the policy has served (the i
+// counter of Algorithm 3's policy).
+func (p *RoundRobinHighest) Steps() int { return p.i }

@@ -1,0 +1,109 @@
+package simtime
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+)
+
+type fakeRound struct {
+	r core.Round
+}
+
+func (f fakeRound) RoundNumber() core.Round { return f.r }
+
+func env(from core.ProcessID, r core.Round, sentAt Time) Envelope {
+	return Envelope{From: from, Payload: fakeRound{r: r}, SentAt: sentAt}
+}
+
+func TestFIFOPicksOldest(t *testing.T) {
+	buf := []Envelope{env(0, 5, 3), env(1, 1, 1), env(2, 9, 2)}
+	if got := (FIFO{}).Select(buf); got != 1 {
+		t.Errorf("FIFO picked %d, want 1", got)
+	}
+	if got := (FIFO{}).Select(nil); got != -1 {
+		t.Errorf("FIFO on empty buffer = %d, want -1", got)
+	}
+}
+
+func TestHighestRoundFirst(t *testing.T) {
+	buf := []Envelope{env(0, 2, 0), env(1, 7, 5), env(2, 7, 3), env(3, 1, 1)}
+	// Rounds: 2, 7, 7, 1 → highest is 7; tie broken by earlier SentAt (idx 2).
+	if got := (HighestRoundFirst{}).Select(buf); got != 2 {
+		t.Errorf("picked %d, want 2", got)
+	}
+	if got := (HighestRoundFirst{}).Select(nil); got != -1 {
+		t.Errorf("empty buffer = %d, want -1", got)
+	}
+}
+
+func TestHighestRoundFirstTreatsUnknownPayloadAsRoundZero(t *testing.T) {
+	buf := []Envelope{
+		{From: 0, Payload: "no round", SentAt: 0},
+		env(1, 1, 5),
+	}
+	if got := (HighestRoundFirst{}).Select(buf); got != 1 {
+		t.Errorf("picked %d, want 1 (round 1 beats round 0)", got)
+	}
+}
+
+func TestRoundRobinHighestCyclesTargets(t *testing.T) {
+	p := &RoundRobinHighest{N: 3}
+	buf := []Envelope{env(0, 4, 0), env(1, 2, 1), env(1, 6, 2), env(2, 5, 3)}
+	// Step 0 targets process 0 → index 0.
+	if got := p.Select(buf); got != 0 {
+		t.Errorf("step 0 picked %d, want 0", got)
+	}
+	// Step 1 targets process 1 → highest round from 1 is index 2 (round 6).
+	if got := p.Select(buf); got != 2 {
+		t.Errorf("step 1 picked %d, want 2", got)
+	}
+	// Step 2 targets process 2 → index 3.
+	if got := p.Select(buf); got != 3 {
+		t.Errorf("step 2 picked %d, want 3", got)
+	}
+	if p.Steps() != 3 {
+		t.Errorf("Steps = %d, want 3", p.Steps())
+	}
+}
+
+func TestRoundRobinHighestFallsBackToGlobalHighest(t *testing.T) {
+	p := &RoundRobinHighest{N: 4}
+	buf := []Envelope{env(1, 3, 0), env(2, 8, 1)}
+	// Step 0 targets process 0, which has nothing → global highest (idx 1).
+	if got := p.Select(buf); got != 1 {
+		t.Errorf("picked %d, want 1", got)
+	}
+	if got := p.Select(nil); got != -1 {
+		t.Errorf("empty buffer = %d, want -1", got)
+	}
+}
+
+func TestRoundRobinHighestPreventsStarvation(t *testing.T) {
+	// A fast process (id 3) floods high-round messages; the policy must
+	// still serve process 0's low-round message within n steps.
+	p := &RoundRobinHighest{N: 4}
+	buf := []Envelope{
+		env(3, 100, 0), env(3, 101, 1), env(3, 102, 2), env(3, 103, 3),
+		env(0, 1, 4),
+	}
+	servedZero := false
+	for step := 0; step < 4; step++ {
+		idx := p.Select(buf)
+		if buf[idx].From == 0 {
+			servedZero = true
+		}
+		buf = append(buf[:idx], buf[idx+1:]...)
+	}
+	if !servedZero {
+		t.Error("process 0's message starved by the flooding process")
+	}
+}
+
+func TestRoundRobinHighestZeroNDegradesToFIFO(t *testing.T) {
+	p := &RoundRobinHighest{}
+	buf := []Envelope{env(0, 5, 3), env(1, 1, 1)}
+	if got := p.Select(buf); got != 1 {
+		t.Errorf("picked %d, want FIFO choice 1", got)
+	}
+}

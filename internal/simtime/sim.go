@@ -1,0 +1,437 @@
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/xrand"
+)
+
+// Proto is the per-process protocol run by the simulator — the predicate
+// implementation layer of the paper (Algorithms 2 and 3 live here).
+//
+// Step is invoked once per atomic step; the protocol must perform exactly
+// one action through the context: one Broadcast (a send step) or one
+// Receive (a receive step). OnCrash is invoked when the process crashes
+// (volatile state must be dropped); OnRecover when it comes back up
+// (state must be rebuilt from stable storage).
+type Proto interface {
+	Step(ctx *StepContext)
+	OnCrash()
+	OnRecover()
+}
+
+// StepContext gives a protocol access to the simulator during one step.
+type StepContext struct {
+	sim   *Sim
+	p     core.ProcessID
+	now   Time
+	acted bool
+}
+
+// Now returns the current normalized time. Protocols must not use it for
+// decisions (the paper's processes have no clock); it exists for trace
+// timestamps.
+func (c *StepContext) Now() Time { return c.now }
+
+// PID returns the process executing the step.
+func (c *StepContext) PID() core.ProcessID { return c.p }
+
+// Broadcast performs a send step: the payload is sent to all processes
+// (including the sender), as the paper's send-to-all primitive does.
+func (c *StepContext) Broadcast(payload any) {
+	if c.acted {
+		c.sim.contractViolations++
+		return
+	}
+	c.acted = true
+	c.sim.broadcast(c.p, payload, c.now)
+}
+
+// Receive performs a receive step: one buffered message selected by the
+// policy is consumed and returned. ok is false when the empty message λ
+// was received.
+func (c *StepContext) Receive(policy ReceptionPolicy) (env Envelope, ok bool) {
+	if c.acted {
+		c.sim.contractViolations++
+		return Envelope{}, false
+	}
+	c.acted = true
+	return c.sim.receive(c.p, policy)
+}
+
+// event kinds.
+const (
+	evStep = iota + 1
+	evMakeReady
+	evCrash
+	evRecover
+	evPeriod
+)
+
+type event struct {
+	t    Time
+	seq  uint64
+	kind int
+	p    core.ProcessID
+	env  Envelope
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Stats aggregates observable counters of a run.
+type Stats struct {
+	Steps        int64
+	Sends        int64
+	MessagesSent int64 // Sends × n (per-destination copies)
+	Delivered    int64 // moved to a buffer set
+	Received     int64 // consumed by receive steps
+	Dropped      int64 // lost in transit
+	Purged       int64 // removed at π0-down period starts
+	Crashes      int64
+	Recoveries   int64
+}
+
+type procState struct {
+	up     bool
+	buffer []Envelope
+	// downByPeriod marks processes forced down by a π0-down good period
+	// (they are revived at the period's end unless individually crashed).
+	downByPeriod bool
+}
+
+// Sim is the discrete-event simulator. It is single-threaded and
+// deterministic for a fixed Config (including Seed) and protocol.
+type Sim struct {
+	cfg   Config
+	rng   *xrand.Rand
+	queue eventQueue
+	seq   uint64
+	now   Time
+
+	procs  []procState
+	protos []Proto
+
+	stats              Stats
+	contractViolations int
+}
+
+// New creates a simulator; factory is called once per process to build its
+// protocol instance.
+func New(cfg Config, factory func(p core.ProcessID) Proto) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("simtime config: %w", err)
+	}
+	s := &Sim{
+		cfg:    cfg,
+		rng:    xrand.New(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		procs:  make([]procState, cfg.N),
+		protos: make([]Proto, cfg.N),
+	}
+	for p := 0; p < cfg.N; p++ {
+		s.procs[p].up = true
+		s.protos[p] = factory(core.ProcessID(p))
+	}
+	// Period boundaries.
+	for _, per := range cfg.Periods {
+		if per.Start > 0 {
+			s.push(&event{t: per.Start, kind: evPeriod})
+		}
+	}
+	s.applyPeriodRules(0)
+	// Scheduled crashes and recoveries.
+	for _, ce := range cfg.Crashes {
+		if ce.P < 0 || int(ce.P) >= cfg.N {
+			return nil, fmt.Errorf("crash event for unknown process %d", ce.P)
+		}
+		s.push(&event{t: ce.At, kind: evCrash, p: ce.P})
+		if ce.RecoverAt >= 0 {
+			if ce.RecoverAt < ce.At {
+				return nil, fmt.Errorf("process %d recovers at %v before crashing at %v",
+					ce.P, ce.RecoverAt, ce.At)
+			}
+			s.push(&event{t: ce.RecoverAt, kind: evRecover, p: ce.P})
+		}
+	}
+	// First step of every (up) process.
+	for p := 0; p < cfg.N; p++ {
+		if s.procs[p].up {
+			s.scheduleStep(core.ProcessID(p), 0)
+		}
+	}
+	return s, nil
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() Time { return s.now }
+
+// Stats returns a copy of the run counters.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// ContractViolations counts protocol steps that attempted more than one
+// action; a correct protocol keeps this at zero.
+func (s *Sim) ContractViolations() int { return s.contractViolations }
+
+// Up reports whether process p is currently up.
+func (s *Sim) Up(p core.ProcessID) bool { return s.procs[p].up }
+
+// Proto returns process p's protocol instance (for inspection).
+func (s *Sim) Proto(p core.ProcessID) Proto { return s.protos[p] }
+
+// BufferLen returns the size of p's buffer set (for tests).
+func (s *Sim) BufferLen(p core.ProcessID) int { return len(s.procs[p].buffer) }
+
+func (s *Sim) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, e)
+}
+
+func (s *Sim) scheduleStep(p core.ProcessID, t Time) {
+	gap := s.stepGap(p, t)
+	s.push(&event{t: t + gap, kind: evStep, p: p})
+}
+
+// stepGap draws the time until p's next step under the period in force.
+func (s *Sim) stepGap(p core.ProcessID, t Time) Time {
+	per, _ := s.cfg.PeriodAt(t)
+	synchronous := per.Kind != Bad && per.Pi0.Has(p)
+	if synchronous {
+		switch s.cfg.StepMode {
+		case StepFast:
+			return 1
+		case StepJitter:
+			return s.rng.Between(1, s.cfg.Phi)
+		default:
+			return s.cfg.Phi
+		}
+	}
+	// Bad period, or outside π0 in a π0-arbitrary period: arbitrary speed.
+	return s.rng.Between(s.cfg.Bad.MinGap, s.cfg.Bad.MaxGap)
+}
+
+// broadcast implements a send step: one copy per destination enters the
+// network and is scheduled for make-ready per the link's current regime.
+func (s *Sim) broadcast(from core.ProcessID, payload any, t Time) {
+	s.stats.Sends++
+	per, _ := s.cfg.PeriodAt(t)
+	for q := 0; q < s.cfg.N; q++ {
+		s.stats.MessagesSent++
+		to := core.ProcessID(q)
+		goodLink := per.Kind != Bad && per.Pi0.Has(from) && per.Pi0.Has(to)
+		var delay Time
+		if goodLink {
+			if s.cfg.DeliveryMode == DeliverJitter {
+				delay = s.rng.Between(s.cfg.Delta/10, s.cfg.Delta)
+			} else {
+				delay = s.cfg.Delta
+			}
+		} else {
+			if s.rng.Bool(s.cfg.Bad.LossProb) {
+				s.stats.Dropped++
+				continue
+			}
+			delay = s.rng.Between(s.cfg.Bad.MinDelay, s.cfg.Bad.MaxDelay)
+		}
+		s.push(&event{
+			t:    t + delay,
+			kind: evMakeReady,
+			p:    to,
+			env:  Envelope{From: from, To: to, Payload: payload, SentAt: t},
+		})
+	}
+}
+
+// receive implements a receive step.
+func (s *Sim) receive(p core.ProcessID, policy ReceptionPolicy) (Envelope, bool) {
+	buf := s.procs[p].buffer
+	if policy == nil {
+		policy = FIFO{}
+	}
+	idx := policy.Select(buf)
+	if idx < 0 || idx >= len(buf) {
+		return Envelope{}, false // λ
+	}
+	env := buf[idx]
+	s.procs[p].buffer = append(buf[:idx], buf[idx+1:]...)
+	s.stats.Received++
+	return env, true
+}
+
+// applyPeriodRules enforces the entry conditions of the period in force at
+// time t: a π0-down period forces processes outside π0 down and purges
+// their in-flight and buffered messages; leaving a π0-down period revives
+// the processes it forced down.
+func (s *Sim) applyPeriodRules(t Time) {
+	per, _ := s.cfg.PeriodAt(t)
+
+	// Revive processes that were down only because of a previous π0-down
+	// period (and are allowed up now).
+	for p := range s.procs {
+		pid := core.ProcessID(p)
+		forcedDown := per.Kind == GoodDown && !per.Pi0.Has(pid)
+		if s.procs[p].downByPeriod && !forcedDown {
+			s.procs[p].downByPeriod = false
+			if !s.procs[p].up {
+				s.recover(pid, t)
+			}
+		}
+	}
+
+	if per.Kind != GoodDown {
+		return
+	}
+	outside := per.Pi0.Complement(s.cfg.N)
+	outside.ForEach(func(p core.ProcessID) {
+		s.procs[p].downByPeriod = true
+		if s.procs[p].up {
+			s.crash(p, t)
+		}
+	})
+	// "No messages from processes in π0̄ are in transit": purge network
+	// (pending make-ready events) and buffers of messages from outside.
+	for i := range s.queue {
+		e := s.queue[i]
+		if e.kind == evMakeReady && outside.Has(e.env.From) {
+			e.kind = 0 // tombstone; skipped on pop
+			s.stats.Purged++
+		}
+	}
+	for p := range s.procs {
+		kept := s.procs[p].buffer[:0]
+		for _, env := range s.procs[p].buffer {
+			if outside.Has(env.From) {
+				s.stats.Purged++
+				continue
+			}
+			kept = append(kept, env)
+		}
+		s.procs[p].buffer = kept
+	}
+}
+
+func (s *Sim) crash(p core.ProcessID, _ Time) {
+	if !s.procs[p].up {
+		return
+	}
+	s.procs[p].up = false
+	s.procs[p].buffer = nil // volatile state is lost
+	s.stats.Crashes++
+	s.protos[p].OnCrash()
+	// Pending step events for p are skipped when popped (process down).
+}
+
+func (s *Sim) recover(p core.ProcessID, t Time) {
+	if s.procs[p].up {
+		return
+	}
+	if s.procs[p].downByPeriod {
+		return // still forced down by the period in force
+	}
+	s.procs[p].up = true
+	s.stats.Recoveries++
+	s.protos[p].OnRecover()
+	s.scheduleStep(p, t)
+}
+
+// processEvent executes one event; it returns false when the queue is
+// exhausted.
+func (s *Sim) processEvent() bool {
+	for {
+		if s.queue.Len() == 0 {
+			return false
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.kind == 0 {
+			continue // tombstoned
+		}
+		s.now = e.t
+		switch e.kind {
+		case evStep:
+			if !s.procs[e.p].up {
+				continue // crashed: step skipped, next one comes on recovery
+			}
+			ctx := &StepContext{sim: s, p: e.p, now: e.t}
+			s.protos[e.p].Step(ctx)
+			s.stats.Steps++
+			s.scheduleStep(e.p, e.t)
+		case evMakeReady:
+			if !s.procs[e.p].up {
+				// Messages arriving at a down process are lost (its buffer
+				// is volatile and it is not accepting).
+				s.stats.Dropped++
+				continue
+			}
+			s.procs[e.p].buffer = append(s.procs[e.p].buffer, e.env)
+			s.stats.Delivered++
+		case evCrash:
+			s.crash(e.p, e.t)
+		case evRecover:
+			s.recover(e.p, e.t)
+		case evPeriod:
+			s.applyPeriodRules(e.t)
+		}
+		return true
+	}
+}
+
+// InjectForTest places an envelope directly into p's buffer set,
+// bypassing the network. Test support only.
+func (s *Sim) InjectForTest(p core.ProcessID, env Envelope) {
+	s.procs[p].buffer = append(s.procs[p].buffer, env)
+}
+
+// StepContextForTest returns a fresh step context for process p at the
+// current simulation time, letting tests drive a Proto directly. Test
+// support only.
+func (s *Sim) StepContextForTest(p core.ProcessID) *StepContext {
+	return &StepContext{sim: s, p: p, now: s.now}
+}
+
+// RunUntilTime advances the simulation until the clock passes t.
+func (s *Sim) RunUntilTime(t Time) {
+	for s.queue.Len() > 0 && s.queue[0].t <= t {
+		if !s.processEvent() {
+			return
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunUntil advances the simulation until cond() holds (checked after every
+// event) or the clock passes limit; it reports whether cond was met.
+func (s *Sim) RunUntil(cond func() bool, limit Time) bool {
+	if cond() {
+		return true
+	}
+	for s.queue.Len() > 0 && s.queue[0].t <= limit {
+		if !s.processEvent() {
+			return cond()
+		}
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}

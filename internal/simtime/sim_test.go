@@ -1,0 +1,310 @@
+package simtime
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+)
+
+// pingProto broadcasts once, then receives forever, counting what it gets.
+type pingProto struct {
+	sent     bool
+	got      []Envelope
+	crashes  int
+	recovers int
+}
+
+func (p *pingProto) Step(ctx *StepContext) {
+	if !p.sent {
+		p.sent = true
+		ctx.Broadcast("ping")
+		return
+	}
+	if env, ok := ctx.Receive(FIFO{}); ok {
+		p.got = append(p.got, env)
+	}
+}
+
+func (p *pingProto) OnCrash()   { p.crashes++; p.got = nil }
+func (p *pingProto) OnRecover() { p.recovers++; p.sent = false }
+
+func newPingSim(t *testing.T, cfg Config) (*Sim, []*pingProto) {
+	t.Helper()
+	protos := make([]*pingProto, cfg.N)
+	sim, err := New(cfg, func(p core.ProcessID) Proto {
+		protos[p] = &pingProto{}
+		return protos[p]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, protos
+}
+
+func TestBroadcastReachesAllWithinDelta(t *testing.T) {
+	cfg := Config{N: 3, Phi: 1, Delta: 5, Seed: 1}
+	sim, protos := newPingSim(t, cfg)
+	// Every process sends at its first step (t=1); messages ready at t=6;
+	// received over subsequent steps.
+	sim.RunUntilTime(20)
+	for p, proto := range protos {
+		if len(proto.got) != 3 {
+			t.Errorf("p%d received %d messages, want 3", p, len(proto.got))
+		}
+	}
+	st := sim.Stats()
+	if st.Sends != 3 || st.MessagesSent != 9 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("dropped %d messages in an all-good run", st.Dropped)
+	}
+	if sim.ContractViolations() != 0 {
+		t.Error("contract violations in a correct protocol")
+	}
+}
+
+func TestWorstCaseDeliveryTakesExactlyDelta(t *testing.T) {
+	cfg := Config{N: 2, Phi: 1, Delta: 7, Seed: 1}
+	sim, protos := newPingSim(t, cfg)
+	sim.RunUntilTime(30)
+	for _, proto := range protos {
+		for _, env := range proto.got {
+			// Sent at t, ready at exactly t+7; received at the first step
+			// afterwards.
+			if env.SentAt != 1 {
+				t.Errorf("send time %v, want 1", env.SentAt)
+			}
+		}
+	}
+	_ = sim
+}
+
+func TestStepGapRespectsPhiBounds(t *testing.T) {
+	// With StepJitter, gaps must lie in [1, φ]; count steps over a window
+	// and check the count is within the implied bounds.
+	cfg := Config{N: 1, Phi: 2, Delta: 1, StepMode: StepJitter, Seed: 42}
+	var steps int
+	counter := protoFunc(func(ctx *StepContext) {
+		steps++
+		ctx.Receive(FIFO{})
+	})
+	sim, err := New(cfg, func(core.ProcessID) Proto { return counter })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntilTime(100)
+	// Over 100 time units, gap ∈ [1, 2] ⇒ between 50 and 100 steps.
+	if steps < 50 || steps > 100 {
+		t.Errorf("steps = %d, want within [50, 100]", steps)
+	}
+}
+
+// protoFunc adapts a function to Proto for tests.
+type protoFunc func(ctx *StepContext)
+
+func (f protoFunc) Step(ctx *StepContext) { f(ctx) }
+func (protoFunc) OnCrash()                {}
+func (protoFunc) OnRecover()              {}
+
+func TestCrashAndRecovery(t *testing.T) {
+	cfg := Config{
+		N: 2, Phi: 1, Delta: 2, Seed: 3,
+		Crashes: []CrashEvent{{P: 1, At: 5, RecoverAt: 15}},
+	}
+	sim, protos := newPingSim(t, cfg)
+	sim.RunUntilTime(10)
+	if sim.Up(1) {
+		t.Fatal("process 1 should be down at t=10")
+	}
+	if protos[1].crashes != 1 {
+		t.Errorf("crashes = %d, want 1", protos[1].crashes)
+	}
+	sim.RunUntilTime(30)
+	if !sim.Up(1) {
+		t.Fatal("process 1 should have recovered")
+	}
+	if protos[1].recovers != 1 {
+		t.Errorf("recovers = %d, want 1", protos[1].recovers)
+	}
+	// The recovered process re-sends (OnRecover resets sent) and receives
+	// again.
+	if !protos[1].sent {
+		t.Error("recovered process never stepped")
+	}
+	st := sim.Stats()
+	if st.Crashes != 1 || st.Recoveries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestMessagesToDownProcessAreLost(t *testing.T) {
+	cfg := Config{
+		N: 2, Phi: 1, Delta: 5, Seed: 3,
+		// Process 1 is down exactly when the t=1 broadcasts become ready
+		// (t=6), and never recovers.
+		Crashes: []CrashEvent{{P: 1, At: 2, RecoverAt: -1}},
+	}
+	sim, protos := newPingSim(t, cfg)
+	sim.RunUntilTime(50)
+	if len(protos[1].got) != 0 {
+		t.Errorf("down process received %d messages", len(protos[1].got))
+	}
+	if sim.Stats().Dropped == 0 {
+		t.Error("deliveries to a down process should count as drops")
+	}
+}
+
+func TestCrashBeforeRecoveryValidation(t *testing.T) {
+	cfg := Config{
+		N: 1, Phi: 1, Delta: 1,
+		Crashes: []CrashEvent{{P: 0, At: 10, RecoverAt: 5}},
+	}
+	if _, err := New(cfg, func(core.ProcessID) Proto { return protoFunc(func(*StepContext) {}) }); err == nil {
+		t.Error("expected error for recovery before crash")
+	}
+	cfg.Crashes = []CrashEvent{{P: 5, At: 1, RecoverAt: 2}}
+	if _, err := New(cfg, func(core.ProcessID) Proto { return protoFunc(func(*StepContext) {}) }); err == nil {
+		t.Error("expected error for unknown process")
+	}
+}
+
+func TestPi0DownPeriodForcesOutsidersDownAndPurges(t *testing.T) {
+	pi0 := core.SetOf(0, 1)
+	cfg := Config{
+		N: 3, Phi: 1, Delta: 50, Seed: 7,
+		Periods: []Period{
+			{Start: 0, Kind: GoodDown, Pi0: core.FullSet(3)},
+			{Start: 10, Kind: GoodDown, Pi0: pi0},
+			{Start: 100, Kind: GoodDown, Pi0: core.FullSet(3)},
+		},
+	}
+	sim, protos := newPingSim(t, cfg)
+	// All three broadcast at t=1 with δ=50, so their messages are in
+	// transit when the π0-down period starts at t=10: process 2's copies
+	// must be purged.
+	sim.RunUntilTime(50)
+	if sim.Up(2) {
+		t.Fatal("process 2 must be down during the π0-down period")
+	}
+	sim.RunUntilTime(99)
+	for p := 0; p < 2; p++ {
+		for _, env := range protos[p].got {
+			if env.From == 2 {
+				t.Errorf("p%d received a purged message from process 2", p)
+			}
+		}
+	}
+	if sim.Stats().Purged == 0 {
+		t.Error("no messages purged at the π0-down boundary")
+	}
+	// After the period ends, process 2 is revived.
+	sim.RunUntilTime(150)
+	if !sim.Up(2) {
+		t.Error("process 2 should be revived after the π0-down period")
+	}
+	if protos[2].recovers != 1 {
+		t.Errorf("process 2 recoveries = %d, want 1", protos[2].recovers)
+	}
+}
+
+func TestBadPeriodCanLoseMessages(t *testing.T) {
+	cfg := Config{
+		N: 4, Phi: 1, Delta: 2, Seed: 11,
+		Periods: []Period{{Start: 0, Kind: Bad}},
+		Bad: BadConfig{
+			LossProb: 1, MinDelay: 1, MaxDelay: 2, MinGap: 1, MaxGap: 2,
+		},
+	}
+	sim, protos := newPingSim(t, cfg)
+	sim.RunUntilTime(50)
+	for p, proto := range protos {
+		if len(proto.got) != 0 {
+			t.Errorf("p%d received %d messages at loss probability 1", p, len(proto.got))
+		}
+	}
+	if sim.Stats().Dropped != 16 {
+		t.Errorf("dropped = %d, want 16", sim.Stats().Dropped)
+	}
+}
+
+func TestGoodArbitraryOutsidersKeepRunning(t *testing.T) {
+	pi0 := core.SetOf(0, 1)
+	cfg := Config{
+		N: 3, Phi: 1, Delta: 2, Seed: 13,
+		Periods: []Period{{Start: 0, Kind: GoodArbitrary, Pi0: pi0}},
+		Bad:     BadConfig{LossProb: 0, MinDelay: 1, MaxDelay: 3, MinGap: 0.5, MaxGap: 2},
+	}
+	sim, protos := newPingSim(t, cfg)
+	sim.RunUntilTime(30)
+	if !sim.Up(2) {
+		t.Fatal("outsider must keep running in a π0-arbitrary period")
+	}
+	// π0 members hear the outsider (its links merely lack guarantees).
+	heardOutsider := false
+	for _, env := range protos[0].got {
+		if env.From == 2 {
+			heardOutsider = true
+		}
+	}
+	if !heardOutsider {
+		t.Error("π0 member never heard the outsider despite loss probability 0")
+	}
+}
+
+func TestContractViolationDetected(t *testing.T) {
+	greedy := protoFunc(func(ctx *StepContext) {
+		ctx.Broadcast("a")
+		ctx.Broadcast("b") // second action in one step: violation
+		ctx.Receive(FIFO{})
+	})
+	cfg := Config{N: 1, Phi: 1, Delta: 1, Seed: 1}
+	sim, err := New(cfg, func(core.ProcessID) Proto { return greedy })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntilTime(3)
+	if sim.ContractViolations() == 0 {
+		t.Error("double action not detected")
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	cfg := Config{N: 2, Phi: 1, Delta: 1, Seed: 1}
+	sim, protos := newPingSim(t, cfg)
+	met := sim.RunUntil(func() bool { return len(protos[0].got) >= 1 }, 100)
+	if !met {
+		t.Fatal("condition never met")
+	}
+	if sim.Now() >= 100 {
+		t.Error("RunUntil ran to the horizon despite the condition holding")
+	}
+	if !sim.RunUntil(func() bool { return true }, 0) {
+		t.Error("immediately-true condition not detected")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (Stats, int) {
+		cfg := Config{
+			N: 4, Phi: 1.5, Delta: 3, Seed: 99,
+			StepMode: StepJitter, DeliveryMode: DeliverJitter,
+			Periods: []Period{
+				{Start: 0, Kind: Bad},
+				{Start: 20, Kind: GoodDown, Pi0: core.SetOf(0, 1, 2)},
+			},
+		}
+		sim, protos := newPingSim(t, cfg)
+		sim.RunUntilTime(60)
+		total := 0
+		for _, p := range protos {
+			total += len(p.got)
+		}
+		return sim.Stats(), total
+	}
+	s1, t1 := run()
+	s2, t2 := run()
+	if s1 != s2 || t1 != t2 {
+		t.Errorf("same seed diverged: %+v/%d vs %+v/%d", s1, t1, s2, t2)
+	}
+}

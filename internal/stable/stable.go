@@ -1,0 +1,88 @@
+// Package stable models the per-process stable storage of the paper's
+// crash-recovery model: Algorithms 2 and 3 keep the round number r_p and
+// the algorithm state s_p on stable storage; a recovering process wipes
+// all volatile state and rebuilds itself from the store.
+//
+// The store counts writes so that benchmarks can report stable-storage
+// traffic (the paper notes that reading stable storage is inefficient and
+// describes the in-memory-copy optimization; the counter makes the cost
+// visible).
+package stable
+
+import "sort"
+
+// Store is one process's stable storage: a key-value map that survives
+// crashes. Values must already be deep copies (core.Snapshot contract);
+// the store does not copy them.
+type Store struct {
+	data   map[string]any
+	writes int64
+	reads  int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[string]any)}
+}
+
+// Save durably stores v under key.
+func (s *Store) Save(key string, v any) {
+	s.data[key] = v
+	s.writes++
+}
+
+// Load returns the value stored under key.
+func (s *Store) Load(key string) (any, bool) {
+	s.reads++
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Delete removes key.
+func (s *Store) Delete(key string) { delete(s.data, key) }
+
+// Keys returns the stored keys in sorted order.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Writes returns the number of Save calls.
+func (s *Store) Writes() int64 { return s.writes }
+
+// Reads returns the number of Load calls.
+func (s *Store) Reads() int64 { return s.reads }
+
+// Registry hands out one store per process index and keeps them across
+// crashes (stable storage outlives the process).
+type Registry struct {
+	stores map[int]*Store
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{stores: make(map[int]*Store)}
+}
+
+// For returns the store of process p, creating it on first use.
+func (r *Registry) For(p int) *Store {
+	st, ok := r.stores[p]
+	if !ok {
+		st = NewStore()
+		r.stores[p] = st
+	}
+	return st
+}
+
+// TotalWrites sums Save calls across all stores.
+func (r *Registry) TotalWrites() int64 {
+	var total int64
+	for _, st := range r.stores {
+		total += st.Writes()
+	}
+	return total
+}

@@ -1,0 +1,66 @@
+package stable
+
+import "testing"
+
+func TestSaveLoadDelete(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Load("missing"); ok {
+		t.Error("Load on empty store succeeded")
+	}
+	s.Save("rp", 7)
+	if v, ok := s.Load("rp"); !ok || v != 7 {
+		t.Errorf("Load = (%v, %v)", v, ok)
+	}
+	s.Save("rp", 8)
+	if v, _ := s.Load("rp"); v != 8 {
+		t.Error("overwrite failed")
+	}
+	s.Delete("rp")
+	if _, ok := s.Load("rp"); ok {
+		t.Error("Delete did not remove the key")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := NewStore()
+	s.Save("a", 1)
+	s.Save("b", 2)
+	s.Load("a")
+	if s.Writes() != 2 {
+		t.Errorf("writes = %d, want 2", s.Writes())
+	}
+	if s.Reads() != 1 {
+		t.Errorf("reads = %d, want 1", s.Reads())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	s.Save("z", 1)
+	s.Save("a", 2)
+	s.Save("m", 3)
+	got := s.Keys()
+	want := []string{"a", "m", "z"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistrySurvivesLookups(t *testing.T) {
+	r := NewRegistry()
+	s1 := r.For(3)
+	s1.Save("k", "v")
+	s2 := r.For(3)
+	if v, ok := s2.Load("k"); !ok || v != "v" {
+		t.Error("registry handed out a different store for the same process")
+	}
+	if r.For(4) == s1 {
+		t.Error("different processes share a store")
+	}
+	r.For(4).Save("x", 1)
+	if r.TotalWrites() != 2 {
+		t.Errorf("TotalWrites = %d, want 2", r.TotalWrites())
+	}
+}

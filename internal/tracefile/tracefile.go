@@ -1,0 +1,89 @@
+// Package tracefile serializes HO traces to JSON so that runs can be
+// recorded, shared, and re-checked against communication predicates
+// offline (the hocheck tool).
+package tracefile
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"heardof/internal/core"
+)
+
+// decisionJSON mirrors core.Decision.
+type decisionJSON struct {
+	Decided bool  `json:"decided"`
+	Value   int64 `json:"value,omitempty"`
+	Round   int   `json:"round,omitempty"`
+}
+
+// fileJSON is the on-disk trace format. Heard-of sets are 64-bit
+// bitmasks (bit p set ⇔ p ∈ HO).
+type fileJSON struct {
+	N         int            `json:"n"`
+	Initial   []int64        `json:"initial"`
+	Rounds    [][]uint64     `json:"rounds"`
+	Decisions []decisionJSON `json:"decisions"`
+}
+
+// Encode renders a trace as JSON.
+func Encode(tr *core.Trace) ([]byte, error) {
+	f := fileJSON{
+		N:         tr.N,
+		Initial:   make([]int64, len(tr.Initial)),
+		Rounds:    make([][]uint64, len(tr.Rounds)),
+		Decisions: make([]decisionJSON, len(tr.Decisions)),
+	}
+	for i, v := range tr.Initial {
+		f.Initial[i] = int64(v)
+	}
+	for i, rec := range tr.Rounds {
+		row := make([]uint64, len(rec.HO))
+		for p, ho := range rec.HO {
+			row[p] = uint64(ho)
+		}
+		f.Rounds[i] = row
+	}
+	for i, d := range tr.Decisions {
+		f.Decisions[i] = decisionJSON{Decided: d.Decided, Value: int64(d.Value), Round: int(d.Round)}
+	}
+	return json.MarshalIndent(f, "", "  ")
+}
+
+// Decode parses a JSON trace.
+func Decode(data []byte) (*core.Trace, error) {
+	var f fileJSON
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse trace: %w", err)
+	}
+	if f.N < 1 || f.N > core.MaxProcesses {
+		return nil, fmt.Errorf("trace has invalid n = %d", f.N)
+	}
+	if len(f.Initial) != f.N {
+		return nil, fmt.Errorf("trace has %d initial values for n = %d", len(f.Initial), f.N)
+	}
+	initial := make([]core.Value, f.N)
+	for i, v := range f.Initial {
+		initial[i] = core.Value(v)
+	}
+	tr := core.NewTrace(f.N, initial)
+	for i, row := range f.Rounds {
+		if len(row) != f.N {
+			return nil, fmt.Errorf("round %d has %d HO sets for n = %d", i+1, len(row), f.N)
+		}
+		ho := make([]core.PIDSet, f.N)
+		for p, mask := range row {
+			ho[p] = core.PIDSet(mask).Intersect(core.FullSet(f.N))
+		}
+		tr.RecordRound(ho)
+	}
+	for p, d := range f.Decisions {
+		if p >= f.N {
+			return nil, fmt.Errorf("decision for unknown process %d", p)
+		}
+		if d.Decided {
+			tr.RecordDecision(core.ProcessID(p), core.Value(d.Value), core.Round(d.Round))
+		}
+	}
+	return tr, nil
+}

@@ -1,0 +1,84 @@
+package tracefile
+
+import (
+	"strings"
+	"testing"
+
+	"heardof/internal/core"
+)
+
+func sampleTrace() *core.Trace {
+	tr := core.NewTrace(3, []core.Value{7, 8, 9})
+	tr.RecordRound([]core.PIDSet{core.SetOf(0, 1), core.SetOf(1, 2), core.EmptySet})
+	tr.RecordRound([]core.PIDSet{core.FullSet(3), core.FullSet(3), core.FullSet(3)})
+	tr.RecordDecision(1, 8, 2)
+	return tr
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	data, err := Encode(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != orig.N || got.NumRounds() != orig.NumRounds() {
+		t.Fatalf("shape mismatch: n=%d rounds=%d", got.N, got.NumRounds())
+	}
+	for r := core.Round(1); r <= orig.NumRounds(); r++ {
+		for p := 0; p < orig.N; p++ {
+			if got.HO(core.ProcessID(p), r) != orig.HO(core.ProcessID(p), r) {
+				t.Errorf("HO(%d,%d) mismatch", p, r)
+			}
+		}
+	}
+	for i := range orig.Initial {
+		if got.Initial[i] != orig.Initial[i] {
+			t.Error("initial values mismatch")
+		}
+	}
+	if d := got.Decisions[1]; !d.Decided || d.Value != 8 || d.Round != 2 {
+		t.Errorf("decision = %v", d)
+	}
+	if got.Decisions[0].Decided {
+		t.Error("phantom decision")
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"garbage", "{", "parse trace"},
+		{"bad n", `{"n": 0, "initial": []}`, "invalid n"},
+		{"huge n", `{"n": 100, "initial": []}`, "invalid n"},
+		{"initial mismatch", `{"n": 2, "initial": [1]}`, "initial values"},
+		{"round width", `{"n": 2, "initial": [1,2], "rounds": [[3]]}`, "HO sets"},
+		{"decision overflow", `{"n": 1, "initial": [1], "rounds": [], "decisions": [{"decided":true},{"decided":true}]}`, "unknown process"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Decode([]byte(tc.data))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestDecodeClampsOutOfRangeBits(t *testing.T) {
+	// Bits beyond n-1 are clamped away.
+	data := `{"n": 2, "initial": [0, 0], "rounds": [[255, 3]], "decisions": []}`
+	tr, err := Decode([]byte(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.HO(0, 1) != core.FullSet(2) {
+		t.Errorf("HO(0,1) = %v, want clamped {0,1}", tr.HO(0, 1))
+	}
+}

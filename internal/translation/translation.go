@@ -1,0 +1,223 @@
+// Package translation implements Algorithm 4 (and its abstract form,
+// Algorithm 7) of Hutle & Schiper (DSN 2007): the translation that builds
+// one macro-round satisfying P_su(Π0, ·, ·) out of f+1 consecutive rounds
+// satisfying P_k(Π0, ·, ·), where |Π0| = n − f and n > 2f (Theorem 8).
+//
+// The translation wraps an inner HO algorithm A: each macro-round R
+// consists of f+1 outer rounds. In the first round of R every process
+// broadcasts its Known set, initialized to {⟨S_p^R(s_p), p⟩}; in the
+// following rounds the Known sets heard from still-listened-to processes
+// are merged and relayed; at the last round of the macro-round the new
+// heard-of set is computed as the processes known to at least n−f listened
+// processes, and A's transition function for macro-round R runs over the
+// corresponding messages.
+//
+// Because the translation is itself an HO algorithm, it composes with any
+// execution substrate: the lock-step core.Runner (used by the Theorem 8
+// property tests) or Algorithm 3 on the real-time simulator (the full
+// stack of §4.2.2(c)).
+package translation
+
+import (
+	"fmt"
+
+	"heardof/internal/core"
+)
+
+// Algorithm wraps an inner HO algorithm with the f+1-round translation.
+type Algorithm struct {
+	// Inner is the HO algorithm executed at macro-round granularity.
+	Inner core.Algorithm
+	// F is the translation parameter: macro-rounds have F+1 rounds and the
+	// known-by threshold is n−F. Requires n > 2F.
+	F int
+}
+
+var _ core.Algorithm = Algorithm{}
+
+// Name implements core.Algorithm.
+func (a Algorithm) Name() string {
+	return fmt.Sprintf("PkToPsu(f=%d)/%s", a.F, a.Inner.Name())
+}
+
+// NewInstance implements core.Algorithm.
+func (a Algorithm) NewInstance(p core.ProcessID, n int, initial core.Value) core.Instance {
+	inner := a.Inner.NewInstance(p, n, initial)
+	inst := &Instance{
+		p:     p,
+		n:     n,
+		f:     a.F,
+		inner: inner,
+	}
+	inst.resetMacroRound(1)
+	return inst
+}
+
+// knownMsg is the outer round message: the sender's Known set, a map from
+// origin process to that origin's macro-round message.
+type knownMsg struct {
+	Known map[core.ProcessID]core.Message
+}
+
+func cloneKnown(k map[core.ProcessID]core.Message) map[core.ProcessID]core.Message {
+	out := make(map[core.ProcessID]core.Message, len(k))
+	for p, m := range k {
+		out[p] = m
+	}
+	return out
+}
+
+// Instance is one process's translation state (Listen_p, Known_p) plus the
+// wrapped inner instance.
+type Instance struct {
+	p     core.ProcessID
+	n     int
+	f     int
+	inner core.Instance
+
+	listen core.PIDSet
+	known  map[core.ProcessID]core.Message
+	// newHO is kept after each macro-round boundary for inspection.
+	newHO core.PIDSet
+}
+
+var (
+	_ core.Instance    = (*Instance)(nil)
+	_ core.Recoverable = (*Instance)(nil)
+)
+
+// resetMacroRound reinitializes Listen_p and Known_p for macro-round R
+// (lines 2, 4, 16, 17 of Algorithm 4).
+func (i *Instance) resetMacroRound(macro core.Round) {
+	i.listen = core.FullSet(i.n)
+	i.known = map[core.ProcessID]core.Message{i.p: i.inner.Send(macro)}
+}
+
+// MacroRound returns the macro-round containing outer round r.
+func (i *Instance) MacroRound(r core.Round) core.Round {
+	return (r + core.Round(i.f)) / core.Round(i.f+1)
+}
+
+// isBoundary reports whether r is the last round of its macro-round
+// (r ≡ 0 mod f+1).
+func (i *Instance) isBoundary(r core.Round) bool {
+	return int(r)%(i.f+1) == 0
+}
+
+// LastNewHO returns the heard-of set delivered to the inner algorithm at
+// the most recent macro-round boundary.
+func (i *Instance) LastNewHO() core.PIDSet { return i.newHO }
+
+// Inner returns the wrapped inner instance.
+func (i *Instance) Inner() core.Instance { return i.inner }
+
+// Send implements S_p^r: broadcast ⟨Known_p⟩.
+func (i *Instance) Send(core.Round) core.Message {
+	return knownMsg{Known: cloneKnown(i.known)}
+}
+
+// Transition implements T_p^r (lines 8–17 of Algorithm 4).
+func (i *Instance) Transition(r core.Round, msgs []core.IncomingMessage) {
+	heard := core.EmptySet
+	knowns := make(map[core.ProcessID]map[core.ProcessID]core.Message, len(msgs))
+	for _, im := range msgs {
+		km, ok := im.Payload.(knownMsg)
+		if !ok {
+			continue
+		}
+		heard = heard.Add(im.From)
+		knowns[im.From] = km.Known
+	}
+
+	// Line 9: Listen_p ← Listen_p ∩ {q | ⟨Known_q⟩ received}.
+	i.listen = i.listen.Intersect(heard)
+
+	if !i.isBoundary(r) {
+		// Line 10–11: merge the Known sets of listened-to senders.
+		i.listen.ForEach(func(q core.ProcessID) {
+			for origin, m := range knowns[q] {
+				if _, dup := i.known[origin]; !dup {
+					i.known[origin] = m
+				}
+			}
+		})
+		return
+	}
+
+	// Lines 12–17: macro-round boundary. First fold in this round's Known
+	// sets so counting sees the freshest information, then compute NewHO
+	// as the origins known by at least n−f listened-to processes.
+	counts := make(map[core.ProcessID]int, i.n)
+	payloads := make(map[core.ProcessID]core.Message, i.n)
+	i.listen.ForEach(func(q core.ProcessID) {
+		for origin, m := range knowns[q] {
+			counts[origin]++
+			if _, dup := payloads[origin]; !dup {
+				payloads[origin] = m
+			}
+			if _, dup := i.known[origin]; !dup {
+				i.known[origin] = m
+			}
+		}
+	})
+
+	var newHO core.PIDSet
+	inbox := make([]core.IncomingMessage, 0, len(counts))
+	for origin, c := range counts {
+		if c >= i.n-i.f {
+			newHO = newHO.Add(origin)
+		}
+	}
+	newHO.ForEach(func(origin core.ProcessID) {
+		m := i.known[origin]
+		if m == nil {
+			m = payloads[origin]
+		}
+		inbox = append(inbox, core.IncomingMessage{From: origin, Payload: m})
+	})
+	i.newHO = newHO
+
+	macro := i.MacroRound(r)
+	i.inner.Transition(macro, inbox)
+	i.resetMacroRound(macro + 1)
+}
+
+// Decided implements core.Instance.
+func (i *Instance) Decided() (core.Value, bool) { return i.inner.Decided() }
+
+// snapshot is the stable-storage image of a translation instance.
+type snapshot struct {
+	listen core.PIDSet
+	known  map[core.ProcessID]core.Message
+	newHO  core.PIDSet
+	inner  core.Snapshot
+}
+
+// Snapshot implements core.Recoverable; it requires the inner instance to
+// be recoverable too.
+func (i *Instance) Snapshot() core.Snapshot {
+	var innerSnap core.Snapshot
+	if rec, ok := i.inner.(core.Recoverable); ok {
+		innerSnap = rec.Snapshot()
+	}
+	return snapshot{
+		listen: i.listen,
+		known:  cloneKnown(i.known),
+		newHO:  i.newHO,
+		inner:  innerSnap,
+	}
+}
+
+// Restore implements core.Recoverable.
+func (i *Instance) Restore(s core.Snapshot) {
+	sn, ok := s.(snapshot)
+	if !ok {
+		return
+	}
+	i.listen = sn.listen
+	i.known = cloneKnown(sn.known)
+	i.newHO = sn.newHO
+	if rec, ok := i.inner.(core.Recoverable); ok && sn.inner != nil {
+		rec.Restore(sn.inner)
+	}
+}

@@ -1,0 +1,134 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(7)
+	sum := 0.0
+	const k = 100000
+	for i := 0; i < k; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / k; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ≈ 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(2)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit only %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBetween(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Between(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Between(2,5) = %v", v)
+		}
+	}
+	if r.Between(4, 4) != 4 || r.Between(5, 3) != 5 {
+		t.Error("degenerate Between wrong")
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(4)
+	if r.Bool(0) {
+		t.Error("Bool(0) = true")
+	}
+	if !r.Bool(1) {
+		t.Error("Bool(1) = false")
+	}
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			trues++
+		}
+	}
+	if trues < 2700 || trues > 3300 {
+		t.Errorf("Bool(0.3) true %d/10000 times", trues)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := New(5)
+	p := r.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	if len(r.Perm(0)) != 0 {
+		t.Error("Perm(0) not empty")
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 negative")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(9)
+	f1 := parent.Fork()
+	f2 := parent.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forked streams start identically")
+	}
+}
