@@ -11,6 +11,9 @@
 package heardof_test
 
 import (
+	"bytes"
+	"context"
+	gort "runtime"
 	"testing"
 
 	"heardof/internal/abcast"
@@ -208,6 +211,54 @@ func BenchmarkE9_MessageLoss(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// The sweep engine: sequential/parallel equivalence and speedup.
+// ---------------------------------------------------------------------------
+
+// renderSuite regenerates the full experiment suite with the given worker
+// count and returns its rendered text output.
+func renderSuite(t *testing.T, workers int) []byte {
+	t.Helper()
+	tables := experiments.New(experiments.Config{Seed: 1, Parallel: workers}).
+		All(context.Background())
+	var buf bytes.Buffer
+	if err := experiments.RenderAll(&buf, tables); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepSequentialParallelEquivalence is the tentpole guarantee of the
+// orchestration engine: the full experiment suite renders byte-identically
+// whether the sweep runs on one worker or eight.
+func TestSweepSequentialParallelEquivalence(t *testing.T) {
+	sequential := renderSuite(t, 1)
+	parallel := renderSuite(t, 8)
+	if !bytes.Equal(sequential, parallel) {
+		t.Errorf("parallel suite output differs from sequential reference:\n--- parallel=1 ---\n%s\n--- parallel=8 ---\n%s",
+			sequential, parallel)
+	}
+}
+
+// benchSuiteWorkers regenerates the E1 table (36 independent simulation
+// cells) per iteration at a fixed worker count; comparing the Sequential
+// and Parallel variants measures the engine's speedup.
+func benchSuiteWorkers(b *testing.B, workers int) {
+	b.Helper()
+	runner := experiments.New(experiments.Config{Seed: 1, Parallel: workers})
+	for i := 0; i < b.N; i++ {
+		if tbl := runner.E1Theorem3(context.Background()); len(tbl.Rows) == 0 {
+			b.Fatalf("E1 produced no rows: %v", tbl.Notes)
+		}
+	}
+}
+
+// BenchmarkSweep_E1Sequential is the single-worker reference.
+func BenchmarkSweep_E1Sequential(b *testing.B) { benchSuiteWorkers(b, 1) }
+
+// BenchmarkSweep_E1Parallel fans the same cells across all cores.
+func BenchmarkSweep_E1Parallel(b *testing.B) { benchSuiteWorkers(b, gort.GOMAXPROCS(0)) }
 
 // BenchmarkTables_Eall regenerates the complete experiment suite once per
 // iteration (what cmd/hobench does).

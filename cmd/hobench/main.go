@@ -4,21 +4,33 @@
 // stack, the randomized correctness checks, the failure-detector baseline
 // comparison, the message-loss sweep, and the design-choice ablations.
 //
+// Tables are computed through the internal/sweep worker pool: independent
+// (configuration, seed) cells fan out across -parallel workers and are
+// folded back in cell order, so the output is byte-identical for every
+// worker count. Ctrl-C cancels the sweep; the partially computed tables
+// are still printed, with a "sweep aborted" note.
+//
 // Usage:
 //
-//	hobench                 # run everything, aligned-text output
+//	hobench                 # run everything on all cores, aligned text
 //	hobench -exp e1,e9      # run selected experiments
 //	hobench -markdown       # emit EXPERIMENTS.md-style markdown
 //	hobench -seed 7         # change the base seed
+//	hobench -parallel 1     # sequential reference run (same bytes)
+//	hobench -timeout 30s    # per-cell budget; overruns become table notes
+//	hobench -progress       # live cell progress on stderr
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"heardof/internal/experiments"
+	"heardof/internal/sweep"
 )
 
 func main() {
@@ -33,39 +45,49 @@ func run() error {
 		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (e1..e9, ea) or 'all'")
 		seed     = flag.Uint64("seed", 1, "base seed for all randomized runs")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of aligned text")
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores, 1 = sequential)")
+		timeout  = flag.Duration("timeout", 0, "per-cell timeout (0 = none); timed-out cells become table notes")
+		progress = flag.Bool("progress", false, "report live cell progress on stderr")
 	)
 	flag.Parse()
 
-	runners := map[string]func(uint64) *experiments.Table{
-		"e1": experiments.E1Theorem3,
-		"e2": experiments.E2Corollary4,
-		"e3": experiments.E3InitialVsNonInitial,
-		"e4": experiments.E4Theorem6,
-		"e5": experiments.E5Theorem7,
-		"e6": experiments.E6FullStack,
-		"e7": experiments.E7SafetyAndLiveness,
-		"e8": experiments.E8Uniformity,
-		"e9": experiments.E9LossSweep,
-		"ea": experiments.Ablations,
-	}
-	order := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "ea"}
-
 	var selected []string
 	if *expFlag == "all" {
-		selected = order
+		selected = experiments.IDs()
 	} else {
+		valid := make(map[string]bool, len(experiments.IDs()))
+		for _, id := range experiments.IDs() {
+			valid[id] = true
+		}
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.ToLower(strings.TrimSpace(id))
-			if _, ok := runners[id]; !ok {
+			if !valid[id] {
 				return fmt.Errorf("unknown experiment %q (want e1..e9 or ea)", id)
 			}
 			selected = append(selected, id)
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := experiments.Config{Seed: *seed, Parallel: *parallel, CellTimeout: *timeout}
+	if *progress {
+		cfg.OnProgress = func(p sweep.Progress) {
+			id, _, _ := strings.Cut(p.Last.Label, "/")
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells", id, p.Done, p.Total)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	runner := experiments.New(cfg)
+
 	for _, id := range selected {
-		table := runners[id](*seed)
-		var err error
+		table, err := runner.Run(ctx, id)
+		if err != nil {
+			return err
+		}
 		if *markdown {
 			err = table.Markdown(os.Stdout)
 		} else {
@@ -73,6 +95,12 @@ func run() error {
 		}
 		if err != nil {
 			return err
+		}
+		if ctx.Err() != nil {
+			if *progress {
+				fmt.Fprintln(os.Stderr) // terminate the partial "\r... cells" line
+			}
+			return fmt.Errorf("interrupted after %s: %w", table.ID, ctx.Err())
 		}
 	}
 	return nil

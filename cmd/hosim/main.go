@@ -3,18 +3,29 @@
 // which rounds, and whether the recorded trace satisfies the Table 1
 // communication predicates.
 //
+// With -seeds K > 1 it instead sweeps the same scenario across K seeds
+// through the internal/sweep worker pool (-parallel workers, optional
+// -timeout per seed) and reports one line per seed plus aggregate
+// statistics — the quick way to ask "does this schedule decide, and how
+// fast, across many executions?".
+//
 // Usage:
 //
 //	hosim -n 7 -alg otr -proto alg2 -bad 150 -crash "1@20:60,4@50:120"
 //	hosim -n 7 -f 2 -alg otr -proto alg3+translation
+//	hosim -n 7 -bad 150 -seeds 100 -parallel 8
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"heardof/internal/core"
 	"heardof/internal/lastvoting"
@@ -22,6 +33,7 @@ import (
 	"heardof/internal/predicate"
 	"heardof/internal/predimpl"
 	"heardof/internal/simtime"
+	"heardof/internal/sweep"
 	"heardof/internal/translation"
 	"heardof/internal/uv"
 )
@@ -33,18 +45,53 @@ func main() {
 	}
 }
 
+// scenario is everything a single simulation needs except its seed.
+type scenario struct {
+	n, f     int
+	phi      float64
+	delta    float64
+	alg      core.Algorithm
+	kind     predimpl.ProtoKind
+	goodKind simtime.PeriodKind
+	badLen   float64
+	periods  []simtime.Period
+	crashes  []simtime.CrashEvent
+	pi0      core.PIDSet
+	horizon  simtime.Time
+}
+
+func (sc *scenario) build(seed uint64) (*predimpl.Stack, error) {
+	initial := make([]core.Value, sc.n)
+	for i := range initial {
+		initial[i] = core.Value(i%3 + 1)
+	}
+	return predimpl.BuildStack(predimpl.StackConfig{
+		Kind:      sc.kind,
+		F:         sc.f,
+		Algorithm: sc.alg,
+		Initial:   initial,
+		Sim: simtime.Config{
+			N: sc.n, Phi: sc.phi, Delta: sc.delta,
+			Periods: sc.periods, Crashes: sc.crashes, Seed: seed,
+		},
+	})
+}
+
 func run() error {
 	var (
-		n       = flag.Int("n", 5, "number of processes (≤ 64)")
-		f       = flag.Int("f", 1, "resilience parameter for alg3/translation")
-		phi     = flag.Float64("phi", 1, "φ = Φ+/Φ− (normalized upper step gap)")
-		delta   = flag.Float64("delta", 5, "δ (normalized transmission bound)")
-		algName = flag.String("alg", "otr", "HO algorithm: otr | uv | lastvoting")
-		proto   = flag.String("proto", "alg2", "implementation layer: alg2 | alg3 | alg3+translation")
-		badLen  = flag.Float64("bad", 0, "length of an initial bad period (0 = good from the start)")
-		crash   = flag.String("crash", "", "crash schedule, e.g. \"1@20:60,4@50:-\" (process@crash:recover, '-' = never)")
-		horizon = flag.Float64("horizon", 5000, "simulation horizon")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
+		n        = flag.Int("n", 5, "number of processes (≤ 64)")
+		f        = flag.Int("f", 1, "resilience parameter for alg3/translation")
+		phi      = flag.Float64("phi", 1, "φ = Φ+/Φ− (normalized upper step gap)")
+		delta    = flag.Float64("delta", 5, "δ (normalized transmission bound)")
+		algName  = flag.String("alg", "otr", "HO algorithm: otr | uv | lastvoting")
+		proto    = flag.String("proto", "alg2", "implementation layer: alg2 | alg3 | alg3+translation")
+		badLen   = flag.Float64("bad", 0, "length of an initial bad period (0 = good from the start)")
+		crash    = flag.String("crash", "", "crash schedule, e.g. \"1@20:60,4@50:-\" (process@crash:recover, '-' = never)")
+		horizon  = flag.Float64("horizon", 5000, "simulation horizon")
+		seed     = flag.Uint64("seed", 1, "simulation seed (base seed when sweeping)")
+		seeds    = flag.Int("seeds", 1, "number of seeds to sweep (seed, seed+1, ...); 1 = single detailed run")
+		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores)")
+		timeout  = flag.Duration("timeout", 0, "per-seed timeout when sweeping (0 = none)")
 	)
 	flag.Parse()
 
@@ -89,33 +136,33 @@ func run() error {
 	}
 	periods = append(periods, simtime.Period{Start: *badLen, Kind: goodKind, Pi0: pi0})
 
-	initial := make([]core.Value, *n)
-	for i := range initial {
-		initial[i] = core.Value(i%3 + 1)
+	sc := &scenario{
+		n: *n, f: *f, phi: *phi, delta: *delta,
+		alg: alg, kind: kind, goodKind: goodKind, badLen: *badLen,
+		periods: periods, crashes: crashes, pi0: pi0,
+		horizon: *horizon,
 	}
+	if *seeds > 1 {
+		return runSweep(sc, *seed, *seeds, *parallel, *timeout)
+	}
+	return runSingle(sc, *seed)
+}
 
-	stack, err := predimpl.BuildStack(predimpl.StackConfig{
-		Kind:      kind,
-		F:         *f,
-		Algorithm: alg,
-		Initial:   initial,
-		Sim: simtime.Config{
-			N: *n, Phi: *phi, Delta: *delta,
-			Periods: periods, Crashes: crashes, Seed: *seed,
-		},
-	})
+// runSingle is the classic detailed single-simulation report.
+func runSingle(sc *scenario, seed uint64) error {
+	stack, err := sc.build(seed)
 	if err != nil {
 		return err
 	}
 
 	fmt.Printf("running %s over %s: n=%d f=%d φ=%v δ=%v, good period (%s) from t=%v\n",
-		alg.Name(), kind, *n, *f, *phi, *delta, goodKind, *badLen)
+		sc.alg.Name(), sc.kind, sc.n, sc.f, sc.phi, sc.delta, sc.goodKind, sc.badLen)
 
-	last := stack.RunUntilAllDecided(pi0, *horizon)
+	last := stack.RunUntilAllDecided(sc.pi0, sc.horizon)
 	tr := stack.Trace()
 
 	fmt.Printf("\nper-process outcome:\n")
-	for p := 0; p < *n; p++ {
+	for p := 0; p < sc.n; p++ {
 		d := stack.Recorder.Decision(core.ProcessID(p))
 		if d.Decided {
 			fmt.Printf("  p%d: decided %d at t=%.2f (round %d)\n", p, d.Value, d.At, d.Round)
@@ -124,9 +171,9 @@ func run() error {
 		}
 	}
 	if last >= 0 {
-		fmt.Printf("\nall of π0 %v decided by t=%.2f\n", pi0, last)
+		fmt.Printf("\nall of π0 %v decided by t=%.2f\n", sc.pi0, last)
 	} else {
-		fmt.Printf("\nπ0 %v did NOT fully decide by the horizon %v\n", pi0, *horizon)
+		fmt.Printf("\nπ0 %v did NOT fully decide by the horizon %v\n", sc.pi0, sc.horizon)
 	}
 
 	if err := tr.CheckConsensusSafety(); err != nil {
@@ -143,6 +190,111 @@ func run() error {
 	fmt.Printf("\nstats: steps=%d sends=%d delivered=%d dropped=%d purged=%d crashes=%d recoveries=%d stable-writes=%d\n",
 		st.Steps, st.Sends, st.Delivered, st.Dropped, st.Purged, st.Crashes, st.Recoveries,
 		stack.Stores.TotalWrites())
+	return nil
+}
+
+// seedOutcome is one sweep cell's result.
+type seedOutcome struct {
+	seed    uint64
+	decided bool
+	at      simtime.Time
+	rounds  core.Round
+	writes  int64
+	safety  error
+}
+
+// runSweep fans the scenario out across seeds through the sweep engine
+// and prints per-seed lines (in seed order) plus aggregate statistics.
+func runSweep(sc *scenario, base uint64, seeds, parallel int, timeout time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	fmt.Printf("sweeping %s over %s: n=%d f=%d φ=%v δ=%v, good period (%s) from t=%v, seeds %d..%d\n\n",
+		sc.alg.Name(), sc.kind, sc.n, sc.f, sc.phi, sc.delta, sc.goodKind, sc.badLen,
+		base, base+uint64(seeds)-1)
+
+	cells := make([]sweep.Cell, seeds)
+	for i := range cells {
+		seed := base + uint64(i)
+		cells[i] = sweep.Cell{
+			Label: fmt.Sprintf("seed=%d", seed),
+			Run: func(context.Context) (any, error) {
+				stack, err := sc.build(seed)
+				if err != nil {
+					return nil, err
+				}
+				out := seedOutcome{seed: seed}
+				out.at = stack.RunUntilAllDecided(sc.pi0, sc.horizon)
+				out.decided = out.at >= 0
+				tr := stack.Trace()
+				out.rounds = tr.NumRounds()
+				out.writes = stack.Stores.TotalWrites()
+				out.safety = tr.CheckConsensusSafety()
+				return out, nil
+			},
+		}
+	}
+
+	eng := &sweep.Engine{Workers: parallel, CellTimeout: timeout}
+	results, sweepErr := eng.Run(ctx, cells)
+
+	var (
+		decided  int
+		times    []float64
+		writes   int64
+		unsafe   int
+		timedOut int
+		skipped  int
+	)
+	for _, res := range results {
+		switch {
+		case res.TimedOut:
+			timedOut++
+			fmt.Printf("  %-12s timed out after %v\n", res.Label, timeout)
+			continue
+		case res.Skipped():
+			skipped++
+			continue
+		case res.Err != nil:
+			fmt.Printf("  %-12s error: %v\n", res.Label, res.Err)
+			continue
+		}
+		out := res.Value.(seedOutcome)
+		status := "undecided"
+		if out.decided {
+			status = fmt.Sprintf("decided at t=%.2f", out.at)
+			decided++
+			times = append(times, float64(out.at))
+		}
+		safety := "safe"
+		if out.safety != nil {
+			safety = "SAFETY VIOLATION: " + out.safety.Error()
+			unsafe++
+		}
+		fmt.Printf("  %-12s %-22s rounds=%-4d stable-writes=%-5d %s\n",
+			res.Label, status, out.rounds, out.writes, safety)
+		writes += out.writes
+	}
+
+	if sweepErr != nil {
+		fmt.Printf("\nsweep aborted (%v): %d of %d seeds not run\n", sweepErr, skipped, seeds)
+	}
+	fmt.Printf("\naggregate: decided %d/%d", decided, seeds)
+	if timedOut > 0 {
+		fmt.Printf(" (%d timed out)", timedOut)
+	}
+	if len(times) > 0 {
+		sort.Float64s(times)
+		fmt.Printf(", decision time min/median/max = %.2f/%.2f/%.2f",
+			times[0], times[len(times)/2], times[len(times)-1])
+	}
+	fmt.Printf(", total stable writes %d\n", writes)
+	if unsafe > 0 {
+		return fmt.Errorf("%d seeds violated consensus safety", unsafe)
+	}
+	if sweepErr != nil {
+		return fmt.Errorf("interrupted: %w", sweepErr)
+	}
 	return nil
 }
 

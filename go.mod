@@ -1,0 +1,3 @@
+module heardof
+
+go 1.22

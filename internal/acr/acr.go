@@ -337,8 +337,13 @@ func (nd *Node) decide(ctx *runtime.Context, v core.Value) {
 func (nd *Node) OnTimer(ctx *runtime.Context, id int) {
 	switch id {
 	case timerRetransmit:
-		for q, m := range nd.xmit {
-			ctx.Send(q, m)
+		// Retransmit in process order, not map order: the simulator draws
+		// per-send delays from its RNG in send order, so iterating the map
+		// directly would make runs nondeterministic.
+		for q := core.ProcessID(0); int(q) < nd.n; q++ {
+			if m, ok := nd.xmit[q]; ok {
+				ctx.Send(q, m)
+			}
 		}
 		ctx.After(nd.rexmit, timerRetransmit)
 	case timerSkipRound:

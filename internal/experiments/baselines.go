@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,7 @@ import (
 	"heardof/internal/runtime"
 	"heardof/internal/simtime"
 	"heardof/internal/stable"
+	"heardof/internal/sweep"
 )
 
 // hoCrashScenario runs the OTR∘Alg2 stack under a crash schedule and
@@ -46,8 +48,8 @@ func hoCrashScenario(n int, crashes []simtime.CrashEvent, members core.PIDSet,
 // identical HO stack handles crash-stop AND crash-recovery, while the FD
 // world needs two different algorithms (Chandra–Toueg for crash-stop,
 // Aguilera et al. for crash-recovery) — and the crash-stop one is unsound
-// under recovery.
-func E8Uniformity(seed uint64) *Table {
+// under recovery. One cell per scenario row.
+func (r *Runner) E8Uniformity(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "E8",
 		Title: "§2.1/§3.3 — one HO stack vs two FD algorithms across crash models",
@@ -55,6 +57,7 @@ func E8Uniformity(seed uint64) *Table {
 			"system", "fault model", "algorithm change needed", "all decide", "decision time", "stable writes",
 		},
 	}
+	seed := r.cfg.Seed
 	n := 7
 	survivors := core.SetOf(0, 1, 2, 3, 4)
 	csCrashes := []simtime.CrashEvent{{P: 5, At: 3, RecoverAt: -1}, {P: 6, At: 5, RecoverAt: -1}}
@@ -66,36 +69,54 @@ func E8Uniformity(seed uint64) *Table {
 		{Start: 0, Kind: simtime.Bad},
 		{Start: 140, Kind: simtime.GoodDown, Pi0: core.FullSet(n)},
 	}
-
-	if ok, at, writes, err := hoCrashScenario(n, csCrashes, survivors, csPeriods, seed); err == nil {
-		t.AddRow("HO stack (OTR∘Alg2)", "crash-stop (SP)", "no", ok, at, writes)
-	} else {
-		t.Notes = append(t.Notes, "HO crash-stop: "+err.Error())
-	}
-	if ok, at, writes, err := hoCrashScenario(n, crCrashes, core.FullSet(n), crPeriods, seed); err == nil {
-		t.AddRow("HO stack (OTR∘Alg2)", "crash-recovery (DT)", "no", ok, at, writes)
-	} else {
-		t.Notes = append(t.Notes, "HO crash-recovery: "+err.Error())
-	}
-
-	// CT ◇S baseline: crash-stop.
-	ctOK, ctTime := runCT(5, []runtime.CrashEvent{{P: 4, At: 1, RecoverAt: -1}}, 0, 0, seed)
-	t.AddRow("Chandra–Toueg ◇S", "crash-stop (SP)", "—", ctOK, ctTime, 0)
-
-	// CT baseline naively rebooted in crash-recovery: §2.1's point is
-	// that it was not designed for this model. Process 0 is down while
-	// the others decide; after its reboot it restarts from round 1,
-	// nobody answers rounds that are long gone (CT has no decide-reply
-	// rule), and it blocks forever.
+	// §2.1's point for the naive CT reboot: process 0 is down while the
+	// others decide; after its reboot it restarts from round 1, nobody
+	// answers rounds that are long gone (CT has no decide-reply rule),
+	// and it blocks forever.
 	recoverySchedule := []runtime.CrashEvent{{P: 0, At: 2, RecoverAt: 60}}
-	ctrOK, ctrTime := runCT(5, recoverySchedule, 0, 0, seed+1)
-	t.AddRow("Chandra–Toueg ◇S", "crash-recovery", "yes — naive reboot blocks", ctrOK, ctrTime, 0)
 
-	// Aguilera et al. ◇Su on the same schedule: the recoverer learns the
-	// decision through retransmission + the reply-with-DECIDE rule.
-	acrOK, acrTime, acrWrites := runACR(5, recoverySchedule, seed)
-	t.AddRow("Aguilera et al. ◇Su", "crash-recovery", "yes — different algorithm+FD", acrOK, acrTime, acrWrites)
-
+	cells := []sweep.Cell{
+		rowCell("E8/HO/crash-stop", func() (tableOp, error) {
+			ok, at, writes, err := hoCrashScenario(n, csCrashes, survivors, csPeriods, seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(t *Table) {
+				t.AddRow("HO stack (OTR∘Alg2)", "crash-stop (SP)", "no", ok, at, writes)
+			}, nil
+		}),
+		rowCell("E8/HO/crash-recovery", func() (tableOp, error) {
+			ok, at, writes, err := hoCrashScenario(n, crCrashes, core.FullSet(n), crPeriods, seed)
+			if err != nil {
+				return nil, err
+			}
+			return func(t *Table) {
+				t.AddRow("HO stack (OTR∘Alg2)", "crash-recovery (DT)", "no", ok, at, writes)
+			}, nil
+		}),
+		rowCell("E8/CT/crash-stop", func() (tableOp, error) {
+			ok, at := runCT(5, []runtime.CrashEvent{{P: 4, At: 1, RecoverAt: -1}}, 0, 0, seed)
+			return func(t *Table) {
+				t.AddRow("Chandra–Toueg ◇S", "crash-stop (SP)", "—", ok, at, 0)
+			}, nil
+		}),
+		rowCell("E8/CT/crash-recovery", func() (tableOp, error) {
+			ok, at := runCT(5, recoverySchedule, 0, 0, seed+1)
+			return func(t *Table) {
+				t.AddRow("Chandra–Toueg ◇S", "crash-recovery", "yes — naive reboot blocks", ok, at, 0)
+			}, nil
+		}),
+		rowCell("E8/ACR/crash-recovery", func() (tableOp, error) {
+			// Aguilera et al. ◇Su on the same schedule: the recoverer
+			// learns the decision through retransmission + the
+			// reply-with-DECIDE rule.
+			ok, at, writes := runACR(5, recoverySchedule, seed)
+			return func(t *Table) {
+				t.AddRow("Aguilera et al. ◇Su", "crash-recovery", "yes — different algorithm+FD", ok, at, writes)
+			}, nil
+		}),
+	}
+	r.sweepInto(ctx, t, cells)
 	t.Notes = append(t.Notes,
 		"the HO rows run byte-identical code in both fault models; the FD rows need two algorithms (5 message kinds, 6 stable keys, retransmission and round-skipping tasks in the crash-recovery one)",
 	)
@@ -179,11 +200,19 @@ func runACR(n int, crashes []runtime.CrashEvent, seed uint64) (bool, float64, in
 	return true, sim.Now(), stores.TotalWrites()
 }
 
+// e9run is one (system, loss, seed) decision attempt.
+type e9run struct {
+	ok bool
+	at float64
+}
+
 // E9LossSweep compares decision success under sustained message loss:
 // Chandra–Toueg (with a PERFECT failure detector, isolating the link
 // assumption) against the HO stack, for which loss is just a transmission
-// fault. This is footnote 2 of the paper made empirical.
-func E9LossSweep(seed uint64) *Table {
+// fault. This is footnote 2 of the paper made empirical. One cell per
+// (loss, seed, system) — 240 independent simulations aggregated in cell
+// order.
+func (r *Runner) E9LossSweep(ctx context.Context) *Table {
 	t := &Table{
 		ID:    "E9",
 		Title: "footnote 2 — decision success under sustained message loss (20 seeds each)",
@@ -193,26 +222,54 @@ func E9LossSweep(seed uint64) *Table {
 	}
 	const runs = 20
 	n := 5
-	for _, loss := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4} {
-		ctDecided, ctTimes := 0, []float64{}
+	losses := []float64{0, 0.05, 0.1, 0.2, 0.3, 0.4}
+	var cells []sweep.Cell
+	for _, loss := range losses {
 		for s := uint64(0); s < runs; s++ {
-			ok, at := runCT(n, nil, loss, 0, seed+s)
-			if ok {
-				ctDecided++
-				ctTimes = append(ctTimes, at)
-			}
+			cells = append(cells,
+				sweep.Cell{
+					Label: fmt.Sprintf("E9/loss=%v/ct/seed=%d", loss, s),
+					Run: func(context.Context) (any, error) {
+						ok, at := runCT(n, nil, loss, 0, r.cfg.Seed+s)
+						return e9run{ok, at}, nil
+					},
+				},
+				sweep.Cell{
+					Label: fmt.Sprintf("E9/loss=%v/ho/seed=%d", loss, s),
+					Run: func(context.Context) (any, error) {
+						ok, at := runHOUnderLoss(n, loss, r.cfg.Seed+s)
+						return e9run{ok, at}, nil
+					},
+				})
 		}
-		hoDecided, hoTimes := 0, []float64{}
-		for s := uint64(0); s < runs; s++ {
-			ok, at := runHOUnderLoss(n, loss, seed+s)
-			if ok {
-				hoDecided++
-				hoTimes = append(hoTimes, at)
+	}
+	results := r.runCells(ctx, t, cells)
+	for li, loss := range losses {
+		// Denominators count only cells that actually produced a result:
+		// a timed-out or cancelled cell must not masquerade as a
+		// decision failure (that distinction is the whole table).
+		ctDecided, ctTotal, ctTimes := 0, 0, []float64{}
+		hoDecided, hoTotal, hoTimes := 0, 0, []float64{}
+		for s := 0; s < runs; s++ {
+			base := (li*runs + s) * 2
+			if run, ok := results[base].Value.(e9run); ok {
+				ctTotal++
+				if run.ok {
+					ctDecided++
+					ctTimes = append(ctTimes, run.at)
+				}
+			}
+			if run, ok := results[base+1].Value.(e9run); ok {
+				hoTotal++
+				if run.ok {
+					hoDecided++
+					hoTimes = append(hoTimes, run.at)
+				}
 			}
 		}
 		t.AddRow(loss,
-			fmt.Sprintf("%d/%d", ctDecided, runs), median(ctTimes),
-			fmt.Sprintf("%d/%d", hoDecided, runs), median(hoTimes))
+			fmt.Sprintf("%d/%d", ctDecided, ctTotal), median(ctTimes),
+			fmt.Sprintf("%d/%d", hoDecided, hoTotal), median(hoTimes))
 	}
 	t.Notes = append(t.Notes,
 		"CT runs with a perfect detector from time 0 and loss applied forever: every decided run needed all its wait-untils to dodge loss; the decided fraction collapses as loss grows",
@@ -260,13 +317,16 @@ func median(xs []float64) float64 {
 	return xs[len(xs)/2]
 }
 
-// Ablations quantifies the DESIGN.md §5 design-choice ablations.
-func Ablations(seed uint64) *Table {
+// Ablations quantifies the DESIGN.md §5 design-choice ablations. One cell
+// per ablation; each cell runs its baseline and its ablated variant
+// back-to-back because the ablated horizon depends on the baseline bound.
+func (r *Runner) Ablations(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "EA",
 		Title:  "ablations — why the paper's design choices matter",
 		Header: []string{"ablation", "paper elapsed", "ablated elapsed", "effect"},
 	}
+	seed := r.cfg.Seed
 
 	fifoBase := predimpl.GoodPeriodExperiment{
 		Kind: predimpl.UseAlg2, N: 7, Phi: 1, Delta: 10, X: 2, TG: 300, Seed: seed + 11,
@@ -277,44 +337,66 @@ func Ablations(seed uint64) *Table {
 	backlog := &simtime.BadConfig{
 		LossProb: 0, MinDelay: 1, MaxDelay: 40, MinGap: 0.5, MaxGap: 2,
 	}
-	addAblationRow(t, "Alg2 reception policy → FIFO", fifoBase,
-		&predimpl.Ablation{Alg2Policy: simtime.FIFO{}}, backlog)
 
 	quorumBase := predimpl.GoodPeriodExperiment{
 		Kind: predimpl.UseAlg3, N: 5, F: 1, Phi: 1, Delta: 5, X: 3, TG: 0, Seed: seed + 13,
 	}
 	fast := &simtime.BadConfig{LossProb: 0, MinDelay: 1, MaxDelay: 5, MinGap: 0.05, MaxGap: 0.15}
-	addAblationRow(t, "Alg3 INIT quorum f+1 → 1 (racing outsider)", quorumBase,
-		&predimpl.Ablation{InitQuorum: 1}, fast)
 
 	catchupBase := predimpl.GoodPeriodExperiment{
 		Kind: predimpl.UseAlg3, N: 5, F: 2, Phi: 1, Delta: 5, X: 2, TG: 400, Seed: seed + 17,
 	}
-	addAblationRow(t, "Alg3 higher-round catch-up → disabled", catchupBase,
-		&predimpl.Ablation{DisableCatchup: true}, nil)
 
+	cells := []sweep.Cell{
+		ablationCell("Alg2 reception policy → FIFO", fifoBase,
+			&predimpl.Ablation{Alg2Policy: simtime.FIFO{}}, backlog),
+		ablationCell("Alg3 INIT quorum f+1 → 1 (racing outsider)", quorumBase,
+			&predimpl.Ablation{InitQuorum: 1}, fast),
+		ablationCell("Alg3 higher-round catch-up → disabled", catchupBase,
+			&predimpl.Ablation{DisableCatchup: true}, nil),
+	}
+	r.sweepInto(ctx, t, cells)
 	return t
 }
 
-func addAblationRow(t *Table, name string, base predimpl.GoodPeriodExperiment,
-	ab *predimpl.Ablation, bad *simtime.BadConfig) {
-	base.Bad = bad
-	pure, err := base.Run()
-	if err != nil {
-		t.Notes = append(t.Notes, name+": baseline failed: "+err.Error())
-		return
-	}
-	ablated := base
-	ablated.Ablation = ab
-	ablated.Horizon = base.TG + 30*pure.Bound
-	res, err := ablated.Run()
-	if err != nil {
-		t.AddRow(name, pure.Elapsed, "never (horizon 30×bound)", "predicate broken")
-		return
-	}
-	effect := fmt.Sprintf("%.1f× slower", res.Elapsed/pure.Elapsed)
-	if res.Elapsed/pure.Elapsed < 1.05 {
-		effect = "≈ none (traffic is self-balancing; the policy pays for the proof's constants)"
-	}
-	t.AddRow(name, pure.Elapsed, res.Elapsed, effect)
+func ablationCell(name string, base predimpl.GoodPeriodExperiment,
+	ab *predimpl.Ablation, bad *simtime.BadConfig) sweep.Cell {
+	return rowCell("EA/"+name, func() (tableOp, error) {
+		base.Bad = bad
+		pure, err := base.Run()
+		if err != nil {
+			return nil, fmt.Errorf("baseline failed: %w", err)
+		}
+		ablated := base
+		ablated.Ablation = ab
+		ablated.Horizon = base.TG + 30*pure.Bound
+		res, err := ablated.Run()
+		if err != nil {
+			return func(t *Table) {
+				t.AddRow(name, pure.Elapsed, "never (horizon 30×bound)", "predicate broken")
+			}, nil
+		}
+		effect := fmt.Sprintf("%.1f× slower", res.Elapsed/pure.Elapsed)
+		if res.Elapsed/pure.Elapsed < 1.05 {
+			effect = "≈ none (traffic is self-balancing; the policy pays for the proof's constants)"
+		}
+		return func(t *Table) {
+			t.AddRow(name, pure.Elapsed, res.Elapsed, effect)
+		}, nil
+	})
+}
+
+// E8Uniformity regenerates the uniformity table with default execution.
+func E8Uniformity(seed uint64) *Table {
+	return New(Config{Seed: seed}).E8Uniformity(context.Background())
+}
+
+// E9LossSweep regenerates the loss-sweep table with default execution.
+func E9LossSweep(seed uint64) *Table {
+	return New(Config{Seed: seed}).E9LossSweep(context.Background())
+}
+
+// Ablations regenerates the ablation table with default execution.
+func Ablations(seed uint64) *Table {
+	return New(Config{Seed: seed}).Ablations(context.Background())
 }

@@ -1,32 +1,69 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"heardof/internal/adversary"
 	"heardof/internal/core"
 	"heardof/internal/otr"
 	"heardof/internal/predicate"
+	"heardof/internal/sweep"
 	"heardof/internal/translation"
 	"heardof/internal/xrand"
 )
 
+// e7counts aggregates one chunk of randomized runs.
+type e7counts struct {
+	runs       int
+	violations int
+	decided    int // -1 marks a safety-only chunk with no liveness claim
+}
+
+// e7block builds the cells for one check: total runs split into chunks of
+// chunk runs each, every chunk owning an RNG forked deterministically from
+// the block's base stream (forks happen at build time, in cell order, so
+// chunk streams never depend on scheduling).
+func e7block(label string, base *xrand.Rand, total, chunk int,
+	one func(rng *xrand.Rand, c *e7counts)) []sweep.Cell {
+	var cells []sweep.Cell
+	for start := 0; start < total; start += chunk {
+		size := chunk
+		if start+size > total {
+			size = total - start
+		}
+		rng := base.Fork()
+		cells = append(cells, sweep.Cell{
+			Label: fmt.Sprintf("%s/%d-%d", label, start, start+size-1),
+			Run: func(context.Context) (any, error) {
+				c := e7counts{runs: size}
+				for i := 0; i < size; i++ {
+					one(rng, &c)
+				}
+				return c, nil
+			},
+		})
+	}
+	return cells
+}
+
 // E7SafetyAndLiveness checks the correctness theorems statistically:
 // Theorem 1 (OTR + P_otr solves consensus), Theorem 2 (restricted scope),
 // unconditional safety of OTR under arbitrary heard-of sets, and the
-// Theorem 8 translation guarantee.
-func E7SafetyAndLiveness(seed uint64) *Table {
+// Theorem 8 translation guarantee. Each check fans out as a block of
+// chunked cells; one row per block sums its chunks in cell order.
+func (r *Runner) E7SafetyAndLiveness(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "E7",
 		Title:  "Theorems 1, 2, 8 — randomized correctness checks",
 		Header: []string{"check", "runs", "safety violations", "liveness successes"},
 	}
+	rng := xrand.New(r.cfg.Seed)
 
 	// Safety fuzz: arbitrary adversaries, no liveness expected.
 	const fuzzRuns = 3000
-	violations := 0
-	rng := xrand.New(seed)
-	for i := 0; i < fuzzRuns; i++ {
+	fuzz := e7block("E7/safety-fuzz", rng, fuzzRuns, 150, func(rng *xrand.Rand, c *e7counts) {
+		c.decided = -1
 		n := 2 + rng.Intn(7)
 		initial := make([]core.Value, n)
 		for k := range initial {
@@ -35,20 +72,19 @@ func E7SafetyAndLiveness(seed uint64) *Table {
 		prov := &adversary.Arbitrary{RNG: rng.Fork(), EmptyBias: 0.2}
 		ru, err := core.NewRunner(otr.Algorithm{}, initial, prov)
 		if err != nil {
-			continue
+			return
 		}
 		ru.RunRounds(25)
 		if ru.Trace().CheckConsensusSafety() != nil {
-			violations++
+			c.violations++
 		}
-	}
-	t.AddRow("OTR safety, arbitrary HO sets", fuzzRuns, violations, "n/a")
+	})
 
-	// Theorem 1 liveness: Potr-realizing adversaries.
+	// Theorem 1 liveness: Potr-realizing adversaries. Termination is what
+	// Theorem 1 promises; runs that decide early (during the lossy
+	// prefix) terminate before the Potr witness round and still count.
 	const liveRuns = 500
-	decided := 0
-	potrViolations := 0
-	for i := 0; i < liveRuns; i++ {
+	thm1 := e7block("E7/theorem1", rng, liveRuns, 50, func(rng *xrand.Rand, c *e7counts) {
 		n := 2 + rng.Intn(7)
 		initial := make([]core.Value, n)
 		for k := range initial {
@@ -61,27 +97,21 @@ func E7SafetyAndLiveness(seed uint64) *Table {
 		}
 		ru, err := core.NewRunner(otr.Algorithm{}, initial, prov)
 		if err != nil {
-			continue
+			return
 		}
 		tr, runErr := ru.Run(40)
 		if tr.CheckConsensusSafety() != nil {
-			potrViolations++
+			c.violations++
 		}
-		// Termination is what Theorem 1 promises; runs that decide early
-		// (during the lossy prefix) terminate before the Potr witness
-		// round and still count.
 		if runErr == nil {
-			decided++
+			c.decided++
 		}
 		_ = predicate.Potr{}
-	}
-	t.AddRow("Theorem 1: OTR + Potr terminates", liveRuns, potrViolations, decided)
+	})
 
 	// Theorem 2: restricted scope — Π0 decides.
 	const restrRuns = 300
-	restrOK := 0
-	restrViol := 0
-	for i := 0; i < restrRuns; i++ {
+	thm2 := e7block("E7/theorem2", rng, restrRuns, 50, func(rng *xrand.Rand, c *e7counts) {
 		n := 4 + rng.Intn(5)
 		k := 2*n/3 + 1 // |Π0| > 2n/3
 		pi0 := core.FullSet(k)
@@ -92,24 +122,21 @@ func E7SafetyAndLiveness(seed uint64) *Table {
 		prov := adversary.SpaceUniformRounds{Pi0: pi0, From: 2, To: 50}
 		ru, err := core.NewRunner(otr.Algorithm{}, initial, prov)
 		if err != nil {
-			continue
+			return
 		}
 		ru.RunRounds(10)
 		tr := ru.Trace()
 		if tr.CheckConsensusSafety() != nil {
-			restrViol++
+			c.violations++
 		}
 		if tr.DecidedSet().Contains(pi0) {
-			restrOK++
+			c.decided++
 		}
-	}
-	t.AddRow("Theorem 2: PrestrOtr ⇒ Π0 decides", restrRuns, restrViol, restrOK)
+	})
 
 	// Theorem 8: translation consensus under kernel-only rounds.
 	const trRuns = 200
-	trOK := 0
-	trViol := 0
-	for i := 0; i < trRuns; i++ {
+	thm8 := e7block("E7/theorem8", rng, trRuns, 25, func(rng *xrand.Rand, c *e7counts) {
 		n := 4 + rng.Intn(6)
 		f := (n - 1) / 3 // keep |Π0| > 2n/3
 		if f < 1 {
@@ -125,21 +152,67 @@ func E7SafetyAndLiveness(seed uint64) *Table {
 		prov := adversary.KernelRounds{Pi0: pi0, From: 1, To: 1000, RNG: rng.Fork()}
 		ru, err := core.NewRunner(alg, initial, prov)
 		if err != nil {
-			continue
+			return
 		}
 		ru.RunRounds(core.Round(8 * (f + 1)))
 		tr := ru.Trace()
 		if tr.CheckConsensusSafety() != nil {
-			trViol++
+			c.violations++
 		}
 		if tr.DecidedSet().Contains(pi0) {
-			trOK++
+			c.decided++
+		}
+	})
+
+	blocks := []struct {
+		row   string
+		cells []sweep.Cell
+	}{
+		{"OTR safety, arbitrary HO sets", fuzz},
+		{"Theorem 1: OTR + Potr terminates", thm1},
+		{"Theorem 2: PrestrOtr ⇒ Π0 decides", thm2},
+		{"Theorem 8: OTR ∘ translation under Pk", thm8},
+	}
+	var cells []sweep.Cell
+	bounds := make([]int, 0, len(blocks)+1) // block i owns cells[bounds[i]:bounds[i+1]]
+	bounds = append(bounds, 0)
+	for _, b := range blocks {
+		cells = append(cells, b.cells...)
+		bounds = append(bounds, len(cells))
+	}
+
+	results := r.runCells(ctx, t, cells)
+	for i, b := range blocks {
+		var sum e7counts
+		safetyOnly := false
+		for _, res := range results[bounds[i]:bounds[i+1]] {
+			c, ok := res.Value.(e7counts)
+			if !ok {
+				continue // failed/timed-out chunk, already a note
+			}
+			sum.runs += c.runs
+			sum.violations += c.violations
+			if c.decided < 0 {
+				safetyOnly = true
+			} else {
+				sum.decided += c.decided
+			}
+		}
+		if safetyOnly {
+			t.AddRow(b.row, sum.runs, sum.violations, "n/a")
+		} else {
+			t.AddRow(b.row, sum.runs, sum.violations, sum.decided)
 		}
 	}
-	t.AddRow("Theorem 8: OTR ∘ translation under Pk", trRuns, trViol, trOK)
 
 	t.Notes = append(t.Notes,
 		"safety violations must be 0 in every row",
-		fmt.Sprintf("liveness successes must equal runs for the Theorem 1/2/8 rows (seed %d)", seed))
+		fmt.Sprintf("liveness successes must equal runs for the Theorem 1/2/8 rows (seed %d)", r.cfg.Seed))
 	return t
+}
+
+// E7SafetyAndLiveness regenerates the correctness table with default
+// execution.
+func E7SafetyAndLiveness(seed uint64) *Table {
+	return New(Config{Seed: seed}).E7SafetyAndLiveness(context.Background())
 }

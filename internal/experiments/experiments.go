@@ -2,9 +2,17 @@
 // Schiper (DSN 2007) — the per-experiment index lives in DESIGN.md §4 and
 // the measured outcomes in EXPERIMENTS.md. Each experiment returns a
 // Table that cmd/hobench prints and bench_test.go exercises.
+//
+// Every table is expressed as a slice of independent (configuration,
+// seed) cells executed through internal/sweep's worker pool and folded
+// back in cell order, so a table is byte-identical whether it was
+// computed on one core or all of them. Use New/Runner to configure
+// parallelism, per-cell timeouts and progress reporting; the free
+// per-experiment functions run with defaults.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -92,21 +100,11 @@ func (t *Table) Markdown(w io.Writer) error {
 	return err
 }
 
-// All runs every experiment in order. Failures inside an experiment are
-// reported as table notes rather than aborting the suite.
+// All runs every experiment in order with default execution (all cores,
+// no per-cell timeout). Failures inside an experiment are reported as
+// table notes rather than aborting the suite.
 func All(seed uint64) []*Table {
-	return []*Table{
-		E1Theorem3(seed),
-		E2Corollary4(seed),
-		E3InitialVsNonInitial(seed),
-		E4Theorem6(seed),
-		E5Theorem7(seed),
-		E6FullStack(seed),
-		E7SafetyAndLiveness(seed),
-		E8Uniformity(seed),
-		E9LossSweep(seed),
-		Ablations(seed),
-	}
+	return New(Config{Seed: seed}).All(context.Background())
 }
 
 // RenderAll renders all tables as text.

@@ -1,39 +1,49 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"heardof/internal/predimpl"
 	"heardof/internal/simtime"
+	"heardof/internal/sweep"
 )
 
 // E1Theorem3 measures Algorithm 2's good-period consumption for
 // P_su(π0, ρ0, ρ0+x−1) in non-initial π0-down good periods against the
-// Theorem 3 bound (x+1)(2δ+(n+2)φ+1)φ+δ+φ.
-func E1Theorem3(seed uint64) *Table {
+// Theorem 3 bound (x+1)(2δ+(n+2)φ+1)φ+δ+φ. One cell per
+// (n, δ, φ, x) configuration.
+func (r *Runner) E1Theorem3(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "E1",
 		Title:  "Theorem 3 — Alg 2, non-initial π0-down good period (worst-case scheduling)",
 		Header: []string{"n", "δ", "φ", "x", "ρ0", "measured", "bound", "ratio"},
 	}
+	var cells []sweep.Cell
 	for _, n := range []int{4, 7, 10} {
 		for _, delta := range []float64{5, 20} {
 			for _, phi := range []float64{1, 2} {
 				for _, x := range []int{1, 2, 3} {
 					e := predimpl.GoodPeriodExperiment{
 						Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
-						X: x, TG: 150, Seed: seed + uint64(n*100+x),
+						X: x, TG: 150, Seed: r.cfg.Seed + uint64(n*100+x),
 					}
-					res, err := e.Run()
-					if err != nil {
-						t.Notes = append(t.Notes, err.Error())
-						continue
-					}
-					t.AddRow(n, delta, phi, x, int(res.Rho0), res.Elapsed, res.Bound, res.Ratio)
+					cells = append(cells, rowCell(
+						fmt.Sprintf("E1/n=%d/δ=%v/φ=%v/x=%d", n, delta, phi, x),
+						func() (tableOp, error) {
+							res, err := e.Run()
+							if err != nil {
+								return nil, err
+							}
+							return func(t *Table) {
+								t.AddRow(n, delta, phi, x, int(res.Rho0), res.Elapsed, res.Bound, res.Ratio)
+							}, nil
+						}))
 				}
 			}
 		}
 	}
+	r.sweepInto(ctx, t, cells)
 	t.Notes = append(t.Notes,
 		"measured ≤ bound everywhere: the closed form is a sound worst-case bound",
 		"the bad period ends at an arbitrary phase, so measured sits below the adversarial worst case")
@@ -41,164 +51,235 @@ func E1Theorem3(seed uint64) *Table {
 }
 
 // E2Corollary4 reports the Corollary 4 trade-off: one long period for
-// P_otr^2 versus two shorter periods for P_otr^1/1.
-func E2Corollary4(seed uint64) *Table {
+// P_otr^2 versus two shorter periods for P_otr^1/1. One cell per
+// (n, δ, φ), each running both strategies.
+func (r *Runner) E2Corollary4(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "E2",
 		Title:  "Corollary 4 — P2otr (one period) vs P1/1otr (two periods), Alg 2",
 		Header: []string{"n", "δ", "φ", "P2otr bound", "P11otr bound (each)", "2×P11otr", "measured x=2", "measured x=1"},
 	}
+	var cells []sweep.Cell
 	for _, n := range []int{4, 7, 10} {
 		for _, delta := range []float64{5, 20} {
 			for _, phi := range []float64{1, 2} {
-				p2 := predimpl.Corollary4P2otrBound(n, phi, delta)
-				p11 := predimpl.Corollary4P11otrBound(n, phi, delta)
-				m2, err2 := (predimpl.GoodPeriodExperiment{
-					Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
-					X: 2, TG: 150, Seed: seed + uint64(n),
-				}).Run()
-				m1, err1 := (predimpl.GoodPeriodExperiment{
-					Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
-					X: 1, TG: 150, Seed: seed + uint64(n) + 1,
-				}).Run()
-				if err1 != nil || err2 != nil {
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d δ=%v φ=%v: %v %v", n, delta, phi, err1, err2))
-					continue
-				}
-				t.AddRow(n, delta, phi, p2, p11, 2*p11, m2.Elapsed, m1.Elapsed)
+				cells = append(cells, rowCell(
+					fmt.Sprintf("E2/n=%d/δ=%v/φ=%v", n, delta, phi),
+					func() (tableOp, error) {
+						p2 := predimpl.Corollary4P2otrBound(n, phi, delta)
+						p11 := predimpl.Corollary4P11otrBound(n, phi, delta)
+						m2, err2 := (predimpl.GoodPeriodExperiment{
+							Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
+							X: 2, TG: 150, Seed: r.cfg.Seed + uint64(n),
+						}).Run()
+						m1, err1 := (predimpl.GoodPeriodExperiment{
+							Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
+							X: 1, TG: 150, Seed: r.cfg.Seed + uint64(n) + 1,
+						}).Run()
+						if err1 != nil || err2 != nil {
+							return nil, fmt.Errorf("%v %v", err1, err2)
+						}
+						return func(t *Table) {
+							t.AddRow(n, delta, phi, p2, p11, 2*p11, m2.Elapsed, m1.Elapsed)
+						}, nil
+					}))
 			}
 		}
 	}
+	r.sweepInto(ctx, t, cells)
 	t.Notes = append(t.Notes,
 		"trade-off direction matches the paper: p11 < p2 < 2·p11 — one long period beats two short ones in total time, but needs more contiguous good time")
 	return t
 }
 
 // E3InitialVsNonInitial reproduces the §4.2.1 headline: the ≈3/2 factor
-// between non-initial and initial good periods at x=2.
-func E3InitialVsNonInitial(seed uint64) *Table {
+// between non-initial and initial good periods at x=2. One cell per
+// (n, δ, φ), each running both scenarios.
+func (r *Runner) E3InitialVsNonInitial(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "E3",
 		Title:  "Theorem 5 vs Theorem 3 — initial vs non-initial good periods (x=2)",
 		Header: []string{"n", "δ", "φ", "initial meas", "initial bound", "non-init meas", "non-init bound", "bound ratio", "meas ratio"},
 	}
+	var cells []sweep.Cell
 	for _, n := range []int{4, 7, 10} {
 		for _, delta := range []float64{5, 20} {
 			for _, phi := range []float64{1, 2} {
-				init, errI := (predimpl.GoodPeriodExperiment{
-					Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
-					X: 2, TG: 0, Seed: seed,
-				}).Run()
-				non, errN := (predimpl.GoodPeriodExperiment{
-					Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
-					X: 2, TG: 150, Seed: seed + 7,
-				}).Run()
-				if errI != nil || errN != nil {
-					t.Notes = append(t.Notes, fmt.Sprintf("n=%d δ=%v φ=%v: %v %v", n, delta, phi, errI, errN))
-					continue
-				}
-				t.AddRow(n, delta, phi,
-					init.Elapsed, init.Bound, non.Elapsed, non.Bound,
-					non.Bound/init.Bound, non.Elapsed/init.Elapsed)
+				cells = append(cells, rowCell(
+					fmt.Sprintf("E3/n=%d/δ=%v/φ=%v", n, delta, phi),
+					func() (tableOp, error) {
+						init, errI := (predimpl.GoodPeriodExperiment{
+							Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
+							X: 2, TG: 0, Seed: r.cfg.Seed,
+						}).Run()
+						non, errN := (predimpl.GoodPeriodExperiment{
+							Kind: predimpl.UseAlg2, N: n, Phi: phi, Delta: delta,
+							X: 2, TG: 150, Seed: r.cfg.Seed + 7,
+						}).Run()
+						if errI != nil || errN != nil {
+							return nil, fmt.Errorf("%v %v", errI, errN)
+						}
+						return func(t *Table) {
+							t.AddRow(n, delta, phi,
+								init.Elapsed, init.Bound, non.Elapsed, non.Bound,
+								non.Bound/init.Bound, non.Elapsed/init.Elapsed)
+						}, nil
+					}))
 			}
 		}
 	}
+	r.sweepInto(ctx, t, cells)
 	t.Notes = append(t.Notes,
 		"paper: 'a factor of approximately 3/2 between the two cases for the relevant value x = 2' — the bound ratio column sits at 1.5+ε for all configurations")
 	return t
 }
 
 // E4Theorem6 measures Algorithm 3 in non-initial π0-arbitrary good
-// periods against (x+2)[τ0φ+δ+nφ+2φ]+τ0φ.
-func E4Theorem6(seed uint64) *Table {
+// periods against (x+2)[τ0φ+δ+nφ+2φ]+τ0φ. One cell per (n, f, δ, x).
+func (r *Runner) E4Theorem6(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "E4",
 		Title:  "Theorem 6 — Alg 3, non-initial π0-arbitrary good period",
 		Header: []string{"n", "f", "δ", "φ", "x", "ρ0", "measured", "bound", "ratio"},
 	}
 	cases := []struct{ n, f int }{{3, 1}, {5, 2}, {7, 3}, {9, 4}}
+	var cells []sweep.Cell
 	for _, c := range cases {
 		for _, delta := range []float64{5, 10} {
 			for _, x := range []int{1, 2, 3} {
 				e := predimpl.GoodPeriodExperiment{
 					Kind: predimpl.UseAlg3, N: c.n, F: c.f, Phi: 1, Delta: delta,
-					X: x, TG: 150, Seed: seed + uint64(c.n*10+x),
+					X: x, TG: 150, Seed: r.cfg.Seed + uint64(c.n*10+x),
 				}
-				res, err := e.Run()
-				if err != nil {
-					t.Notes = append(t.Notes, err.Error())
-					continue
-				}
-				t.AddRow(c.n, c.f, delta, 1.0, x, int(res.Rho0), res.Elapsed, res.Bound, res.Ratio)
+				cells = append(cells, rowCell(
+					fmt.Sprintf("E4/n=%d/f=%d/δ=%v/x=%d", c.n, c.f, delta, x),
+					func() (tableOp, error) {
+						res, err := e.Run()
+						if err != nil {
+							return nil, err
+						}
+						return func(t *Table) {
+							t.AddRow(c.n, c.f, delta, 1.0, x, int(res.Rho0), res.Elapsed, res.Bound, res.Ratio)
+						}, nil
+					}))
 			}
 		}
 	}
+	r.sweepInto(ctx, t, cells)
 	t.Notes = append(t.Notes,
 		"the (x+2) multiplier covers the Lemma B.8 resynchronization; measured runs need roughly half the bound on average")
 	return t
 }
 
 // E5Theorem7 measures Algorithm 3's initial good periods against
-// (x−1)[τ0φ+δ+nφ+2φ]+τ0φ+φ.
-func E5Theorem7(seed uint64) *Table {
+// (x−1)[τ0φ+δ+nφ+2φ]+τ0φ+φ. One cell per (n, f, δ, x).
+func (r *Runner) E5Theorem7(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "E5",
 		Title:  "Theorem 7 — Alg 3, initial π0-arbitrary good period",
 		Header: []string{"n", "f", "δ", "x", "measured", "bound", "ratio"},
 	}
 	cases := []struct{ n, f int }{{3, 1}, {5, 2}, {7, 3}, {9, 4}}
+	var cells []sweep.Cell
 	for _, c := range cases {
 		for _, delta := range []float64{5, 10} {
 			for _, x := range []int{1, 2, 3} {
 				e := predimpl.GoodPeriodExperiment{
 					Kind: predimpl.UseAlg3, N: c.n, F: c.f, Phi: 1, Delta: delta,
-					X: x, TG: 0, Seed: seed + uint64(c.n+x),
+					X: x, TG: 0, Seed: r.cfg.Seed + uint64(c.n+x),
 				}
-				res, err := e.Run()
-				if err != nil {
-					t.Notes = append(t.Notes, err.Error())
-					continue
-				}
-				t.AddRow(c.n, c.f, delta, x, res.Elapsed, res.Bound, res.Ratio)
+				cells = append(cells, rowCell(
+					fmt.Sprintf("E5/n=%d/f=%d/δ=%v/x=%d", c.n, c.f, delta, x),
+					func() (tableOp, error) {
+						res, err := e.Run()
+						if err != nil {
+							return nil, err
+						}
+						return func(t *Table) {
+							t.AddRow(c.n, c.f, delta, x, res.Elapsed, res.Bound, res.Ratio)
+						}, nil
+					}))
 			}
 		}
 	}
+	r.sweepInto(ctx, t, cells)
 	return t
 }
 
 // E6FullStack measures the §4.2.2(c) composition — OneThirdRule over the
 // Algorithm 4 translation over Algorithm 3 — end to end against
-// (2f+5)[τ0φ+δ+nφ+2φ]+τ0φ.
-func E6FullStack(seed uint64) *Table {
+// (2f+5)[τ0φ+δ+nφ+2φ]+τ0φ. One cell per (n, f, tG, outsiders).
+func (r *Runner) E6FullStack(ctx context.Context) *Table {
 	t := &Table{
 		ID:     "E6",
 		Title:  "§4.2.2(c) — full stack (OTR ∘ Alg 4 ∘ Alg 3): good-period time to decision",
 		Header: []string{"n", "f", "tG", "outsiders", "rounds", "measured", "bound", "ratio"},
 	}
 	cases := []struct{ n, f int }{{4, 1}, {7, 2}, {10, 3}}
+	var cells []sweep.Cell
 	for _, c := range cases {
 		for _, tg := range []simtime.Time{0, 150} {
 			for _, down := range []bool{true, false} {
 				e := predimpl.FullStackExperiment{
 					N: c.n, F: c.f, Phi: 1, Delta: 5, TG: tg,
-					Seed: seed + uint64(c.n), OutsidersDown: down,
+					Seed: r.cfg.Seed + uint64(c.n), OutsidersDown: down,
 					Horizon: tg + 30*predimpl.Section422cFullStackBound(c.n, c.f, 1, 5),
-				}
-				res, err := e.Run()
-				if err != nil {
-					t.Notes = append(t.Notes, err.Error())
-					continue
 				}
 				mode := "down"
 				if !down {
 					mode = "active"
 				}
-				t.AddRow(c.n, c.f, tg, mode, int(res.Rounds), res.Elapsed, res.Bound, res.Ratio)
+				cells = append(cells, rowCell(
+					fmt.Sprintf("E6/n=%d/f=%d/tG=%v/%s", c.n, c.f, tg, mode),
+					func() (tableOp, error) {
+						res, err := e.Run()
+						if err != nil {
+							return nil, err
+						}
+						return func(t *Table) {
+							t.AddRow(c.n, c.f, tg, mode, int(res.Rounds), res.Elapsed, res.Bound, res.Ratio)
+						}, nil
+					}))
 			}
 		}
 	}
+	r.sweepInto(ctx, t, cells)
 	t.Notes = append(t.Notes,
 		"the bound targets the outsiders-down adversary; with active outsiders the run is not worst-case-scheduled but must still decide (ratio may exceed 1 only for 'active' rows)",
 		"requires f < n/3 so that |π0| = n−f exceeds OneThirdRule's 2n/3 quorum")
 	return t
+}
+
+// Sequential wrappers, used by tests and callers that do not need to
+// configure the engine.
+
+// E1Theorem3 regenerates the Theorem 3 table with default execution.
+func E1Theorem3(seed uint64) *Table {
+	return New(Config{Seed: seed}).E1Theorem3(context.Background())
+}
+
+// E2Corollary4 regenerates the Corollary 4 table with default execution.
+func E2Corollary4(seed uint64) *Table {
+	return New(Config{Seed: seed}).E2Corollary4(context.Background())
+}
+
+// E3InitialVsNonInitial regenerates the Theorem 5 vs 3 table with default
+// execution.
+func E3InitialVsNonInitial(seed uint64) *Table {
+	return New(Config{Seed: seed}).E3InitialVsNonInitial(context.Background())
+}
+
+// E4Theorem6 regenerates the Theorem 6 table with default execution.
+func E4Theorem6(seed uint64) *Table {
+	return New(Config{Seed: seed}).E4Theorem6(context.Background())
+}
+
+// E5Theorem7 regenerates the Theorem 7 table with default execution.
+func E5Theorem7(seed uint64) *Table {
+	return New(Config{Seed: seed}).E5Theorem7(context.Background())
+}
+
+// E6FullStack regenerates the §4.2.2(c) table with default execution.
+func E6FullStack(seed uint64) *Table {
+	return New(Config{Seed: seed}).E6FullStack(context.Background())
 }

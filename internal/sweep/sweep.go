@@ -1,0 +1,216 @@
+// Package sweep is the concurrent experiment-orchestration engine: it
+// fans independent simulation cells out across a worker pool and hands the
+// results back in cell order, so that a table assembled from a parallel
+// sweep is byte-identical to the one a sequential sweep produces.
+//
+// The unit of work is a Cell — typically one (configuration, seed)
+// simulation. Cells must be self-contained: a cell owns its RNG, its
+// simulator, and everything else it mutates, and two cells never share
+// mutable state. Under that contract the engine guarantees that
+// Engine.Run's result slice depends only on the cells themselves, never on
+// the worker count or on scheduling.
+//
+// The engine supports per-cell timeouts, cancellation of the whole sweep
+// via context.Context, and a progress callback for live reporting.
+// internal/experiments builds every table through this package, and
+// cmd/hobench / cmd/hosim expose it as -parallel / -timeout flags.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// ErrCellTimeout marks a cell that exceeded Engine.CellTimeout. The
+// sweep as a whole continues; callers typically surface the timeout as a
+// table note instead of a row.
+var ErrCellTimeout = errors.New("sweep: cell timed out")
+
+// Cell is one independent unit of a sweep.
+type Cell struct {
+	// Label identifies the cell in progress output, timeout notes and
+	// errors, e.g. "E1/n=7/δ=5/x=2".
+	Label string
+	// Run computes the cell. It receives a context that is cancelled
+	// when the sweep is cancelled or the cell's timeout fires;
+	// long-running cells should honour it, but the engine also guards
+	// cells that cannot: a timed-out cell is abandoned to finish in the
+	// background while the sweep moves on.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one cell. Results are reported in cell order
+// (Index), never in completion order.
+type Result struct {
+	Index int
+	Label string
+	// Value is what Cell.Run returned. It is nil when the cell failed,
+	// timed out, or was skipped because the sweep was cancelled.
+	Value any
+	// Err is the cell's error, ErrCellTimeout, or the context error for
+	// cells the sweep never ran.
+	Err error
+	// TimedOut reports that Err is ErrCellTimeout.
+	TimedOut bool
+	// Completed reports that the cell's Run finished and Value/Err are
+	// its own outcome (as opposed to a timeout or a cancelled sweep).
+	Completed bool
+	// Elapsed is wall-clock time spent in the cell. It depends on load
+	// and scheduling — report it in logs, never in deterministic output.
+	Elapsed time.Duration
+}
+
+// Skipped reports that the sweep never obtained an outcome from this
+// cell: it was cancelled (sweep-level) before or during its run, rather
+// than completing, failing, or timing out on its own. Callers use this
+// to separate "not run" accounting from genuine per-cell failures.
+func (r Result) Skipped() bool { return !r.Completed && !r.TimedOut }
+
+// Progress is a snapshot handed to Engine.OnProgress after each cell
+// completes. Done counts completed cells (in completion order — the only
+// place the engine exposes scheduling).
+type Progress struct {
+	Done  int
+	Total int
+	// Last is the result that just completed.
+	Last Result
+}
+
+// Engine runs sweeps. The zero value is ready to use: all cores, no
+// per-cell timeout, no progress reporting. An Engine is stateless across
+// Run calls and safe for concurrent use.
+type Engine struct {
+	// Workers is the number of concurrent cells. 0 (or negative) means
+	// runtime.GOMAXPROCS(0). Workers == 1 is the sequential reference
+	// execution that parallel runs must reproduce byte-for-byte.
+	Workers int
+	// CellTimeout bounds each cell's run time; 0 means no bound. A cell
+	// that exceeds it yields a Result with TimedOut set and the sweep
+	// continues with the remaining cells.
+	CellTimeout time.Duration
+	// OnProgress, if non-nil, is called after each cell completes. Calls
+	// are serialized; the callback must be fast and must not call back
+	// into the Engine.
+	OnProgress func(Progress)
+}
+
+// Run executes all cells and returns their results indexed by cell —
+// results[i] belongs to cells[i] regardless of completion order.
+//
+// If ctx is cancelled mid-sweep, Run stops dispatching, waits for
+// in-flight cells, marks never-run cells with ctx's error, and returns
+// the partial results alongside that error. Cell failures and timeouts
+// are per-cell data, not sweep errors: Run returns a nil error for them.
+func (e *Engine) Run(ctx context.Context, cells []Cell) ([]Result, error) {
+	results := make([]Result, len(cells))
+	for i, c := range cells {
+		results[i] = Result{Index: i, Label: c.Label}
+	}
+	if len(cells) == 0 {
+		return results, ctx.Err()
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	jobs := make(chan int)
+	go func() {
+		defer close(jobs)
+		for i := range cells {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex // guards ran, done, results writes, OnProgress
+		ran  = make([]bool, len(cells))
+		done int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r := e.runCell(ctx, i, cells[i])
+				mu.Lock()
+				results[i] = r
+				ran[i] = true
+				done++
+				if e.OnProgress != nil {
+					e.OnProgress(Progress{Done: done, Total: len(cells), Last: r})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if !ran[i] {
+				results[i].Err = err
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+// runCell executes one cell, enforcing the per-cell timeout. The cell
+// body runs in its own goroutine so that a cell which ignores its context
+// can still be abandoned: its eventual result is discarded through the
+// buffered channel.
+func (e *Engine) runCell(ctx context.Context, index int, c Cell) Result {
+	res := Result{Index: index, Label: c.Label}
+	cellCtx := ctx
+	if e.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		cellCtx, cancel = context.WithTimeout(ctx, e.CellTimeout)
+		defer cancel()
+	}
+
+	type outcome struct {
+		value any
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("sweep: cell %q panicked: %v", c.Label, p)}
+			}
+		}()
+		v, err := c.Run(cellCtx)
+		ch <- outcome{value: v, err: err}
+	}()
+
+	select {
+	case out := <-ch:
+		res.Value, res.Err = out.value, out.err
+		res.Completed = true
+	case <-cellCtx.Done():
+		if ctx.Err() != nil {
+			res.Err = ctx.Err()
+		} else {
+			res.Err = ErrCellTimeout
+			res.TimedOut = true
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}

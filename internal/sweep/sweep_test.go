@@ -1,0 +1,237 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"heardof/internal/xrand"
+)
+
+// numberedCells builds n self-contained cells whose values depend only on
+// their index (each owns a deterministic RNG), mimicking a (config, seed)
+// simulation grid.
+func numberedCells(n int) []Cell {
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{
+			Label: fmt.Sprintf("cell/%d", i),
+			Run: func(context.Context) (any, error) {
+				rng := xrand.New(uint64(i))
+				sum := uint64(0)
+				for k := 0; k < 100; k++ {
+					sum += rng.Uint64()
+				}
+				return sum, nil
+			},
+		}
+	}
+	return cells
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	cells := numberedCells(64)
+	var reference []Result
+	for _, workers := range []int{1, 2, 8, 0} {
+		eng := &Engine{Workers: workers}
+		results, err := eng.Run(context.Background(), cells)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(results) != len(cells) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(results), len(cells))
+		}
+		for i, r := range results {
+			if r.Index != i || r.Label != cells[i].Label {
+				t.Fatalf("workers=%d: result %d has index %d label %q", workers, i, r.Index, r.Label)
+			}
+			if r.Err != nil {
+				t.Fatalf("workers=%d cell %d: %v", workers, i, r.Err)
+			}
+		}
+		if reference == nil {
+			reference = results
+			continue
+		}
+		for i := range results {
+			if results[i].Value != reference[i].Value {
+				t.Errorf("workers=%d cell %d: value %v differs from sequential %v",
+					workers, i, results[i].Value, reference[i].Value)
+			}
+		}
+	}
+}
+
+func TestErrorsAreCellLocal(t *testing.T) {
+	boom := errors.New("boom")
+	cells := numberedCells(8)
+	cells[3].Run = func(context.Context) (any, error) { return nil, boom }
+	cells[5].Run = func(context.Context) (any, error) { panic("deliberate") }
+
+	results, err := (&Engine{Workers: 4}).Run(context.Background(), cells)
+	if err != nil {
+		t.Fatalf("sweep error: %v (cell failures must stay per-cell)", err)
+	}
+	if !errors.Is(results[3].Err, boom) {
+		t.Errorf("cell 3 err = %v, want %v", results[3].Err, boom)
+	}
+	if results[5].Err == nil || results[5].Value != nil {
+		t.Errorf("panicking cell 5: err=%v value=%v, want recovered error", results[5].Err, results[5].Value)
+	}
+	for _, i := range []int{0, 1, 2, 4, 6, 7} {
+		if results[i].Err != nil {
+			t.Errorf("healthy cell %d got err %v", i, results[i].Err)
+		}
+	}
+}
+
+func TestCancellationMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 50
+	started := make(chan struct{}, n)
+	cells := make([]Cell, n)
+	for i := range cells {
+		cells[i] = Cell{
+			Label: fmt.Sprintf("cancel/%d", i),
+			Run: func(ctx context.Context) (any, error) {
+				started <- struct{}{}
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-time.After(10 * time.Second):
+					return "finished", nil
+				}
+			},
+		}
+	}
+	go func() {
+		<-started // at least one cell is in flight
+		cancel()
+	}()
+
+	doneCh := make(chan struct{})
+	var results []Result
+	var err error
+	go func() {
+		results, err = (&Engine{Workers: 4}).Run(ctx, cells)
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+	neverRan := 0
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("cell %d reported success despite cancellation", i)
+		}
+		if r.Elapsed == 0 {
+			neverRan++
+		}
+	}
+	if neverRan == 0 {
+		t.Error("expected some cells to be skipped entirely (none were)")
+	}
+}
+
+func TestPerCellTimeout(t *testing.T) {
+	cells := []Cell{
+		{Label: "fast", Run: func(context.Context) (any, error) { return "ok", nil }},
+		{Label: "hung", Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done() // honours cancellation, but only after the deadline
+			return nil, ctx.Err()
+		}},
+		{Label: "fast2", Run: func(context.Context) (any, error) { return "ok", nil }},
+	}
+	doneCh := make(chan struct{})
+	var results []Result
+	var err error
+	go func() {
+		results, err = (&Engine{Workers: 2, CellTimeout: 50 * time.Millisecond}).Run(context.Background(), cells)
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep hung on a timed-out cell")
+	}
+	if err != nil {
+		t.Fatalf("sweep error: %v (timeouts must not abort the sweep)", err)
+	}
+	if !results[1].TimedOut || !errors.Is(results[1].Err, ErrCellTimeout) {
+		t.Errorf("hung cell: TimedOut=%v Err=%v, want ErrCellTimeout", results[1].TimedOut, results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Err != nil || results[i].Value != "ok" {
+			t.Errorf("cell %d: value=%v err=%v, want ok/nil", i, results[i].Value, results[i].Err)
+		}
+	}
+}
+
+func TestTimeoutAbandonsUncooperativeCell(t *testing.T) {
+	release := make(chan struct{})
+	cells := []Cell{{
+		Label: "ignores-ctx",
+		Run: func(context.Context) (any, error) {
+			<-release // simulates a cell that cannot observe its context
+			return "late", nil
+		},
+	}}
+	doneCh := make(chan struct{})
+	var results []Result
+	go func() {
+		results, _ = (&Engine{Workers: 1, CellTimeout: 20 * time.Millisecond}).Run(context.Background(), cells)
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sweep blocked on a cell that ignores its context")
+	}
+	close(release)
+	if !results[0].TimedOut {
+		t.Errorf("result = %+v, want TimedOut", results[0])
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	const n = 20
+	var mu sync.Mutex
+	var dones []int
+	total := 0
+	eng := &Engine{
+		Workers: 4,
+		OnProgress: func(p Progress) {
+			mu.Lock()
+			defer mu.Unlock()
+			dones = append(dones, p.Done)
+			total = p.Total
+		},
+	}
+	if _, err := eng.Run(context.Background(), numberedCells(n)); err != nil {
+		t.Fatal(err)
+	}
+	if total != n || len(dones) != n {
+		t.Fatalf("progress: total=%d callbacks=%d, want %d/%d", total, len(dones), n, n)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress Done sequence %v is not monotonic", dones)
+		}
+	}
+}
+
+func TestEmptySweep(t *testing.T) {
+	results, err := (&Engine{}).Run(context.Background(), nil)
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty sweep: results=%v err=%v", results, err)
+	}
+}
