@@ -340,6 +340,176 @@ func BenchmarkAblation_InitQuorum(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// BenchmarkSim_* / BenchmarkRunner_*: the event-core hot path.
+//
+// These are the benchmarks scripts/bench.sh aggregates into BENCH_sim.json
+// — the repo's perf trajectory. Each BenchmarkSim_* iteration runs one
+// complete bounded scenario (fresh simulator, fixed horizon), so ns/op and
+// allocs/op measure the whole event loop: heap pushes and pops, broadcast
+// fan-out, make-ready transfers, reception-policy selection and buffer
+// removal. DESIGN.md's Performance section records the before/after
+// numbers.
+// ---------------------------------------------------------------------------
+
+// benchRoundMsg is a round-carrying payload for simulator-level benches.
+type benchRoundMsg struct{ r core.Round }
+
+func (m benchRoundMsg) RoundNumber() core.Round { return m.r }
+
+// benchProto alternates between broadcasting a round-tagged payload and
+// draining one buffered message, keeping buffers small and both step kinds
+// hot.
+type benchProto struct {
+	policy simtime.ReceptionPolicy
+	round  core.Round
+	got    int
+}
+
+func (p *benchProto) Step(ctx *simtime.StepContext) {
+	if _, ok := ctx.Receive(p.policy); ok {
+		p.got++
+		return
+	}
+	p.round++
+	ctx.Broadcast(benchRoundMsg{r: p.round})
+}
+
+func (p *benchProto) OnCrash()   {}
+func (p *benchProto) OnRecover() {}
+
+// benchFloodProto: process 0 broadcasts every step; every other process
+// receives every step, so buffers deepen and policy selection dominates.
+type benchFloodProto struct {
+	p      core.ProcessID
+	policy simtime.ReceptionPolicy
+	round  core.Round
+}
+
+func (p *benchFloodProto) Step(ctx *simtime.StepContext) {
+	if p.p == 0 {
+		p.round++
+		ctx.Broadcast(benchRoundMsg{r: p.round})
+		return
+	}
+	ctx.Receive(p.policy)
+}
+
+func (p *benchFloodProto) OnCrash()   {}
+func (p *benchFloodProto) OnRecover() {}
+
+func runSimScenario(b *testing.B, cfg simtime.Config, factory func(p core.ProcessID) simtime.Proto, horizon simtime.Time) {
+	b.Helper()
+	sim, err := simtime.New(cfg, factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.RunUntilTime(horizon)
+	if sim.Stats().Steps == 0 {
+		b.Fatal("scenario executed no steps")
+	}
+}
+
+// BenchmarkSim_EventLoop is the headline hot-path number: an 8-process
+// all-good run where every step is a send or a FIFO receive.
+func BenchmarkSim_EventLoop(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runSimScenario(b, simtime.Config{N: 8, Phi: 1, Delta: 5, Seed: uint64(i) + 1},
+			func(core.ProcessID) simtime.Proto { return &benchProto{policy: simtime.FIFO{}} }, 200)
+	}
+}
+
+// BenchmarkSim_BroadcastFanout stresses the n-destination enqueue batch:
+// 16 processes, everyone alternating send/receive.
+func BenchmarkSim_BroadcastFanout(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runSimScenario(b, simtime.Config{N: 16, Phi: 1, Delta: 5, Seed: uint64(i) + 1},
+			func(core.ProcessID) simtime.Proto { return &benchProto{policy: simtime.FIFO{}} }, 100)
+	}
+}
+
+// BenchmarkSim_HighestRoundReceive deepens buffers under a flooding sender
+// so HighestRoundFirst selection over large buffers dominates.
+func BenchmarkSim_HighestRoundReceive(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runSimScenario(b, simtime.Config{N: 8, Phi: 1, Delta: 5, Seed: uint64(i) + 1},
+			func(p core.ProcessID) simtime.Proto {
+				return &benchFloodProto{p: p, policy: simtime.HighestRoundFirst{}}
+			}, 200)
+	}
+}
+
+// BenchmarkSim_BadPeriodChurn exercises the rng-heavy regime: jittered
+// gaps and delays plus 30% loss in a permanent bad period.
+func BenchmarkSim_BadPeriodChurn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runSimScenario(b, simtime.Config{
+			N: 8, Phi: 1, Delta: 5, Seed: uint64(i) + 1,
+			Periods: []simtime.Period{{Start: 0, Kind: simtime.Bad}},
+			Bad:     simtime.BadConfig{LossProb: 0.3, MinDelay: 1, MaxDelay: 8, MinGap: 0.5, MaxGap: 2},
+		}, func(core.ProcessID) simtime.Proto { return &benchProto{policy: simtime.FIFO{}} }, 300)
+	}
+}
+
+// BenchmarkSim_Alg2StackDecision runs the full Alg2+OTR stack to an
+// all-decided state — the event core under its production protocol load.
+func BenchmarkSim_Alg2StackDecision(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		stack, err := predimpl.BuildStack(predimpl.StackConfig{
+			Kind:      predimpl.UseAlg2,
+			Algorithm: otr.Algorithm{},
+			Initial:   []core.Value{3, 1, 4, 1, 5, 9, 2},
+			Sim:       simtime.Config{N: 7, Phi: 1, Delta: 5, Seed: uint64(i) + 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stack.RunUntilAllDecided(core.FullSet(7), 2000) < 0 {
+			b.Fatal("stack did not decide")
+		}
+	}
+}
+
+// BenchmarkRunner_OTRStepRound measures one lock-step HO round at n=16
+// with allocation accounting (the E7 inner loop).
+func BenchmarkRunner_OTRStepRound(b *testing.B) {
+	initial := make([]core.Value, 16)
+	for i := range initial {
+		initial[i] = core.Value(i)
+	}
+	ru, err := core.NewRunner(otr.Algorithm{}, initial, adversary.Full{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ru.StepRound()
+	}
+}
+
+// BenchmarkRunner_E7RandomizedRun is one complete E7 cell: a 25-round
+// randomized-adversary execution plus its safety check.
+func BenchmarkRunner_E7RandomizedRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prov := &adversary.Arbitrary{RNG: xrand.New(uint64(i)), EmptyBias: 0.2}
+		ru, err := core.NewRunner(otr.Algorithm{}, []core.Value{3, 1, 4, 1, 5, 9, 2}, prov)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ru.RunRounds(25)
+		if serr := ru.Trace().CheckConsensusSafety(); serr != nil {
+			b.Fatal(serr)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Micro-benchmarks of the layers.
 // ---------------------------------------------------------------------------
 

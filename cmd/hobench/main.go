@@ -19,6 +19,7 @@
 //	hobench -parallel 1     # sequential reference run (same bytes)
 //	hobench -timeout 30s    # per-cell budget; overruns become table notes
 //	hobench -progress       # live cell progress on stderr
+//	hobench -cpuprofile cpu.pprof -memprofile mem.pprof   # pprof output
 package main
 
 import (
@@ -30,6 +31,7 @@ import (
 	"strings"
 
 	"heardof/internal/experiments"
+	"heardof/internal/profiling"
 	"heardof/internal/sweep"
 )
 
@@ -48,8 +50,20 @@ func run() error {
 		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores, 1 = sequential)")
 		timeout  = flag.Duration("timeout", 0, "per-cell timeout (0 = none); timed-out cells become table notes")
 		progress = flag.Bool("progress", false, "report live cell progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "hobench: profile:", perr)
+		}
+	}()
 
 	var selected []string
 	if *expFlag == "all" {

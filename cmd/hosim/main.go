@@ -32,6 +32,7 @@ import (
 	"heardof/internal/otr"
 	"heardof/internal/predicate"
 	"heardof/internal/predimpl"
+	"heardof/internal/profiling"
 	"heardof/internal/simtime"
 	"heardof/internal/sweep"
 	"heardof/internal/translation"
@@ -92,8 +93,20 @@ func run() error {
 		seeds    = flag.Int("seeds", 1, "number of seeds to sweep (seed, seed+1, ...); 1 = single detailed run")
 		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores)")
 		timeout  = flag.Duration("timeout", 0, "per-seed timeout when sweeping (0 = none)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "hosim: profile:", perr)
+		}
+	}()
 
 	var alg core.Algorithm
 	switch *algName {

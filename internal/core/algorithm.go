@@ -31,7 +31,10 @@ func Senders(msgs []IncomingMessage) PIDSet {
 //     for rounds it jumps over.
 //   - Transition(r, msgs) is T_p^r(μ⃗, s_p). msgs is the partial vector of
 //     round-r messages received; its set of senders is HO(p, r). A nil or
-//     empty slice models a round in which nothing was heard.
+//     empty slice models a round in which nothing was heard. The slice is
+//     only valid for the duration of the call — the runner reuses its
+//     backing array across rounds — so implementations must copy anything
+//     they keep (payload values may be retained; they are immutable).
 //   - Rounds are delivered in strictly increasing order, every round
 //     exactly once (skipped rounds get an empty Transition call).
 type Instance interface {

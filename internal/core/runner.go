@@ -41,6 +41,15 @@ type Runner struct {
 
 	// onRound, if set, is called after each executed round.
 	onRound func(r Round, rec RoundRecord)
+
+	// Scratch storage reused across StepRound calls so a round allocates
+	// nothing beyond what the provider and trace must retain. inboxArena
+	// backs every process's inbox slice for the round; Instance.Transition
+	// must not retain its msgs slice past the call (see the Instance
+	// contract).
+	msgs       []Message
+	clamped    []PIDSet
+	inboxArena []IncomingMessage
 }
 
 // NewRunner creates a runner for one consensus instance over n = len(initial)
@@ -58,11 +67,13 @@ func NewRunner(alg Algorithm, initial []Value, prov HOProvider) (*Runner, error)
 		insts[p] = alg.NewInstance(ProcessID(p), n, initial[p])
 	}
 	return &Runner{
-		n:     n,
-		insts: insts,
-		prov:  prov,
-		trace: NewTrace(n, initial),
-		round: 1,
+		n:       n,
+		insts:   insts,
+		prov:    prov,
+		trace:   NewTrace(n, initial),
+		round:   1,
+		msgs:    make([]Message, n),
+		clamped: make([]PIDSet, n),
 	}, nil
 }
 
@@ -88,13 +99,13 @@ func (ru *Runner) StepRound() {
 	r := ru.round
 	full := FullSet(ru.n)
 
-	msgs := make([]Message, ru.n)
+	msgs := ru.msgs
 	for p := 0; p < ru.n; p++ {
 		msgs[p] = ru.insts[p].Send(r)
 	}
 
 	hos := ru.prov.HOSets(r, ru.n)
-	clamped := make([]PIDSet, ru.n)
+	clamped := ru.clamped
 	for p := 0; p < ru.n; p++ {
 		var ho PIDSet
 		if p < len(hos) {
@@ -103,17 +114,25 @@ func (ru *Runner) StepRound() {
 		clamped[p] = ho
 	}
 
+	arena := ru.inboxArena[:0]
 	for p := 0; p < ru.n; p++ {
-		ho := clamped[p]
-		inbox := make([]IncomingMessage, 0, ho.Len())
-		ho.ForEach(func(q ProcessID) {
-			inbox = append(inbox, IncomingMessage{From: q, Payload: msgs[q]})
+		start := len(arena)
+		clamped[p].ForEach(func(q ProcessID) {
+			arena = append(arena, IncomingMessage{From: q, Payload: msgs[q]})
 		})
+		// Full-capacity slice so an append by the instance cannot step on
+		// the next process's inbox.
+		inbox := arena[start:len(arena):len(arena)]
 		ru.insts[p].Transition(r, inbox)
 		if v, ok := ru.insts[p].Decided(); ok {
 			ru.trace.RecordDecision(ProcessID(p), v, r)
 		}
 	}
+	// Zero the stale tail beyond this round's use so payloads from an
+	// earlier, larger round are not pinned indefinitely; entries within
+	// len are overwritten next round.
+	clear(arena[len(arena):cap(arena)])
+	ru.inboxArena = arena[:0]
 
 	ru.trace.RecordRound(clamped)
 	if ru.onRound != nil {

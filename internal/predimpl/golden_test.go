@@ -1,0 +1,173 @@
+package predimpl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/simtime"
+)
+
+// The golden-equivalence suite pins the observable outputs of the
+// discrete-event engine — stats counters, per-process decisions (value and
+// round), and contract violations — for fixed seeds across all three
+// reception policies. Any change to the event core (heap layout, fan-out
+// batching, period caching, policy tie-breaks, buffer removal strategy)
+// must reproduce these fingerprints bit-for-bit; the goldens were recorded
+// on the pre-optimization engine (container/heap of *event, linear
+// PeriodAt scans, splice-removal buffers) and must never be regenerated to
+// make a regression pass.
+
+// goldenScenario is one pinned run: a full Alg2/Alg3 stack over the §4.1
+// simulator with crashes, a bad period, and a good period, driven to a
+// fixed horizon.
+type goldenScenario struct {
+	name    string
+	kind    ProtoKind
+	f       int
+	n       int
+	periods []simtime.Period
+	crashes []simtime.CrashEvent
+	seed    uint64
+	horizon simtime.Time
+	// ablation selects a non-default reception policy (the FIFO scenario).
+	ablation *Ablation
+	stepMode simtime.StepMode
+	delivery simtime.DeliveryMode
+}
+
+func (g goldenScenario) fingerprint(t *testing.T) string {
+	t.Helper()
+	initial := make([]core.Value, g.n)
+	for i := range initial {
+		initial[i] = core.Value(i%3 + 1)
+	}
+	stack, err := BuildStack(StackConfig{
+		Kind:      g.kind,
+		F:         g.f,
+		Algorithm: otr.Algorithm{},
+		Initial:   initial,
+		Ablation:  g.ablation,
+		Sim: simtime.Config{
+			N: g.n, Phi: 1, Delta: 5,
+			Periods:      g.periods,
+			Crashes:      g.crashes,
+			StepMode:     g.stepMode,
+			DeliveryMode: g.delivery,
+			Seed:         g.seed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack.Sim.RunUntilTime(g.horizon)
+
+	var b strings.Builder
+	st := stack.Sim.Stats()
+	fmt.Fprintf(&b, "stats{steps=%d sends=%d msgs=%d delivered=%d received=%d dropped=%d purged=%d crashes=%d recoveries=%d}",
+		st.Steps, st.Sends, st.MessagesSent, st.Delivered, st.Received,
+		st.Dropped, st.Purged, st.Crashes, st.Recoveries)
+	fmt.Fprintf(&b, " violations=%d", stack.Sim.ContractViolations())
+	tr := stack.Trace()
+	for p, d := range tr.Decisions {
+		if d.Decided {
+			fmt.Fprintf(&b, " p%d=(%d@r%d)", p, d.Value, d.Round)
+		} else {
+			fmt.Fprintf(&b, " p%d=⊥", p)
+		}
+	}
+	fmt.Fprintf(&b, " now=%v", stack.Sim.Now())
+	return b.String()
+}
+
+// goldenScenarios covers: Alg2 with HighestRoundFirst (its built-in
+// policy), Alg3 with RoundRobinHighest (its built-in policy), Alg3 with a
+// FIFO ablation, plus jitter variants that exercise the rng-draw paths
+// (step gaps, delivery delays, bad-period loss).
+var goldenScenarios = []goldenScenario{
+	{
+		name: "alg2-highest-round-first",
+		kind: UseAlg2, n: 5, seed: 42, horizon: 400,
+		periods: []simtime.Period{
+			{Start: 0, Kind: simtime.Bad},
+			{Start: 60, Kind: simtime.GoodDown, Pi0: core.FullSet(5)},
+		},
+		crashes: []simtime.CrashEvent{{P: 1, At: 10, RecoverAt: 40}},
+	},
+	{
+		name: "alg2-pi0-down-purge",
+		kind: UseAlg2, n: 5, seed: 9, horizon: 500,
+		periods: []simtime.Period{
+			{Start: 0, Kind: simtime.Bad},
+			{Start: 50, Kind: simtime.GoodDown, Pi0: core.SetOf(0, 1, 2)},
+			{Start: 300, Kind: simtime.GoodDown, Pi0: core.FullSet(5)},
+		},
+	},
+	{
+		name: "alg3-round-robin-highest",
+		kind: UseAlg3, f: 2, n: 5, seed: 7, horizon: 600,
+		periods: []simtime.Period{
+			{Start: 0, Kind: simtime.Bad},
+			{Start: 50, Kind: simtime.GoodArbitrary, Pi0: core.SetOf(0, 1, 2)},
+		},
+		crashes: []simtime.CrashEvent{{P: 4, At: 20, RecoverAt: -1}},
+	},
+	{
+		name: "alg3-fifo-ablation",
+		kind: UseAlg3, f: 1, n: 5, seed: 11, horizon: 800,
+		periods: []simtime.Period{
+			{Start: 0, Kind: simtime.Bad},
+			{Start: 40, Kind: simtime.GoodArbitrary, Pi0: core.SetOf(0, 1, 2, 3)},
+		},
+		ablation: &Ablation{
+			Alg3Policy: func(int) simtime.ReceptionPolicy { return simtime.FIFO{} },
+		},
+	},
+	{
+		name: "alg2-jitter-modes",
+		kind: UseAlg2, n: 4, seed: 23, horizon: 350,
+		periods: []simtime.Period{
+			{Start: 0, Kind: simtime.Bad},
+			{Start: 80, Kind: simtime.GoodDown, Pi0: core.FullSet(4)},
+		},
+		crashes:  []simtime.CrashEvent{{P: 2, At: 15, RecoverAt: 70}},
+		stepMode: simtime.StepJitter,
+		delivery: simtime.DeliverJitter,
+	},
+}
+
+// goldens maps scenario name → fingerprint recorded on the pre-change
+// engine. Do not regenerate; see the file comment.
+var goldens = map[string]string{
+	"alg2-highest-round-first": "stats{steps=1816 sends=106 msgs=530 delivered=492 received=486 dropped=28 purged=0 crashes=1 recoveries=1} violations=0 p0=(1@r4) p1=(1@r4) p2=(1@r4) p3=(1@r4) p4=(1@r4) now=400",
+	"alg2-pi0-down-purge":      "stats{steps=1853 sends=109 msgs=545 delivered=415 received=413 dropped=111 purged=4 crashes=2 recoveries=2} violations=0 p0=(1@r17) p1=(1@r17) p2=(1@r17) p3=(1@r17) p4=(1@r17) now=500",
+	"alg3-round-robin-highest": "stats{steps=2004 sends=135 msgs=675 delivered=425 received=424 dropped=238 purged=0 crashes=1 recoveries=0} violations=0 p0=(1@r5) p1=(1@r4) p2=(1@r10) p3=(1@r10) p4=⊥ now=600",
+	"alg3-fifo-ablation":       "stats{steps=3491 sends=244 msgs=1220 delivered=1009 received=1009 dropped=193 purged=0 crashes=0 recoveries=0} violations=0 p0=(1@r3) p1=(1@r3) p2=(1@r3) p3=(1@r3) p4=(1@r5) now=800",
+	"alg2-jitter-modes":        "stats{steps=1199 sends=76 msgs=304 delivered=270 received=268 dropped=22 purged=0 crashes=1 recoveries=1} violations=0 p0=(1@r4) p1=(1@r4) p2=(1@r4) p3=(1@r4) now=350",
+}
+
+func TestEngineGoldenEquivalence(t *testing.T) {
+	for _, sc := range goldenScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			got := sc.fingerprint(t)
+			want, ok := goldens[sc.name]
+			if !ok {
+				t.Fatalf("no golden recorded; engine produced:\n%q", got)
+			}
+			if got != want {
+				t.Errorf("engine output diverged from pinned golden:\n got %s\nwant %s", got, want)
+			}
+		})
+	}
+}
+
+// TestEngineGoldenDeterminism guards the goldens themselves: each scenario
+// must fingerprint identically on repeated runs in the same binary.
+func TestEngineGoldenDeterminism(t *testing.T) {
+	sc := goldenScenarios[0]
+	if a, b := sc.fingerprint(t), sc.fingerprint(t); a != b {
+		t.Errorf("same seed diverged across runs:\n%s\n%s", a, b)
+	}
+}

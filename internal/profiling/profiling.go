@@ -1,0 +1,57 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the repo's commands, so perf investigations of the event core need no
+// ad-hoc harnesses: any hobench/hosim invocation can emit pprof profiles
+// directly.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and arranges an
+// allocation profile dump (when memPath is non-empty). The returned stop
+// func finalizes both and must run before process exit; it is safe to call
+// when both paths are empty.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile, memFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	if memPath != "" {
+		// Open up front so a bad path fails before the run, not after it.
+		memFile, err = os.Create(memPath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("-cpuprofile: %w", err)
+			}
+		}
+		if memFile != nil {
+			defer memFile.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(memFile, 0); err != nil {
+				return fmt.Errorf("-memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -197,7 +197,10 @@ func (c *Config) Validate() error {
 	return nil
 }
 
-// PeriodAt returns the period in force at time t and its end time.
+// PeriodAt returns the period in force at time t and its end time. The
+// simulator calls it only at period boundaries (the period in force is
+// maintained incrementally on Sim); it remains the reference lookup for
+// tests and external callers.
 func (c *Config) PeriodAt(t Time) (Period, Time) {
 	idx := sort.Search(len(c.Periods), func(i int) bool {
 		return c.Periods[i].Start > t

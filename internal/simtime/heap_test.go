@@ -1,0 +1,84 @@
+package simtime
+
+import (
+	"sort"
+	"testing"
+
+	"heardof/internal/xrand"
+)
+
+// TestEventHeapDrainsInTotalOrder pushes randomized (t, seq) events and
+// checks the heap drains them in strict (t, seq) order — the invariant the
+// engine's determinism rests on.
+func TestEventHeapDrainsInTotalOrder(t *testing.T) {
+	rng := xrand.New(1)
+	var h eventHeap
+	const n = 1000
+	want := make([]event, 0, n)
+	for seq := 0; seq < n; seq++ {
+		e := event{t: Time(rng.Intn(50)), seq: uint64(seq), kind: evStep}
+		want = append(want, e)
+		h.push(e)
+	}
+	sort.Slice(want, func(i, j int) bool { return eventLess(&want[i], &want[j]) })
+	for i := range want {
+		if h.len() != n-i {
+			t.Fatalf("len = %d, want %d", h.len(), n-i)
+		}
+		got := h.popMin()
+		if got.t != want[i].t || got.seq != want[i].seq {
+			t.Fatalf("pop %d = (t=%v seq=%d), want (t=%v seq=%d)",
+				i, got.t, got.seq, want[i].t, want[i].seq)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.len())
+	}
+}
+
+// TestEventHeapReserveKeepsOrder interleaves reserve with pushes and pops.
+func TestEventHeapReserveKeepsOrder(t *testing.T) {
+	var h eventHeap
+	h.reserve(3)
+	for _, tm := range []Time{5, 1, 3} {
+		h.push(event{t: tm, seq: uint64(tm), kind: evStep})
+	}
+	h.reserve(64)
+	h.push(event{t: 0, seq: 99, kind: evStep})
+	var got []Time
+	for h.len() > 0 {
+		got = append(got, h.popMin().t)
+	}
+	want := []Time{0, 1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEventHeapSkimDropsTombstonesAtRoot tombstones the minimum events in
+// place and checks skim exposes the first live event.
+func TestEventHeapSkimDropsTombstonesAtRoot(t *testing.T) {
+	var h eventHeap
+	for seq := 0; seq < 10; seq++ {
+		h.push(event{t: Time(seq), seq: uint64(seq), kind: evMakeReady})
+	}
+	// Tombstone every event with t < 4 (they occupy the top of the heap).
+	for i := range h.ev {
+		if h.ev[i].t < 4 {
+			h.ev[i].kind = 0
+		}
+	}
+	h.skim()
+	if h.len() != 6 {
+		t.Fatalf("len after skim = %d, want 6", h.len())
+	}
+	if h.ev[0].kind == 0 || h.ev[0].t != 4 {
+		t.Fatalf("root after skim = (t=%v kind=%d), want live t=4", h.ev[0].t, h.ev[0].kind)
+	}
+	h.skim() // idempotent on a live root
+	if h.len() != 6 {
+		t.Fatalf("second skim changed len to %d", h.len())
+	}
+}

@@ -8,7 +8,22 @@ type Envelope struct {
 	To      core.ProcessID
 	Payload any
 	SentAt  Time
+
+	// round caches RoundNumber() of the payload. It is stamped once when
+	// the message enters the network (or via InjectForTest), so reception
+	// policies never type-assert payloads while scanning a buffer.
+	round core.Round
+	// seq is the buffer-arrival number, unique per envelope within a run.
+	// It is the final tie-break of every reception policy, which makes
+	// selection a total order over envelope keys — independent of buffer
+	// layout, so the simulator may remove received messages by swapping
+	// with the last element.
+	seq uint64
 }
+
+// Round returns the cached round number of the payload (0 for payloads
+// that do not implement RoundMessage).
+func (e Envelope) Round() core.Round { return e.round }
 
 // RoundMessage is implemented by payloads that carry a round number; the
 // round-aware reception policies of Algorithms 2 and 3 use it to order the
@@ -29,8 +44,40 @@ func roundOf(payload any) core.Round {
 // even though the buffer is non-empty (no built-in policy does this, but
 // an adversarial policy may). Policies may keep internal state (the
 // round-robin policy counts receive steps) and are therefore per-process.
+//
+// Every built-in policy is a total order on the envelope key
+// (round, SentAt, From, seq): given the same set of buffered envelopes it
+// selects the same envelope whatever their order in buf. The simulator's
+// swap-removal of received messages depends on this; custom policies
+// should preserve it.
 type ReceptionPolicy interface {
 	Select(buf []Envelope) int
+}
+
+// olderFIFO reports whether a precedes b in FIFO order: earlier send time,
+// then earlier arrival. Arrival order is what the pre-swap-remove engine's
+// "first buffer index" tie-break observed, so the order is unchanged.
+func olderFIFO(a, b *Envelope) bool {
+	if a.SentAt != b.SentAt {
+		return a.SentAt < b.SentAt
+	}
+	return a.seq < b.seq
+}
+
+// betterHRF reports whether a precedes b in highest-round-first order:
+// higher round, then earlier send time, then smaller sender, then earlier
+// arrival.
+func betterHRF(a, b *Envelope) bool {
+	if a.round != b.round {
+		return a.round > b.round
+	}
+	if a.SentAt != b.SentAt {
+		return a.SentAt < b.SentAt
+	}
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.seq < b.seq
 }
 
 // FIFO receives the oldest buffered message. It is not used by the
@@ -45,7 +92,7 @@ func (FIFO) Select(buf []Envelope) int {
 	}
 	best := 0
 	for i := 1; i < len(buf); i++ {
-		if buf[i].SentAt < buf[best].SentAt {
+		if olderFIFO(&buf[i], &buf[best]) {
 			best = i
 		}
 	}
@@ -54,7 +101,8 @@ func (FIFO) Select(buf []Envelope) int {
 
 // HighestRoundFirst is the reception policy of Algorithm 2: the buffered
 // message with the highest round number is received first; ties break
-// towards the earliest send time, then the smallest sender.
+// towards the earliest send time, then the smallest sender, then the
+// earliest arrival.
 type HighestRoundFirst struct{}
 
 // Select implements ReceptionPolicy.
@@ -63,24 +111,12 @@ func (HighestRoundFirst) Select(buf []Envelope) int {
 		return -1
 	}
 	best := 0
-	bestRound := roundOf(buf[0].Payload)
 	for i := 1; i < len(buf); i++ {
-		r := roundOf(buf[i].Payload)
-		switch {
-		case r > bestRound:
-			best, bestRound = i, r
-		case r == bestRound && less(buf[i], buf[best]):
+		if betterHRF(&buf[i], &buf[best]) {
 			best = i
 		}
 	}
 	return best
-}
-
-func less(a, b Envelope) bool {
-	if a.SentAt != b.SentAt {
-		return a.SentAt < b.SentAt
-	}
-	return a.From < b.From
 }
 
 // RoundRobinHighest is the reception policy of Algorithm 3: at the i-th
@@ -105,15 +141,12 @@ func (p *RoundRobinHighest) Select(buf []Envelope) int {
 		return -1
 	}
 	best := -1
-	var bestRound core.Round
 	for i := range buf {
 		if buf[i].From != target {
 			continue
 		}
-		r := roundOf(buf[i].Payload)
-		if best == -1 || r > bestRound ||
-			(r == bestRound && less(buf[i], buf[best])) {
-			best, bestRound = i, r
+		if best == -1 || betterHRF(&buf[i], &buf[best]) {
+			best = i
 		}
 	}
 	if best >= 0 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"heardof/internal/core"
+	"heardof/internal/xrand"
 )
 
 type fakeRound struct {
@@ -12,8 +13,13 @@ type fakeRound struct {
 
 func (f fakeRound) RoundNumber() core.Round { return f.r }
 
+var envSeq uint64
+
+// env builds a buffered envelope as the simulator would: the round cache
+// is stamped from the payload and the arrival number is unique.
 func env(from core.ProcessID, r core.Round, sentAt Time) Envelope {
-	return Envelope{From: from, Payload: fakeRound{r: r}, SentAt: sentAt}
+	envSeq++
+	return Envelope{From: from, Payload: fakeRound{r: r}, SentAt: sentAt, round: r, seq: envSeq}
 }
 
 func TestFIFOPicksOldest(t *testing.T) {
@@ -97,6 +103,53 @@ func TestRoundRobinHighestPreventsStarvation(t *testing.T) {
 	}
 	if !servedZero {
 		t.Error("process 0's message starved by the flooding process")
+	}
+}
+
+// TestPolicySelectionOrderIndependent locks in the total-order tie-break
+// the simulator's swap-removal depends on: whatever the insertion order of
+// the buffer, every built-in policy selects the same envelope (identified
+// by its unique arrival number, not its index). The generated buffers
+// deliberately contain full (round, SentAt, From) collisions so the final
+// seq tie-break is exercised.
+func TestPolicySelectionOrderIndependent(t *testing.T) {
+	rng := xrand.New(77)
+	const trials, buflen = 60, 25
+	for trial := 0; trial < trials; trial++ {
+		ref := make([]Envelope, buflen)
+		for i := range ref {
+			ref[i] = Envelope{
+				From:   core.ProcessID(rng.Intn(4)),
+				SentAt: Time(rng.Intn(3)),
+				round:  core.Round(rng.Intn(3)),
+				seq:    uint64(i),
+			}
+		}
+		policies := []struct {
+			name  string
+			fresh func() ReceptionPolicy
+		}{
+			{"fifo", func() ReceptionPolicy { return FIFO{} }},
+			{"highestRound", func() ReceptionPolicy { return HighestRoundFirst{} }},
+			{"roundRobin", func() ReceptionPolicy { return &RoundRobinHighest{N: 4} }},
+			{"roundRobinOffset", func() ReceptionPolicy { p := &RoundRobinHighest{N: 4}; p.Select(nil); return p }},
+		}
+		for _, pol := range policies {
+			name, fresh := pol.name, pol.fresh
+			want := ref[fresh().Select(ref)].seq
+			for shuffle := 0; shuffle < 8; shuffle++ {
+				perm := rng.Perm(buflen)
+				shuffled := make([]Envelope, buflen)
+				for i, j := range perm {
+					shuffled[i] = ref[j]
+				}
+				got := shuffled[fresh().Select(shuffled)].seq
+				if got != want {
+					t.Fatalf("trial %d policy %s: shuffled buffer selected seq %d, reference selected %d",
+						trial, name, got, want)
+				}
+			}
+		}
 	}
 }
 

@@ -1,7 +1,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 
 	"heardof/internal/core"
@@ -13,9 +12,11 @@ import (
 //
 // Step is invoked once per atomic step; the protocol must perform exactly
 // one action through the context: one Broadcast (a send step) or one
-// Receive (a receive step). OnCrash is invoked when the process crashes
-// (volatile state must be dropped); OnRecover when it comes back up
-// (state must be rebuilt from stable storage).
+// Receive (a receive step). The context is only valid for the duration of
+// the call — the simulator reuses it across steps, so protocols must not
+// retain it. OnCrash is invoked when the process crashes (volatile state
+// must be dropped); OnRecover when it comes back up (state must be rebuilt
+// from stable storage).
 type Proto interface {
 	Step(ctx *StepContext)
 	OnCrash()
@@ -61,7 +62,8 @@ func (c *StepContext) Receive(policy ReceptionPolicy) (env Envelope, ok bool) {
 	return c.sim.receive(c.p, policy)
 }
 
-// event kinds.
+// event kinds. Kind 0 is a tombstone: a purged event left in place in the
+// heap and discarded when it reaches the root.
 const (
 	evStep = iota + 1
 	evMakeReady
@@ -70,32 +72,13 @@ const (
 	evPeriod
 )
 
+// event is one future-event-list entry, stored by value in eventHeap.
 type event struct {
 	t    Time
 	seq  uint64
 	kind int
 	p    core.ProcessID
 	env  Envelope
-}
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].t != q[j].t {
-		return q[i].t < q[j].t
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
 }
 
 // Stats aggregates observable counters of a run.
@@ -121,15 +104,35 @@ type procState struct {
 
 // Sim is the discrete-event simulator. It is single-threaded and
 // deterministic for a fixed Config (including Seed) and protocol.
+//
+// The event core is allocation-free in steady state: events live by value
+// in a 4-ary heap, the period in force is maintained incrementally (it
+// only changes at evPeriod events), envelopes carry their payload's round
+// number so reception policies never type-assert, and the per-step
+// context is reused. DESIGN.md's Performance section describes the design
+// and why determinism survives it.
 type Sim struct {
 	cfg   Config
 	rng   *xrand.Rand
-	queue eventQueue
+	queue eventHeap
 	seq   uint64
 	now   Time
 
+	// per is the period in force at the current event time; it changes
+	// only when an evPeriod event fires, saving a period lookup per step
+	// and per send.
+	per Period
+
+	// arrivals numbers envelopes as they enter buffer sets; reception
+	// policies use it as the final tie-break, making their selection a
+	// total order independent of buffer layout.
+	arrivals uint64
+
 	procs  []procState
 	protos []Proto
+
+	// sctx is the reused step context; see Proto.
+	sctx StepContext
 
 	stats              Stats
 	contractViolations int
@@ -154,7 +157,7 @@ func New(cfg Config, factory func(p core.ProcessID) Proto) (*Sim, error) {
 	// Period boundaries.
 	for _, per := range cfg.Periods {
 		if per.Start > 0 {
-			s.push(&event{t: per.Start, kind: evPeriod})
+			s.push(event{t: per.Start, kind: evPeriod})
 		}
 	}
 	s.applyPeriodRules(0)
@@ -163,13 +166,13 @@ func New(cfg Config, factory func(p core.ProcessID) Proto) (*Sim, error) {
 		if ce.P < 0 || int(ce.P) >= cfg.N {
 			return nil, fmt.Errorf("crash event for unknown process %d", ce.P)
 		}
-		s.push(&event{t: ce.At, kind: evCrash, p: ce.P})
+		s.push(event{t: ce.At, kind: evCrash, p: ce.P})
 		if ce.RecoverAt >= 0 {
 			if ce.RecoverAt < ce.At {
 				return nil, fmt.Errorf("process %d recovers at %v before crashing at %v",
 					ce.P, ce.RecoverAt, ce.At)
 			}
-			s.push(&event{t: ce.RecoverAt, kind: evRecover, p: ce.P})
+			s.push(event{t: ce.RecoverAt, kind: evRecover, p: ce.P})
 		}
 	}
 	// First step of every (up) process.
@@ -200,21 +203,20 @@ func (s *Sim) Proto(p core.ProcessID) Proto { return s.protos[p] }
 // BufferLen returns the size of p's buffer set (for tests).
 func (s *Sim) BufferLen(p core.ProcessID) int { return len(s.procs[p].buffer) }
 
-func (s *Sim) push(e *event) {
+func (s *Sim) push(e event) {
 	e.seq = s.seq
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 }
 
 func (s *Sim) scheduleStep(p core.ProcessID, t Time) {
-	gap := s.stepGap(p, t)
-	s.push(&event{t: t + gap, kind: evStep, p: p})
+	gap := s.stepGap(p)
+	s.push(event{t: t + gap, kind: evStep, p: p})
 }
 
 // stepGap draws the time until p's next step under the period in force.
-func (s *Sim) stepGap(p core.ProcessID, t Time) Time {
-	per, _ := s.cfg.PeriodAt(t)
-	synchronous := per.Kind != Bad && per.Pi0.Has(p)
+func (s *Sim) stepGap(p core.ProcessID) Time {
+	synchronous := s.per.Kind != Bad && s.per.Pi0.Has(p)
 	if synchronous {
 		switch s.cfg.StepMode {
 		case StepFast:
@@ -231,13 +233,18 @@ func (s *Sim) stepGap(p core.ProcessID, t Time) Time {
 
 // broadcast implements a send step: one copy per destination enters the
 // network and is scheduled for make-ready per the link's current regime.
+// The payload's round number is resolved once here — not per buffered
+// message at selection time — and the n events are enqueued after a single
+// capacity reservation.
 func (s *Sim) broadcast(from core.ProcessID, payload any, t Time) {
 	s.stats.Sends++
-	per, _ := s.cfg.PeriodAt(t)
+	round := roundOf(payload)
+	fromGood := s.per.Kind != Bad && s.per.Pi0.Has(from)
+	s.queue.reserve(s.cfg.N)
 	for q := 0; q < s.cfg.N; q++ {
 		s.stats.MessagesSent++
 		to := core.ProcessID(q)
-		goodLink := per.Kind != Bad && per.Pi0.Has(from) && per.Pi0.Has(to)
+		goodLink := fromGood && s.per.Pi0.Has(to)
 		var delay Time
 		if goodLink {
 			if s.cfg.DeliveryMode == DeliverJitter {
@@ -252,16 +259,18 @@ func (s *Sim) broadcast(from core.ProcessID, payload any, t Time) {
 			}
 			delay = s.rng.Between(s.cfg.Bad.MinDelay, s.cfg.Bad.MaxDelay)
 		}
-		s.push(&event{
+		s.push(event{
 			t:    t + delay,
 			kind: evMakeReady,
 			p:    to,
-			env:  Envelope{From: from, To: to, Payload: payload, SentAt: t},
+			env:  Envelope{From: from, To: to, Payload: payload, SentAt: t, round: round},
 		})
 	}
 }
 
-// receive implements a receive step.
+// receive implements a receive step. Removal is an O(1) swap with the last
+// element: selection is a total order over envelope keys (see
+// ReceptionPolicy), so it does not depend on buffer layout.
 func (s *Sim) receive(p core.ProcessID, policy ReceptionPolicy) (Envelope, bool) {
 	buf := s.procs[p].buffer
 	if policy == nil {
@@ -272,17 +281,21 @@ func (s *Sim) receive(p core.ProcessID, policy ReceptionPolicy) (Envelope, bool)
 		return Envelope{}, false // λ
 	}
 	env := buf[idx]
-	s.procs[p].buffer = append(buf[:idx], buf[idx+1:]...)
+	last := len(buf) - 1
+	buf[idx] = buf[last]
+	buf[last] = Envelope{} // do not pin the payload
+	s.procs[p].buffer = buf[:last]
 	s.stats.Received++
 	return env, true
 }
 
-// applyPeriodRules enforces the entry conditions of the period in force at
-// time t: a π0-down period forces processes outside π0 down and purges
-// their in-flight and buffered messages; leaving a π0-down period revives
-// the processes it forced down.
+// applyPeriodRules installs the period in force at time t and enforces its
+// entry conditions: a π0-down period forces processes outside π0 down and
+// purges their in-flight and buffered messages; leaving a π0-down period
+// revives the processes it forced down.
 func (s *Sim) applyPeriodRules(t Time) {
-	per, _ := s.cfg.PeriodAt(t)
+	s.per, _ = s.cfg.PeriodAt(t)
+	per := s.per
 
 	// Revive processes that were down only because of a previous π0-down
 	// period (and are allowed up now).
@@ -309,10 +322,11 @@ func (s *Sim) applyPeriodRules(t Time) {
 	})
 	// "No messages from processes in π0̄ are in transit": purge network
 	// (pending make-ready events) and buffers of messages from outside.
-	for i := range s.queue {
-		e := s.queue[i]
-		if e.kind == evMakeReady && outside.Has(e.env.From) {
-			e.kind = 0 // tombstone; skipped on pop
+	ev := s.queue.ev
+	for i := range ev {
+		if ev[i].kind == evMakeReady && outside.Has(ev[i].env.From) {
+			ev[i].kind = 0 // tombstone; discarded at the heap root
+			ev[i].env = Envelope{}
 			s.stats.Purged++
 		}
 	}
@@ -324,6 +338,9 @@ func (s *Sim) applyPeriodRules(t Time) {
 				continue
 			}
 			kept = append(kept, env)
+		}
+		for i := len(kept); i < len(s.procs[p].buffer); i++ {
+			s.procs[p].buffer[i] = Envelope{}
 		}
 		s.procs[p].buffer = kept
 	}
@@ -353,50 +370,58 @@ func (s *Sim) recover(p core.ProcessID, t Time) {
 	s.scheduleStep(p, t)
 }
 
-// processEvent executes one event; it returns false when the queue is
-// exhausted.
+// processEvent pops and handles exactly one event (which may be a no-op:
+// a tombstone, a skipped step of a down process, a delivery to a down
+// process); it returns false when the queue is empty. Handling only one
+// pop per call is what keeps RunUntilTime/RunUntil honest: their time
+// bound is re-checked against the heap head before every pop, so a no-op
+// event inside the bound can never drag execution past it.
 func (s *Sim) processEvent() bool {
-	for {
-		if s.queue.Len() == 0 {
-			return false
-		}
-		e := heap.Pop(&s.queue).(*event)
-		if e.kind == 0 {
-			continue // tombstoned
-		}
-		s.now = e.t
-		switch e.kind {
-		case evStep:
-			if !s.procs[e.p].up {
-				continue // crashed: step skipped, next one comes on recovery
-			}
-			ctx := &StepContext{sim: s, p: e.p, now: e.t}
-			s.protos[e.p].Step(ctx)
-			s.stats.Steps++
-			s.scheduleStep(e.p, e.t)
-		case evMakeReady:
-			if !s.procs[e.p].up {
-				// Messages arriving at a down process are lost (its buffer
-				// is volatile and it is not accepting).
-				s.stats.Dropped++
-				continue
-			}
-			s.procs[e.p].buffer = append(s.procs[e.p].buffer, e.env)
-			s.stats.Delivered++
-		case evCrash:
-			s.crash(e.p, e.t)
-		case evRecover:
-			s.recover(e.p, e.t)
-		case evPeriod:
-			s.applyPeriodRules(e.t)
-		}
-		return true
+	if s.queue.len() == 0 {
+		return false
 	}
+	e := s.queue.popMin()
+	if e.kind == 0 {
+		return true // tombstoned
+	}
+	s.now = e.t
+	switch e.kind {
+	case evStep:
+		if !s.procs[e.p].up {
+			break // crashed: step skipped, next one comes on recovery
+		}
+		s.sctx = StepContext{sim: s, p: e.p, now: e.t}
+		s.protos[e.p].Step(&s.sctx)
+		s.stats.Steps++
+		s.scheduleStep(e.p, e.t)
+	case evMakeReady:
+		if !s.procs[e.p].up {
+			// Messages arriving at a down process are lost (its buffer
+			// is volatile and it is not accepting).
+			s.stats.Dropped++
+			break
+		}
+		e.env.seq = s.arrivals
+		s.arrivals++
+		s.procs[e.p].buffer = append(s.procs[e.p].buffer, e.env)
+		s.stats.Delivered++
+	case evCrash:
+		s.crash(e.p, e.t)
+	case evRecover:
+		s.recover(e.p, e.t)
+	case evPeriod:
+		s.applyPeriodRules(e.t)
+	}
+	return true
 }
 
-// InjectForTest places an envelope directly into p's buffer set,
-// bypassing the network. Test support only.
+// InjectForTest places an envelope directly into p's buffer set, bypassing
+// the network; the round cache and arrival number are stamped as delivery
+// would. Test support only.
 func (s *Sim) InjectForTest(p core.ProcessID, env Envelope) {
+	env.round = roundOf(env.Payload)
+	env.seq = s.arrivals
+	s.arrivals++
 	s.procs[p].buffer = append(s.procs[p].buffer, env)
 }
 
@@ -407,11 +432,18 @@ func (s *Sim) StepContextForTest(p core.ProcessID) *StepContext {
 	return &StepContext{sim: s, p: p, now: s.now}
 }
 
-// RunUntilTime advances the simulation until the clock passes t.
+// RunUntilTime advances the simulation until the clock passes t. The heap
+// is skimmed of tombstones before each peek so a purged event with an
+// early timestamp cannot lure the loop into executing a live event beyond
+// the bound.
 func (s *Sim) RunUntilTime(t Time) {
-	for s.queue.Len() > 0 && s.queue[0].t <= t {
+	for {
+		s.queue.skim()
+		if s.queue.len() == 0 || s.queue.ev[0].t > t {
+			break
+		}
 		if !s.processEvent() {
-			return
+			break
 		}
 	}
 	if s.now < t {
@@ -425,7 +457,11 @@ func (s *Sim) RunUntil(cond func() bool, limit Time) bool {
 	if cond() {
 		return true
 	}
-	for s.queue.Len() > 0 && s.queue[0].t <= limit {
+	for {
+		s.queue.skim()
+		if s.queue.len() == 0 || s.queue.ev[0].t > limit {
+			break
+		}
 		if !s.processEvent() {
 			return cond()
 		}

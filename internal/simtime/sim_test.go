@@ -284,6 +284,47 @@ func TestRunUntilStopsEarly(t *testing.T) {
 	}
 }
 
+// TestRunUntilTimeStopsAtBoundWithTombstonedHead is the regression test
+// for the purge-then-run bug: a tombstoned (purged) event at the heap head
+// with t ≤ limit must not lure the run loop into executing the next live
+// event beyond the limit.
+//
+// Schedule: both processes broadcast at t=10 (φ=10 worst-case gaps, δ=5,
+// copies ready at t=15). A π0-down period with π0={0} starts at t=12,
+// forcing p1 down and tombstoning its two in-flight copies (t=15). After
+// the t=15 events, the earliest live event is p0's step at t=20 — so
+// RunUntilTime(16) faced a head tombstone at t=15 and, before the fix,
+// skipped through it inside processEvent and executed the t=20 step.
+func TestRunUntilTimeStopsAtBoundWithTombstonedHead(t *testing.T) {
+	cfg := Config{
+		N: 2, Phi: 10, Delta: 5, Seed: 1,
+		Periods: []Period{
+			{Start: 0, Kind: GoodDown, Pi0: core.FullSet(2)},
+			{Start: 12, Kind: GoodDown, Pi0: core.SetOf(0)},
+		},
+	}
+	sim, _ := newPingSim(t, cfg)
+	sim.RunUntilTime(16)
+	if got := sim.Stats().Purged; got != 2 {
+		t.Fatalf("purged = %d, want 2 (p1's two in-flight copies)", got)
+	}
+	if got := sim.Stats().Steps; got != 2 {
+		t.Errorf("steps = %d, want 2: an event beyond the limit was executed", got)
+	}
+	if sim.Now() != 16 {
+		t.Errorf("Now() = %v, want 16: the clock ran past the bound", sim.Now())
+	}
+	// The same schedule through RunUntil must respect the limit too.
+	sim2, _ := newPingSim(t, cfg)
+	sim2.RunUntil(func() bool { return false }, 16)
+	if got := sim2.Stats().Steps; got != 2 {
+		t.Errorf("RunUntil steps = %d, want 2", got)
+	}
+	if sim2.Now() > 16 {
+		t.Errorf("RunUntil Now() = %v, want ≤ 16", sim2.Now())
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	run := func() (Stats, int) {
 		cfg := Config{

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# bench.sh — run the event-core benchmark suite and emit BENCH_sim.json,
+# one point on the repo's perf trajectory (see DESIGN.md "Performance").
+#
+# Usage:
+#   scripts/bench.sh                # full run, writes BENCH_sim.json
+#   BENCHTIME=0.2s scripts/bench.sh # reduced iterations (CI smoke job)
+#   OUT=/tmp/b.json scripts/bench.sh
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1s)
+#   COUNT      go test -count value (default 1)
+#   OUT        output path (default BENCH_sim.json in the repo root)
+#
+# The JSON records ns/op, B/op and allocs/op for every BenchmarkSim_* and
+# BenchmarkRunner_* benchmark, plus the wall time of a full `hobench -exp
+# e9` table (the 240-cell loss sweep, the heaviest single experiment).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+OUT="${OUT:-BENCH_sim.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw" "$raw.hobench"' EXIT
+
+echo "bench.sh: go test -bench 'BenchmarkSim_|BenchmarkRunner_' -benchtime $BENCHTIME -count $COUNT" >&2
+go test -run '^$' -bench 'BenchmarkSim_|BenchmarkRunner_' -benchmem \
+	-benchtime "$BENCHTIME" -count "$COUNT" . | tee /dev/stderr >"$raw"
+
+echo "bench.sh: timing hobench -exp e9" >&2
+go build -o "$raw.hobench" ./cmd/hobench
+e9_start=$(date +%s.%N)
+"$raw.hobench" -exp e9 >/dev/null
+e9_end=$(date +%s.%N)
+rm -f "$raw.hobench"
+e9_wall=$(awk -v a="$e9_start" -v b="$e9_end" 'BEGIN{printf "%.3f", b-a}')
+
+go_version="$(go env GOVERSION)"
+date_utc="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+awk -v benchtime="$BENCHTIME" -v goversion="$go_version" -v date="$date_utc" \
+	-v commit="$commit" -v e9wall="$e9_wall" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	iters = $2
+	ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op")     ns = $i
+		if ($(i+1) == "B/op")      bytes = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, bytes == "" ? "null" : bytes, allocs == "" ? "null" : allocs)
+	rows[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"schema\": \"bench_sim/v1\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"e9_wall_seconds\": %s,\n", e9wall
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], i < n-1 ? "," : ""
+	printf "  ]\n}\n"
+}' "$raw" >"$OUT"
+
+echo "bench.sh: wrote $OUT" >&2
