@@ -721,8 +721,10 @@ func BenchmarkMicro_KVStoreSlot(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cluster.Submit(i%5, kvstore.Command{Op: kvstore.OpPut, Key: "k", Value: "v"})
-		if _, _, err := cluster.DecideSlot(); err != nil {
+		if err := cluster.Submit(i%5, kvstore.Command{Op: kvstore.OpPut, Key: "k", Value: "v"}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cluster.DecideSlot(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,130 @@
+// Command hoload is the closed-loop load harness for the replication
+// service layer (internal/rsm under internal/kvstore): a configurable
+// client population drives the batched + pipelined engine through a
+// chosen fault environment and the run reports throughput,
+// slots-per-command amortization, and latency-in-rounds percentiles.
+//
+// All measurements are in simulated rounds, so stdout is byte-identical
+// for a given flag set regardless of host speed or -parallel; wall-clock
+// timing goes to stderr.
+//
+// Usage:
+//
+//	hoload                                  # defaults: good environment
+//	hoload -env loss -loss 0.3              # sustained 30% transmission loss
+//	hoload -env crash                       # rotating crash-recovery epochs
+//	hoload -clients 64 -ops 2000 -dist zipfian -rate 0.9
+//	hoload -batch 16 -pipeline 8            # service-layer tuning
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/kvstore"
+	"heardof/internal/otr"
+	"heardof/internal/rsm"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hoload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		n         = flag.Int("n", 5, "number of replicas")
+		env       = flag.String("env", "good", "fault environment: good, loss, crash")
+		lossRate  = flag.Float64("loss", 0.2, "transmission loss probability for -env loss")
+		clients   = flag.Int("clients", 16, "closed-loop client population")
+		rate      = flag.Float64("rate", 0.7, "per-window submission probability of an idle client")
+		writes    = flag.Float64("writes", 0.75, "write fraction of the operation mix")
+		keys      = flag.Int("keys", 48, "key-space size")
+		dist      = flag.String("dist", "zipfian", "key distribution: uniform or zipfian")
+		zipfS     = flag.Float64("zipf", 0.99, "zipfian exponent")
+		ops       = flag.Int("ops", 500, "commands to complete")
+		batch     = flag.Int("batch", 8, "commands per consensus slot (1..63)")
+		pipeline  = flag.Int("pipeline", 4, "consensus slots in flight per window")
+		parallel  = flag.Int("parallel", 0, "sweep workers for in-flight slots (0 = pipeline depth)")
+		maxRounds = flag.Int("maxrounds", 400, "round budget per consensus slot")
+		maxSlots  = flag.Int("maxslots", 0, "slot budget for the whole run (0 = 20×ops)")
+		seed      = flag.Uint64("seed", 1, "workload and environment seed")
+	)
+	flag.Parse()
+
+	provider, err := buildProvider(*env, *n, *lossRate, *seed)
+	if err != nil {
+		return err
+	}
+	var keyDist rsm.KeyDist
+	switch *dist {
+	case "uniform":
+		keyDist = rsm.Uniform
+	case "zipfian":
+		keyDist = rsm.Zipfian
+	default:
+		return fmt.Errorf("unknown key distribution %q (want uniform or zipfian)", *dist)
+	}
+	budget := *maxSlots
+	if budget == 0 {
+		budget = 20 * *ops
+	}
+
+	cluster, err := kvstore.NewClusterTuned(*n, otr.Algorithm{}, provider, core.Round(*maxRounds),
+		rsm.Tuning{BatchSize: *batch, Pipeline: *pipeline, Parallel: *parallel})
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	res, err := rsm.RunWorkload(cluster.Engine(), rsm.WorkloadConfig{
+		Clients: *clients, Rate: *rate, WriteRatio: *writes,
+		Keys: *keys, Dist: keyDist, ZipfS: *zipfS,
+		Ops: *ops, MaxSlots: budget, Seed: *seed,
+	}, kvstore.WorkloadCommand)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if !cluster.Converged() {
+		return fmt.Errorf("replicas diverged — impossible if consensus safety holds")
+	}
+
+	fmt.Printf("config env=%s n=%d clients=%d rate=%g writes=%g keys=%d dist=%s ops=%d batch=%d pipeline=%d seed=%d\n",
+		*env, *n, *clients, *rate, *writes, *keys, keyDist, *ops, *batch, *pipeline, *seed)
+	fmt.Printf("completed %d\n", res.Completed)
+	fmt.Printf("slots %d\n", res.Slots)
+	fmt.Printf("slots_per_cmd %.4f\n", res.SlotsPerCmd)
+	fmt.Printf("cmds_per_round %.4f\n", res.CmdsPerRound)
+	fmt.Printf("wall_rounds %d\n", res.WallRounds)
+	fmt.Printf("total_rounds %d\n", res.TotalRounds)
+	fmt.Printf("latency_rounds p50=%d p95=%d p99=%d\n", res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	fmt.Fprintf(os.Stderr, "hoload: %d commands in %v (%.0f cmds/sec wall)\n",
+		res.Completed, elapsed.Round(time.Millisecond), float64(res.Completed)/elapsed.Seconds())
+	return nil
+}
+
+// buildProvider maps an environment name to a per-slot HO provider — the
+// same shared factories (internal/adversary) experiments E10 tabulates,
+// so hoload runs are directly comparable to the E10 table.
+func buildProvider(env string, n int, loss float64, seed uint64) (func(slot int) core.HOProvider, error) {
+	switch env {
+	case "good":
+		return adversary.SlotFull(), nil
+	case "loss":
+		if loss < 0 || loss >= 1 {
+			return nil, fmt.Errorf("loss rate %v outside [0, 1)", loss)
+		}
+		return adversary.SlotLoss(loss, seed), nil
+	case "crash":
+		return adversary.SlotRotatingCrash(n, 10), nil
+	default:
+		return nil, fmt.Errorf("unknown environment %q (want good, loss or crash)", env)
+	}
+}

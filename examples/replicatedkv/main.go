@@ -50,7 +50,9 @@ func main() {
 		{0, kvstore.Command{Op: kvstore.OpPut, Key: "dave", Value: "300"}},
 	}
 	for _, w := range workload {
-		cluster.Submit(w.contact, w.cmd)
+		if err := cluster.Submit(w.contact, w.cmd); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("client → replica %d: %v\n", w.contact, w.cmd)
 	}
 

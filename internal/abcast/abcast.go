@@ -4,19 +4,20 @@
 // atomic broadcast").
 //
 // Messages are a-broadcast by any process and a-delivered by all
-// processes in the same total order. Each consensus slot decides a BATCH:
-// proposals are bitmasks over a window of undelivered messages, so one
-// slot can deliver up to 63 messages — consensus cost is amortized over
-// bursts. Liveness per slot is inherited from the underlying
+// processes in the same total order. The replication mechanics live in
+// internal/rsm: each consensus slot decides a BATCH of up to 63 messages
+// (the bitmask window codec this package pioneered, now shared with
+// kvstore), optionally with several slots pipelined per window, applied
+// in order. Liveness per slot is inherited from the underlying
 // ⟨algorithm, predicate⟩ pair; safety (total order, integrity) holds
 // whenever consensus safety holds.
 package abcast
 
 import (
-	"errors"
 	"fmt"
 
 	"heardof/internal/core"
+	"heardof/internal/rsm"
 )
 
 // Message is one a-broadcast payload.
@@ -25,50 +26,64 @@ type Message struct {
 	Payload string
 }
 
-// windowBits is how many undelivered messages one batch decision can
-// cover (bit 63 stays clear so masks remain positive values).
-const windowBits = 63
-
 // Broadcaster replicates a totally ordered message log across n
 // processes.
 type Broadcaster struct {
-	n         int
-	algorithm core.Algorithm
-	provider  func(slot int) core.HOProvider
-	maxRounds core.Round
-
-	pending   []Message // a-broadcast, not yet a-delivered (FIFO)
+	engine    *rsm.Engine[Message]
 	delivered []Message // the total order, shared by all processes
-	slots     int
 }
 
 // ErrSlotUndecided is returned when a slot's instance exhausts its round
-// budget.
-var ErrSlotUndecided = errors.New("abcast: slot undecided within the round budget")
+// budget or Drain runs out of slots with messages pending. It is rsm's
+// sentinel, so errors.Is works across the whole service stack.
+var ErrSlotUndecided = rsm.ErrSlotUndecided
 
 // New creates a broadcaster over n processes deciding batches with alg
-// under the per-slot provider.
+// under the per-slot provider, with default tuning (63-message batches,
+// no pipelining). Use NewTuned for the service-layer knobs.
 func New(n int, alg core.Algorithm, provider func(slot int) core.HOProvider, maxRounds core.Round) (*Broadcaster, error) {
-	if n < 1 || n > core.MaxProcesses {
-		return nil, fmt.Errorf("abcast: n = %d out of range", n)
+	return NewTuned(n, alg, provider, maxRounds, rsm.Tuning{})
+}
+
+// NewTuned is New with explicit batch size, pipeline depth and sweep
+// parallelism.
+func NewTuned(n int, alg core.Algorithm, provider func(slot int) core.HOProvider,
+	maxRounds core.Round, tune rsm.Tuning) (*Broadcaster, error) {
+	b := &Broadcaster{}
+	engine, err := rsm.New(rsm.Config{
+		N: n, Algorithm: alg, Provider: provider, MaxRounds: maxRounds,
+		BatchSize: tune.BatchSize, Pipeline: tune.Pipeline, Parallel: tune.Parallel,
+	}, func(replica int, m Message) {
+		// Every process a-delivers the same sequence; the engine applies
+		// replicas in order, so recording replica 0's view records the
+		// shared total order exactly once per message.
+		if replica == 0 {
+			b.delivered = append(b.delivered, m)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("abcast: %w", err)
 	}
-	if alg == nil || provider == nil {
-		return nil, errors.New("abcast: nil algorithm or provider")
-	}
-	return &Broadcaster{n: n, algorithm: alg, provider: provider, maxRounds: maxRounds}, nil
+	b.engine = engine
+	return b, nil
 }
 
 // Broadcast submits a message (it reaches all processes' proposal pools,
-// as with client forwarding in any replicated state machine).
+// as with client forwarding in any replicated state machine). Each sender
+// is a client session; every Broadcast is a fresh message.
 func (b *Broadcaster) Broadcast(sender core.ProcessID, payload string) {
-	b.pending = append(b.pending, Message{Sender: sender, Payload: payload})
+	b.engine.SubmitNext(rsm.ClientID(sender), Message{Sender: sender, Payload: payload})
 }
 
+// Engine exposes the underlying replication engine (stats, latencies,
+// session-level submission).
+func (b *Broadcaster) Engine() *rsm.Engine[Message] { return b.engine }
+
 // Pending counts a-broadcast messages not yet a-delivered.
-func (b *Broadcaster) Pending() int { return len(b.pending) }
+func (b *Broadcaster) Pending() int { return b.engine.Pending() }
 
 // Slots returns the number of consensus slots decided so far.
-func (b *Broadcaster) Slots() int { return b.slots }
+func (b *Broadcaster) Slots() int { return b.engine.Stats().Slots }
 
 // Delivered returns a copy of the a-delivered sequence.
 func (b *Broadcaster) Delivered() []Message {
@@ -77,64 +92,17 @@ func (b *Broadcaster) Delivered() []Message {
 	return out
 }
 
-// DecideSlot runs one consensus instance deciding the next batch and
-// a-delivers its messages in submission order. It reports how many
-// messages the batch delivered (0 is possible: an empty batch).
+// DecideSlot decides the next window of slots (a single slot unless the
+// broadcaster is pipelined) and a-delivers its messages in submission
+// order. It reports how many messages were delivered (0 is possible: an
+// empty batch).
 func (b *Broadcaster) DecideSlot() (int, error) {
-	window := len(b.pending)
-	if window > windowBits {
-		window = windowBits
-	}
-	var mask core.Value
-	if window > 0 {
-		mask = core.Value(1)<<uint(window) - 1
-	}
-	initial := make([]core.Value, b.n)
-	for i := range initial {
-		initial[i] = mask
-	}
-
-	ru, err := core.NewRunner(b.algorithm, initial, b.provider(b.slots))
-	if err != nil {
-		return 0, err
-	}
-	tr, err := ru.Run(b.maxRounds)
-	if err != nil {
-		return 0, fmt.Errorf("slot %d: %w", b.slots, ErrSlotUndecided)
-	}
-	if err := tr.CheckConsensusSafety(); err != nil {
-		return 0, fmt.Errorf("slot %d: %w", b.slots, err)
-	}
-	b.slots++
-
-	decided := tr.Decisions[0].Value
-	count := 0
-	keep := b.pending[:0:0]
-	for i := 0; i < window; i++ {
-		if decided&(1<<uint(i)) != 0 {
-			b.delivered = append(b.delivered, b.pending[i])
-			count++
-		} else {
-			keep = append(keep, b.pending[i])
-		}
-	}
-	b.pending = append(keep, b.pending[window:]...)
-	return count, nil
+	return b.engine.DecideWindow()
 }
 
 // Drain decides slots until nothing is pending or the slot budget runs
-// out, returning the number of messages delivered.
+// out, returning the number of messages delivered. Every undecided path
+// satisfies errors.Is(err, ErrSlotUndecided).
 func (b *Broadcaster) Drain(maxSlots int) (int, error) {
-	total := 0
-	for s := 0; s < maxSlots && b.Pending() > 0; s++ {
-		n, err := b.DecideSlot()
-		if err != nil {
-			return total, err
-		}
-		total += n
-	}
-	if b.Pending() > 0 {
-		return total, fmt.Errorf("abcast: %d messages still pending after %d slots", b.Pending(), maxSlots)
-	}
-	return total, nil
+	return b.engine.Drain(maxSlots)
 }

@@ -8,6 +8,7 @@ import (
 	"heardof/internal/adversary"
 	"heardof/internal/core"
 	"heardof/internal/otr"
+	"heardof/internal/rsm"
 	"heardof/internal/xrand"
 )
 
@@ -138,6 +139,57 @@ func TestUndecidedSlot(t *testing.T) {
 	}
 	if _, err := b.Drain(3); !errors.Is(err, ErrSlotUndecided) {
 		t.Errorf("Drain error = %v, want ErrSlotUndecided", err)
+	}
+}
+
+// TestDrainBudgetKeepsSentinel is the regression test for the lost
+// sentinel this PR fixes: Drain's budget-exhausted failure was a bare
+// fmt.Errorf, so errors.Is(err, ErrSlotUndecided) was false on that path.
+func TestDrainBudgetKeepsSentinel(t *testing.T) {
+	b, err := NewTuned(3, otr.Algorithm{}, fullProvider, 50, rsm.Tuning{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		b.Broadcast(0, fmt.Sprintf("m%d", i))
+	}
+	delivered, err := b.Drain(2)
+	if !errors.Is(err, ErrSlotUndecided) {
+		t.Errorf("error = %v, want ErrSlotUndecided", err)
+	}
+	if delivered != 2 || b.Pending() != 3 {
+		t.Errorf("delivered %d pending %d, want 2 and 3", delivered, b.Pending())
+	}
+}
+
+func TestPipelinedBroadcasterKeepsTotalOrder(t *testing.T) {
+	rng := xrand.New(31)
+	provider := func(int) core.HOProvider {
+		return &adversary.TransmissionLoss{Rate: 0.15, RNG: rng.Fork()}
+	}
+	b, err := NewTuned(5, otr.Algorithm{}, provider, 300, rsm.Tuning{BatchSize: 8, Pipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const msgs = 64
+	for i := 0; i < msgs; i++ {
+		b.Broadcast(core.ProcessID(i%5), fmt.Sprintf("m%d", i))
+	}
+	total, err := b.Drain(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != msgs {
+		t.Fatalf("delivered %d of %d", total, msgs)
+	}
+	for i, m := range b.Delivered() {
+		if m.Payload != fmt.Sprintf("m%d", i) {
+			t.Fatalf("delivery %d = %q out of order under pipelining", i, m.Payload)
+		}
+	}
+	st := b.Engine().Stats()
+	if st.WallRounds >= st.TotalRounds {
+		t.Errorf("pipelining bought nothing: wall %d, total %d", st.WallRounds, st.TotalRounds)
 	}
 }
 

@@ -344,3 +344,37 @@ func (g *GoodBad) HOSets(r core.Round, n int) []core.PIDSet {
 	copy(out, g.goodCache)
 	return out
 }
+
+// ---------------------------------------------------------------------------
+// Per-slot environment factories for the service layer (internal/rsm).
+// ---------------------------------------------------------------------------
+
+// SlotFull is the fault-free per-slot environment: every slot's instance
+// runs under HO(p, r) = Π.
+func SlotFull() func(slot int) core.HOProvider {
+	return func(int) core.HOProvider { return Full{} }
+}
+
+// SlotLoss subjects every slot to iid transmission loss. Each slot's
+// provider owns an RNG derived from (seed, slot), so the factory is
+// deterministic regardless of pipelining or call order.
+func SlotLoss(rate float64, seed uint64) func(slot int) core.HOProvider {
+	return func(slot int) core.HOProvider {
+		return &TransmissionLoss{Rate: rate, RNG: xrand.New(seed + 1000003*uint64(slot))}
+	}
+}
+
+// SlotRotatingCrash is a crash-recovery schedule at slot granularity: in
+// every epochLen-slot epoch, one rotating process is crashed for the
+// first half and recovers for the second. At most one process is down at
+// a time, so a >2n/3-quorum algorithm keeps deciding throughout.
+func SlotRotatingCrash(n, epochLen int) func(slot int) core.HOProvider {
+	return func(slot int) core.HOProvider {
+		epoch, phase := slot/epochLen, slot%epochLen
+		if phase < epochLen/2 {
+			victim := core.ProcessID(epoch % n)
+			return CrashStop{CrashRound: map[core.ProcessID]core.Round{victim: 1}}
+		}
+		return Full{}
+	}
+}

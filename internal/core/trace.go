@@ -112,6 +112,31 @@ func (t *Trace) IntegrityHolds() bool {
 	return true
 }
 
+// AgreedValue returns the single value every process decided. It fails if
+// any process is still undecided (wrapping ErrNotDecided, so callers can
+// test for the condition with errors.Is) or if two processes decided
+// differently. It is the safe way to extract "the" decision from a trace:
+// reading Decisions[0].Value raw silently returns the zero Value for an
+// undecided process and masks agreement violations.
+func (t *Trace) AgreedValue() (Value, error) {
+	if len(t.Decisions) == 0 {
+		return 0, fmt.Errorf("trace records no processes: %w", ErrNotDecided)
+	}
+	undecided := 0
+	for _, d := range t.Decisions {
+		if !d.Decided {
+			undecided++
+		}
+	}
+	if undecided > 0 {
+		return 0, fmt.Errorf("%d of %d processes undecided: %w", undecided, len(t.Decisions), ErrNotDecided)
+	}
+	if !t.AgreementHolds() {
+		return 0, fmt.Errorf("agreement violated: decisions %v", t.Decisions)
+	}
+	return t.Decisions[0].Value, nil
+}
+
 // CheckConsensusSafety returns an error describing the first safety
 // violation found (agreement or integrity), or nil.
 func (t *Trace) CheckConsensusSafety() error {

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func traceWith(n int, initial []Value, rounds ...[]PIDSet) *Trace {
 	tr := NewTrace(n, initial)
@@ -86,5 +89,54 @@ func TestRecordRoundCopies(t *testing.T) {
 	ho[0] = SetOf(0, 1) // mutate caller slice
 	if tr.HO(0, 1) != SetOf(0) {
 		t.Error("RecordRound did not copy the slice")
+	}
+}
+
+func TestAgreedValueAllDecided(t *testing.T) {
+	tr := NewTrace(3, []Value{7, 7, 7})
+	tr.RecordDecision(0, 7, 1)
+	tr.RecordDecision(1, 7, 2)
+	tr.RecordDecision(2, 7, 2)
+	v, err := tr.AgreedValue()
+	if err != nil {
+		t.Fatalf("AgreedValue: %v", err)
+	}
+	if v != 7 {
+		t.Errorf("AgreedValue = %d, want 7", v)
+	}
+}
+
+func TestAgreedValueUndecided(t *testing.T) {
+	tr := NewTrace(3, []Value{7, 7, 7})
+	tr.RecordDecision(0, 7, 1)
+	if _, err := tr.AgreedValue(); !errors.Is(err, ErrNotDecided) {
+		t.Errorf("error = %v, want ErrNotDecided", err)
+	}
+	// The buggy pattern this replaces: Decisions[0] decided while others
+	// have not — a raw Decisions[0].Value read would succeed silently.
+	tr2 := NewTrace(2, []Value{1, 2})
+	tr2.RecordDecision(0, 1, 1)
+	if _, err := tr2.AgreedValue(); !errors.Is(err, ErrNotDecided) {
+		t.Errorf("partially decided trace: error = %v, want ErrNotDecided", err)
+	}
+}
+
+func TestAgreedValueDisagreement(t *testing.T) {
+	tr := NewTrace(2, []Value{1, 2})
+	tr.RecordDecision(0, 1, 1)
+	tr.RecordDecision(1, 2, 1)
+	_, err := tr.AgreedValue()
+	if err == nil {
+		t.Fatal("AgreedValue accepted disagreeing decisions")
+	}
+	if errors.Is(err, ErrNotDecided) {
+		t.Error("disagreement misreported as not-decided")
+	}
+}
+
+func TestAgreedValueEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	if _, err := tr.AgreedValue(); !errors.Is(err, ErrNotDecided) {
+		t.Errorf("empty trace: error = %v, want ErrNotDecided", err)
 	}
 }

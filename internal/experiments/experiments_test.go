@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -167,6 +168,45 @@ func TestE9HOAlwaysDecides(t *testing.T) {
 	}
 }
 
+func TestE10AmortizationAcrossEnvironments(t *testing.T) {
+	tbl := E10Service(1)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("E10 has %d rows, want 4 (notes: %v)", len(tbl.Rows), tbl.Notes)
+	}
+	cmds := col(t, tbl, "cmds")
+	spc := col(t, tbl, "slots/cmd")
+	tput := col(t, tbl, "cmds/round")
+	for _, row := range tbl.Rows {
+		if row[cmds] != "150" {
+			t.Errorf("row %v: completed %s of 150", row, row[cmds])
+		}
+		if v := parseF(t, row[spc]); v >= 1 {
+			t.Errorf("row %v: slots/cmd %v — batching must amortize below the old 1.0", row, v)
+		}
+		if v := parseF(t, row[tput]); v <= 0 {
+			t.Errorf("row %v: throughput %v", row, v)
+		}
+	}
+}
+
+// TestE10DeterministicAcrossParallel is the workload half of this repo's
+// determinism contract: the E10 table is byte-identical whether the sweep
+// (and the engine pipeline inside each cell) runs on one worker or eight.
+func TestE10DeterministicAcrossParallel(t *testing.T) {
+	render := func(parallel int) string {
+		tbl := New(Config{Seed: 1, Parallel: parallel}).E10Service(context.Background())
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Errorf("E10 output differs between -parallel 1 and 8:\n%s\nvs\n%s", seq, par)
+	}
+}
+
 func TestAblationTableShape(t *testing.T) {
 	tbl := Ablations(1)
 	if len(tbl.Rows) != 3 {
@@ -215,7 +255,7 @@ func TestRenderAndMarkdown(t *testing.T) {
 
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(1)
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "EA"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "EA"}
 	if len(tables) != len(want) {
 		t.Fatalf("All returned %d tables, want %d", len(tables), len(want))
 	}

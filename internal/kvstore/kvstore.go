@@ -3,22 +3,23 @@
 // introduction motivates (consensus "appears when implementing atomic
 // broadcast, group membership, etc.").
 //
-// Each log slot is decided by one consensus instance (any core.Algorithm;
-// OneThirdRule by default). Replicas propose the oldest command in their
-// pending queue; the decided command is applied to every replica's state
-// machine in slot order, so all replicas converge to the same state no
-// matter which transmission faults the environment inflicts — provided
-// each slot's instance eventually meets its liveness predicate.
+// The replication mechanics live in internal/rsm: each log slot decides a
+// BATCH of commands (bitmask codec, so consensus cost is amortized over
+// bursts), up to Pipeline slots run in flight per window with in-order
+// apply, and submissions ride client sessions with exactly-once dedup.
+// This package supplies the KV state machine and the store-shaped API;
+// all replicas converge to the same state no matter which transmission
+// faults the environment inflicts — provided each slot's instance
+// eventually meets its liveness predicate.
 package kvstore
 
 import (
-	"errors"
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
 	"heardof/internal/core"
+	"heardof/internal/rsm"
 )
 
 // Op is a state machine operation.
@@ -29,6 +30,11 @@ const (
 	OpPut Op = iota + 1
 	// OpDelete removes a key.
 	OpDelete
+	// OpGet reads a key through the replicated log — a linearizable
+	// read: it changes no state but occupies a log position, so it is
+	// ordered against every write (workload generators use it for the
+	// read side of their mix).
+	OpGet
 )
 
 // Command is one replicated operation.
@@ -40,10 +46,14 @@ type Command struct {
 
 // String implements fmt.Stringer.
 func (c Command) String() string {
-	if c.Op == OpDelete {
+	switch c.Op {
+	case OpDelete:
 		return "del " + c.Key
+	case OpGet:
+		return "get " + c.Key
+	default:
+		return "put " + c.Key + "=" + c.Value
 	}
-	return "put " + c.Key + "=" + c.Value
 }
 
 // StateMachine is the deterministic KV state machine.
@@ -95,153 +105,119 @@ func (sm *StateMachine) Fingerprint() string {
 	return b.String()
 }
 
-// noOpValue is proposed by replicas with empty queues. It must compare
-// larger than every real command index: OneThirdRule falls back to the
-// smallest received value, so a smaller sentinel would starve real
-// commands whenever any replica's queue is empty.
-const noOpValue core.Value = math.MaxInt64
-
 // Replica is one member of the replicated store.
 type Replica struct {
-	ID      core.ProcessID
-	SM      *StateMachine
-	pending []core.Value // command-table indexes awaiting replication
+	ID core.ProcessID
+	SM *StateMachine
 }
 
-// Cluster replicates a KV store across n replicas using one consensus
-// instance per log slot.
+// Cluster replicates a KV store across n replicas through the shared
+// rsm engine (batched slots, optional pipelining, client sessions).
 type Cluster struct {
-	n         int
-	algorithm core.Algorithm
-	provider  func(slot int) core.HOProvider
-	maxRounds core.Round
-
-	table    []Command // append-only command table; core.Value = index
+	n        int
+	engine   *rsm.Engine[Command]
 	replicas []*Replica
-	chosen   []core.Value
 }
 
-// ErrSlotUndecided is returned when a slot's consensus instance exhausts
-// its round budget (the environment never satisfied the predicate).
-var ErrSlotUndecided = errors.New("kvstore: slot undecided within the round budget")
+// ErrSlotUndecided is returned when replication cannot complete within
+// its budgets — a slot's consensus instance never decided, or Drain ran
+// out of slots with commands still pending. It is rsm's sentinel, so
+// errors.Is works across the whole service stack.
+var ErrSlotUndecided = rsm.ErrSlotUndecided
 
 // NewCluster creates a cluster of n replicas deciding slots with alg under
-// the per-slot HO provider. maxRounds bounds each slot's instance.
+// the per-slot HO provider. maxRounds bounds each slot's instance. Slots
+// batch up to rsm.MaxBatch commands and run unpipelined; use
+// NewClusterTuned for the service-layer knobs.
 func NewCluster(n int, alg core.Algorithm, provider func(slot int) core.HOProvider, maxRounds core.Round) (*Cluster, error) {
-	if n < 1 || n > core.MaxProcesses {
-		return nil, fmt.Errorf("kvstore: n = %d out of range", n)
+	return NewClusterTuned(n, alg, provider, maxRounds, rsm.Tuning{})
+}
+
+// NewClusterTuned is NewCluster with explicit batch size, pipeline depth
+// and sweep parallelism.
+func NewClusterTuned(n int, alg core.Algorithm, provider func(slot int) core.HOProvider,
+	maxRounds core.Round, tune rsm.Tuning) (*Cluster, error) {
+	c := &Cluster{n: n}
+	engine, err := rsm.New(rsm.Config{
+		N: n, Algorithm: alg, Provider: provider, MaxRounds: maxRounds,
+		BatchSize: tune.BatchSize, Pipeline: tune.Pipeline, Parallel: tune.Parallel,
+	}, func(replica int, cmd Command) {
+		c.replicas[replica].SM.Apply(cmd)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
 	}
-	if alg == nil || provider == nil {
-		return nil, errors.New("kvstore: nil algorithm or provider")
-	}
-	c := &Cluster{
-		n:         n,
-		algorithm: alg,
-		provider:  provider,
-		maxRounds: maxRounds,
-		replicas:  make([]*Replica, n),
-	}
+	c.replicas = make([]*Replica, n)
 	for i := range c.replicas {
 		c.replicas[i] = &Replica{ID: core.ProcessID(i), SM: NewStateMachine()}
 	}
+	c.engine = engine
 	return c, nil
 }
 
 // Replica returns replica i.
 func (c *Cluster) Replica(i int) *Replica { return c.replicas[i] }
 
-// Slots returns the number of decided slots.
-func (c *Cluster) Slots() int { return len(c.chosen) }
+// Engine exposes the underlying replication engine (stats, latencies,
+// session-level submission).
+func (c *Cluster) Engine() *rsm.Engine[Command] { return c.engine }
 
-// Submit accepts a command at the contact replica and forwards it to
-// every replica's pending queue, as Paxos-style replicated state machines
-// do: with only a minority proposing a command, OneThirdRule's
-// all-but-⌊n/3⌋ rule would let the idle majority's no-ops win every slot.
-// Forwarding makes all queues identical, so each slot decides the oldest
-// outstanding command.
-func (c *Cluster) Submit(contact int, cmd Command) {
-	_ = c.replicas[contact] // the contact only validates the replica id
-	c.table = append(c.table, cmd)
-	idx := core.Value(len(c.table) - 1)
-	for _, r := range c.replicas {
-		r.pending = append(r.pending, idx)
+// Slots returns the number of decided slots.
+func (c *Cluster) Slots() int { return c.engine.Stats().Slots }
+
+// Submit accepts a command at the contact replica and enters it into the
+// shared replicated log, as Paxos-style replicated state machines forward
+// client commands. The contact must be a valid replica id; each contact
+// runs its own client session, so every Submit is a fresh command (use
+// Engine().Submit to model retries of one command).
+func (c *Cluster) Submit(contact int, cmd Command) error {
+	if contact < 0 || contact >= c.n {
+		return fmt.Errorf("kvstore: contact replica %d out of range [0, %d)", contact, c.n)
 	}
+	c.engine.SubmitNext(rsm.ClientID(contact), cmd)
+	return nil
 }
 
 // PendingTotal counts queued-but-unreplicated commands.
-func (c *Cluster) PendingTotal() int {
-	total := 0
-	for _, r := range c.replicas {
-		total += len(r.pending)
-	}
-	return total
-}
+func (c *Cluster) PendingTotal() int { return c.engine.Pending() }
 
-// DecideSlot runs one consensus instance for the next slot and applies the
-// chosen command everywhere. It returns the applied command (ok reports
-// whether the slot chose a real command rather than a no-op).
-func (c *Cluster) DecideSlot() (Command, bool, error) {
-	slot := len(c.chosen)
-	initial := make([]core.Value, c.n)
-	for i, r := range c.replicas {
-		if len(r.pending) > 0 {
-			initial[i] = r.pending[0]
-		} else {
-			initial[i] = noOpValue
-		}
-	}
-	ru, err := core.NewRunner(c.algorithm, initial, c.provider(slot))
-	if err != nil {
-		return Command{}, false, err
-	}
-	tr, err := ru.Run(c.maxRounds)
-	if err != nil {
-		return Command{}, false, fmt.Errorf("slot %d: %w", slot, ErrSlotUndecided)
-	}
-	if err := tr.CheckConsensusSafety(); err != nil {
-		return Command{}, false, fmt.Errorf("slot %d: %w", slot, err)
-	}
-	chosen := tr.Decisions[0].Value
-	c.chosen = append(c.chosen, chosen)
-
-	if chosen == noOpValue {
-		return Command{}, false, nil
-	}
-	if chosen < 0 || int(chosen) >= len(c.table) {
-		return Command{}, false, fmt.Errorf("slot %d: decided an unknown command index %d", slot, chosen)
-	}
-	cmd := c.table[chosen]
-	for _, r := range c.replicas {
-		r.SM.Apply(cmd)
-		// The chosen command leaves whatever queue holds it.
-		for k, idx := range r.pending {
-			if idx == chosen {
-				r.pending = append(r.pending[:k], r.pending[k+1:]...)
-				break
-			}
-		}
-	}
-	return cmd, true, nil
+// DecideSlot decides the next window of slots (a single slot unless the
+// cluster is pipelined) and applies the chosen commands everywhere, in
+// order. It returns the commands applied by this call — empty when the
+// window decided only a no-op batch. On a window failure the returned
+// slice still holds the decided prefix that WAS applied before the
+// failing slot (alongside the error), mirroring Drain's partial count.
+func (c *Cluster) DecideSlot() ([]Command, error) {
+	before := len(c.replicas[0].SM.log)
+	_, err := c.engine.DecideWindow()
+	applied := c.replicas[0].SM.log[before:]
+	out := make([]Command, len(applied))
+	copy(out, applied)
+	return out, err
 }
 
 // Drain decides slots until no commands are pending or the slot budget is
-// exhausted, returning the number of commands applied.
+// exhausted, returning the number of commands applied. Every undecided
+// path satisfies errors.Is(err, ErrSlotUndecided).
 func (c *Cluster) Drain(maxSlots int) (int, error) {
-	applied := 0
-	for s := 0; s < maxSlots && c.PendingTotal() > 0; s++ {
-		_, ok, err := c.DecideSlot()
-		if err != nil {
-			return applied, err
-		}
-		if ok {
-			applied++
-		}
+	return c.engine.Drain(maxSlots)
+}
+
+// WorkloadCommand maps a generated workload operation (rsm.RunWorkload)
+// to a KV command: reads become linearizable OpGets through the log,
+// writes become puts with an occasional delete. Shared by the E10
+// experiment and cmd/hoload so their workloads stay key-for-key
+// comparable.
+func WorkloadCommand(op rsm.Op) Command {
+	key := fmt.Sprintf("k%03d", op.Key)
+	switch {
+	case !op.Write:
+		return Command{Op: OpGet, Key: key}
+	case op.Key%11 == 10:
+		return Command{Op: OpDelete, Key: key}
+	default:
+		return Command{Op: OpPut, Key: key, Value: fmt.Sprintf("c%d#%d", op.Client, op.Seq)}
 	}
-	if c.PendingTotal() > 0 {
-		return applied, fmt.Errorf("kvstore: %d commands still pending after %d slots",
-			c.PendingTotal(), maxSlots)
-	}
-	return applied, nil
 }
 
 // Converged reports whether all replicas have identical state.

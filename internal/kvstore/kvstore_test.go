@@ -7,6 +7,7 @@ import (
 	"heardof/internal/adversary"
 	"heardof/internal/core"
 	"heardof/internal/otr"
+	"heardof/internal/rsm"
 	"heardof/internal/xrand"
 )
 
@@ -19,6 +20,13 @@ func newTestCluster(t *testing.T, n int, provider func(int) core.HOProvider) *Cl
 		t.Fatal(err)
 	}
 	return c
+}
+
+func mustSubmit(t *testing.T, c *Cluster, contact int, cmd Command) {
+	t.Helper()
+	if err := c.Submit(contact, cmd); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestStateMachineBasics(t *testing.T) {
@@ -51,9 +59,9 @@ func TestCommandString(t *testing.T) {
 
 func TestReplicationFaultFree(t *testing.T) {
 	c := newTestCluster(t, 4, fullProvider)
-	c.Submit(0, Command{Op: OpPut, Key: "x", Value: "1"})
-	c.Submit(1, Command{Op: OpPut, Key: "y", Value: "2"})
-	c.Submit(2, Command{Op: OpDelete, Key: "x"})
+	mustSubmit(t, c, 0, Command{Op: OpPut, Key: "x", Value: "1"})
+	mustSubmit(t, c, 1, Command{Op: OpPut, Key: "y", Value: "2"})
+	mustSubmit(t, c, 2, Command{Op: OpDelete, Key: "x"})
 	applied, err := c.Drain(20)
 	if err != nil {
 		t.Fatal(err)
@@ -72,6 +80,26 @@ func TestReplicationFaultFree(t *testing.T) {
 	}
 }
 
+// TestSubmitInvalidContact is the regression test for the panic this PR
+// fixes: Submit used to index c.replicas[contact] unchecked, so a bad
+// contact id crashed the process instead of returning an error.
+func TestSubmitInvalidContact(t *testing.T) {
+	c := newTestCluster(t, 3, fullProvider)
+	for _, contact := range []int{-1, 3, 100} {
+		if err := c.Submit(contact, Command{Op: OpPut, Key: "k", Value: "v"}); err == nil {
+			t.Errorf("contact %d accepted", contact)
+		}
+	}
+	if c.PendingTotal() != 0 {
+		t.Errorf("rejected submissions left %d pending commands", c.PendingTotal())
+	}
+	// Valid contacts still work after rejections.
+	mustSubmit(t, c, 2, Command{Op: OpPut, Key: "k", Value: "v"})
+	if _, err := c.Drain(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestReplicationUnderTransmissionLoss(t *testing.T) {
 	// DT faults between replicas: each slot's instance rides out 20% loss
 	// (more rounds, same result). All replicas still converge.
@@ -82,7 +110,7 @@ func TestReplicationUnderTransmissionLoss(t *testing.T) {
 	c := newTestCluster(t, 5, provider)
 	for i := 0; i < 12; i++ {
 		key := string(rune('a' + i%4))
-		c.Submit(i%5, Command{Op: OpPut, Key: key, Value: key})
+		mustSubmit(t, c, i%5, Command{Op: OpPut, Key: key, Value: key})
 	}
 	if _, err := c.Drain(60); err != nil {
 		t.Fatal(err)
@@ -92,14 +120,63 @@ func TestReplicationUnderTransmissionLoss(t *testing.T) {
 	}
 }
 
-func TestNoOpSlots(t *testing.T) {
-	c := newTestCluster(t, 3, fullProvider)
-	cmd, ok, err := c.DecideSlot()
+func TestBatchingAmortizesSlots(t *testing.T) {
+	// The acceptance bound of this PR at the kvstore layer: M commands
+	// drain in ≤ ⌈M/63⌉ + 1 slots, versus exactly M slots before rsm.
+	c := newTestCluster(t, 4, fullProvider)
+	const cmds = 150
+	for i := 0; i < cmds; i++ {
+		mustSubmit(t, c, i%4, Command{Op: OpPut, Key: "k", Value: "v"})
+	}
+	applied, err := c.Drain(cmds)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ok {
-		t.Errorf("empty cluster decided a real command: %v", cmd)
+	if applied != cmds {
+		t.Fatalf("applied %d of %d", applied, cmds)
+	}
+	if bound := (cmds+62)/63 + 1; c.Slots() > bound {
+		t.Errorf("used %d slots for %d commands, want ≤ %d", c.Slots(), cmds, bound)
+	}
+}
+
+func TestPipelinedClusterConverges(t *testing.T) {
+	rng := xrand.New(9)
+	provider := func(int) core.HOProvider {
+		return &adversary.TransmissionLoss{Rate: 0.15, RNG: rng.Fork()}
+	}
+	c, err := NewClusterTuned(5, otr.Algorithm{}, provider, 300,
+		rsm.Tuning{BatchSize: 4, Pipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		mustSubmit(t, c, i%5, Command{Op: OpPut, Key: string(rune('a' + i%7)), Value: "v"})
+	}
+	applied, err := c.Drain(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 40 {
+		t.Errorf("applied %d of 40", applied)
+	}
+	if !c.Converged() {
+		t.Fatal("pipelined replicas diverged")
+	}
+	st := c.Engine().Stats()
+	if st.WallRounds >= st.TotalRounds {
+		t.Errorf("pipelining bought nothing: wall %d, total %d", st.WallRounds, st.TotalRounds)
+	}
+}
+
+func TestNoOpSlots(t *testing.T) {
+	c := newTestCluster(t, 3, fullProvider)
+	cmds, err := c.DecideSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 0 {
+		t.Errorf("empty cluster decided real commands: %v", cmds)
 	}
 	if c.Slots() != 1 {
 		t.Errorf("slots = %d, want 1", c.Slots())
@@ -113,10 +190,29 @@ func TestUndecidedSlotReportsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Submit(0, Command{Op: OpPut, Key: "k", Value: "v"})
-	_, _, err = c.DecideSlot()
+	mustSubmit(t, c, 0, Command{Op: OpPut, Key: "k", Value: "v"})
+	if _, err := c.DecideSlot(); !errors.Is(err, ErrSlotUndecided) {
+		t.Errorf("error = %v, want ErrSlotUndecided", err)
+	}
+}
+
+// TestDrainBudgetKeepsSentinel is the regression test for the lost
+// sentinel this PR fixes: Drain's budget-exhausted failure was a bare
+// fmt.Errorf, so errors.Is(err, ErrSlotUndecided) was false on that path.
+func TestDrainBudgetKeepsSentinel(t *testing.T) {
+	c, err := NewClusterTuned(3, otr.Algorithm{}, fullProvider, 50, rsm.Tuning{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustSubmit(t, c, 0, Command{Op: OpPut, Key: "k", Value: "v"})
+	}
+	applied, err := c.Drain(2)
 	if !errors.Is(err, ErrSlotUndecided) {
 		t.Errorf("error = %v, want ErrSlotUndecided", err)
+	}
+	if applied != 2 || c.PendingTotal() != 3 {
+		t.Errorf("applied %d pending %d, want 2 and 3", applied, c.PendingTotal())
 	}
 }
 
@@ -145,9 +241,9 @@ func TestConvergencePropertyManyWorkloads(t *testing.T) {
 		for i := 0; i < ops; i++ {
 			key := string(rune('a' + rng.Intn(5)))
 			if rng.Bool(0.25) {
-				c.Submit(rng.Intn(4), Command{Op: OpDelete, Key: key})
+				mustSubmit(t, c, rng.Intn(4), Command{Op: OpDelete, Key: key})
 			} else {
-				c.Submit(rng.Intn(4), Command{Op: OpPut, Key: key, Value: key + key})
+				mustSubmit(t, c, rng.Intn(4), Command{Op: OpPut, Key: key, Value: key + key})
 			}
 		}
 		if _, err := c.Drain(120); err != nil {
@@ -161,8 +257,8 @@ func TestConvergencePropertyManyWorkloads(t *testing.T) {
 
 func TestLogsIdenticalAcrossReplicas(t *testing.T) {
 	c := newTestCluster(t, 3, fullProvider)
-	c.Submit(0, Command{Op: OpPut, Key: "a", Value: "1"})
-	c.Submit(1, Command{Op: OpPut, Key: "a", Value: "2"})
+	mustSubmit(t, c, 0, Command{Op: OpPut, Key: "a", Value: "1"})
+	mustSubmit(t, c, 1, Command{Op: OpPut, Key: "a", Value: "2"})
 	if _, err := c.Drain(10); err != nil {
 		t.Fatal(err)
 	}
@@ -180,5 +276,21 @@ func TestLogsIdenticalAcrossReplicas(t *testing.T) {
 				t.Fatalf("logs diverge at %d: %v vs %v", i, lr[i], l0[i])
 			}
 		}
+	}
+}
+
+func TestDecideSlotReturnsAppliedBatch(t *testing.T) {
+	c := newTestCluster(t, 3, fullProvider)
+	mustSubmit(t, c, 0, Command{Op: OpPut, Key: "a", Value: "1"})
+	mustSubmit(t, c, 1, Command{Op: OpPut, Key: "b", Value: "2"})
+	cmds, err := c.DecideSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 2 {
+		t.Fatalf("batch = %v, want both commands in one slot", cmds)
+	}
+	if cmds[0].Key != "a" || cmds[1].Key != "b" {
+		t.Errorf("batch order %v, want submission order", cmds)
 	}
 }

@@ -1,0 +1,219 @@
+// Closed-loop workload generation over an Engine: a configurable client
+// population drives the replication service and the run reports
+// throughput, slot amortization, and latency-in-rounds percentiles.
+// Everything is deterministic in (engine config, WorkloadConfig), so the
+// same workload can be replayed across fault environments — the scenario
+// diversity that Shimi et al. argue is the payoff of the predicate
+// abstraction — and compared number-for-number.
+
+package rsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"heardof/internal/core"
+	"heardof/internal/xrand"
+)
+
+// KeyDist selects the key-popularity distribution of a workload.
+type KeyDist int
+
+const (
+	// Uniform draws keys uniformly from the key space.
+	Uniform KeyDist = iota
+	// Zipfian draws keys with P(k) ∝ 1/(k+1)^s — a hot-key workload.
+	Zipfian
+)
+
+// String implements fmt.Stringer.
+func (d KeyDist) String() string {
+	if d == Zipfian {
+		return "zipfian"
+	}
+	return "uniform"
+}
+
+// Op is one generated operation, handed to the command constructor.
+type Op struct {
+	Client ClientID
+	Seq    uint64
+	// Write distinguishes the read/write mix (the engine replicates both:
+	// a read through the log is a linearizable read).
+	Write bool
+	// Key is an index into the key space.
+	Key int
+}
+
+// WorkloadConfig parameterizes a closed-loop run: each of Clients clients
+// keeps at most one command outstanding, submitting a new one with
+// probability Rate per window while idle, until Ops commands have been
+// submitted and committed.
+type WorkloadConfig struct {
+	// Clients is the closed-loop client population.
+	Clients int
+	// Rate is the per-window submission probability of an idle client
+	// (the arrival process), in (0, 1].
+	Rate float64
+	// WriteRatio is the fraction of writes in the mix, in [0, 1].
+	WriteRatio float64
+	// Keys is the key-space size.
+	Keys int
+	// Dist selects Uniform or Zipfian keys.
+	Dist KeyDist
+	// ZipfS is the Zipfian exponent; 0 means 0.99 (the YCSB default).
+	ZipfS float64
+	// Ops is the total number of commands to commit.
+	Ops int
+	// MaxSlots bounds consensus instances launched before giving up.
+	MaxSlots int
+	// Seed drives the workload's private RNG stream.
+	Seed uint64
+}
+
+// WorkloadResult reports a run's service-level measurements. All fields
+// are deterministic; none depend on wall-clock time or scheduling.
+type WorkloadResult struct {
+	// Completed counts committed commands (== Ops on success).
+	Completed int
+	// Slots and Launched mirror the engine counters for the run.
+	Slots    int
+	Launched int
+	// WallRounds is elapsed service time in rounds; TotalRounds is
+	// consensus work in rounds (> WallRounds when pipelining overlaps).
+	WallRounds  core.Round
+	TotalRounds core.Round
+	// SlotsPerCmd is Slots/Completed — the amortization the batch codec
+	// buys (1.0 would be the old one-command-per-slot layer).
+	SlotsPerCmd float64
+	// CmdsPerRound is Completed/WallRounds — closed-loop throughput in
+	// commands per simulated round.
+	CmdsPerRound float64
+	// LatencyP50/P95/P99 are commit-latency percentiles in rounds,
+	// measured from submission to in-order apply.
+	LatencyP50, LatencyP95, LatencyP99 core.Round
+}
+
+// RunWorkload drives a closed loop over a fresh engine. makeCmd turns a
+// generated operation into the engine's command type. The engine must be
+// unused (zero committed commands); reusing one would fold the previous
+// run into the reported counters.
+func RunWorkload[C any](e *Engine[C], cfg WorkloadConfig, makeCmd func(Op) C) (WorkloadResult, error) {
+	var res WorkloadResult
+	if e.stats.Launched != 0 || e.Pending() != 0 {
+		return res, errors.New("rsm: RunWorkload needs a fresh engine")
+	}
+	if cfg.Clients < 1 {
+		return res, fmt.Errorf("rsm: workload needs ≥ 1 client, got %d", cfg.Clients)
+	}
+	if !(cfg.Rate > 0 && cfg.Rate <= 1) {
+		return res, fmt.Errorf("rsm: workload rate %v outside (0, 1]", cfg.Rate)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return res, fmt.Errorf("rsm: write ratio %v outside [0, 1]", cfg.WriteRatio)
+	}
+	if cfg.Keys < 1 || cfg.Ops < 1 || cfg.MaxSlots < 1 {
+		return res, fmt.Errorf("rsm: workload needs positive Keys, Ops and MaxSlots (got %d, %d, %d)",
+			cfg.Keys, cfg.Ops, cfg.MaxSlots)
+	}
+	if cfg.ZipfS < 0 {
+		return res, fmt.Errorf("rsm: zipfian exponent %v is negative", cfg.ZipfS)
+	}
+	if makeCmd == nil {
+		return res, errors.New("rsm: nil command constructor")
+	}
+
+	rng := xrand.New(cfg.Seed)
+	var zipf *xrand.Zipf
+	if cfg.Dist == Zipfian {
+		s := cfg.ZipfS
+		if s == 0 {
+			s = 0.99
+		}
+		zipf = xrand.NewZipf(rng.Fork(), s, cfg.Keys)
+	}
+	nextKey := func() int {
+		if zipf != nil {
+			return zipf.Next()
+		}
+		return rng.Intn(cfg.Keys)
+	}
+
+	nextSeq := make([]uint64, cfg.Clients) // last sequence submitted per client
+	submitted := 0
+	finish := func(err error) (WorkloadResult, error) {
+		st := e.Stats()
+		res.Completed = st.Committed
+		res.Slots = st.Slots
+		res.Launched = st.Launched
+		res.WallRounds = st.WallRounds
+		res.TotalRounds = st.TotalRounds
+		if st.Committed > 0 {
+			res.SlotsPerCmd = float64(st.Slots) / float64(st.Committed)
+		}
+		if st.WallRounds > 0 {
+			res.CmdsPerRound = float64(st.Committed) / float64(st.WallRounds)
+		}
+		lats := e.Latencies()
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res.LatencyP50 = percentile(lats, 0.50)
+		res.LatencyP95 = percentile(lats, 0.95)
+		res.LatencyP99 = percentile(lats, 0.99)
+		return res, err
+	}
+
+	// The loop always terminates: every pass either submits (bounded by
+	// Ops), launches slots (bounded by MaxSlots), or advances the RNG
+	// toward the next arrival; the guard catches a pathological Rate.
+	guard := 1000 * (cfg.MaxSlots + cfg.Ops + 1)
+	for iter := 0; e.Stats().Committed < cfg.Ops; iter++ {
+		if iter > guard {
+			return finish(fmt.Errorf("rsm: workload stalled after %d passes (rate %v too low?)", iter, cfg.Rate))
+		}
+		for c := 0; c < cfg.Clients && submitted < cfg.Ops; c++ {
+			client := ClientID(c)
+			if nextSeq[c] > e.AppliedSeq(client) {
+				continue // closed loop: one outstanding command per client
+			}
+			if !rng.Bool(cfg.Rate) {
+				continue
+			}
+			nextSeq[c]++
+			op := Op{Client: client, Seq: nextSeq[c], Write: rng.Bool(cfg.WriteRatio), Key: nextKey()}
+			if ok, err := e.Submit(client, op.Seq, makeCmd(op)); err != nil || !ok {
+				return finish(fmt.Errorf("rsm: workload submit rejected (ok=%v): %w", ok, err))
+			}
+			submitted++
+		}
+		if e.Pending() == 0 {
+			continue // nothing arrived this pass; no slot to spend
+		}
+		remaining := cfg.MaxSlots - e.Stats().Launched
+		if remaining <= 0 {
+			return finish(fmt.Errorf("rsm: workload slot budget exhausted with %d of %d committed: %w",
+				e.Stats().Committed, cfg.Ops, ErrSlotUndecided))
+		}
+		// Clamp the window so MaxSlots is a hard launch bound.
+		if _, err := e.decideWindow(remaining); err != nil {
+			return finish(fmt.Errorf("rsm: workload window failed: %w", err))
+		}
+	}
+	return finish(nil)
+}
+
+// percentile returns the q-quantile (nearest-rank) of an already-sorted
+// latency slice, or 0 for an empty one.
+func percentile(sorted []core.Round, q float64) core.Round {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,148 @@
+package rsm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/xrand"
+)
+
+func workloadEngine(t *testing.T, provider func(int) core.HOProvider, pipeline int) (*Engine[string], *logs) {
+	t.Helper()
+	l := newLogs(5)
+	e := newEngine(t, Config{N: 5, Provider: provider, BatchSize: 8, Pipeline: pipeline, MaxRounds: 500}, l)
+	return e, l
+}
+
+func opCmd(op Op) string {
+	kind := "r"
+	if op.Write {
+		kind = "w"
+	}
+	return fmt.Sprintf("%s c%d#%d k%d", kind, op.Client, op.Seq, op.Key)
+}
+
+func TestWorkloadClosedLoopCompletes(t *testing.T) {
+	e, l := workloadEngine(t, fullProvider, 4)
+	res, err := RunWorkload(e, WorkloadConfig{
+		Clients: 10, Rate: 0.8, WriteRatio: 0.7, Keys: 32,
+		Dist: Zipfian, Ops: 120, MaxSlots: 400, Seed: 3,
+	}, opCmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 120 {
+		t.Errorf("completed %d of 120", res.Completed)
+	}
+	if res.SlotsPerCmd >= 1 {
+		t.Errorf("slots/cmd = %v; batching should amortize below 1", res.SlotsPerCmd)
+	}
+	if res.CmdsPerRound <= 0 {
+		t.Errorf("throughput = %v", res.CmdsPerRound)
+	}
+	if res.LatencyP50 < 1 || res.LatencyP95 < res.LatencyP50 || res.LatencyP99 < res.LatencyP95 {
+		t.Errorf("latency percentiles out of order: p50=%d p95=%d p99=%d",
+			res.LatencyP50, res.LatencyP95, res.LatencyP99)
+	}
+	if !l.converged() {
+		t.Error("replicas diverged")
+	}
+	if dup, has := l.firstDuplicate(); has {
+		t.Errorf("command %q applied twice", dup)
+	}
+}
+
+func TestWorkloadUnderLossStillExactlyOnce(t *testing.T) {
+	rng := xrand.New(23)
+	provider := func(int) core.HOProvider {
+		return &adversary.TransmissionLoss{Rate: 0.25, RNG: rng.Fork()}
+	}
+	e, l := workloadEngine(t, provider, 4)
+	res, err := RunWorkload(e, WorkloadConfig{
+		Clients: 6, Rate: 0.9, WriteRatio: 0.5, Keys: 16,
+		Dist: Uniform, Ops: 60, MaxSlots: 600, Seed: 5,
+	}, opCmd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != 60 {
+		t.Errorf("completed %d of 60", res.Completed)
+	}
+	if !l.converged() {
+		t.Error("replicas diverged under loss")
+	}
+	if dup, has := l.firstDuplicate(); has {
+		t.Errorf("command %q applied twice", dup)
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	run := func() (WorkloadResult, string) {
+		provider := func(slot int) core.HOProvider {
+			return &adversary.TransmissionLoss{Rate: 0.15, RNG: xrand.New(5000 + uint64(slot))}
+		}
+		e, l := workloadEngine(t, provider, 4)
+		res, err := RunWorkload(e, WorkloadConfig{
+			Clients: 8, Rate: 0.7, WriteRatio: 0.6, Keys: 24,
+			Dist: Zipfian, Ops: 80, MaxSlots: 500, Seed: 11,
+		}, opCmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, fingerprint(e, l)
+	}
+	r1, f1 := run()
+	r2, f2 := run()
+	if r1 != r2 {
+		t.Errorf("results differ: %+v vs %+v", r1, r2)
+	}
+	if f1 != f2 {
+		t.Error("engine fingerprints differ between identical runs")
+	}
+}
+
+func TestWorkloadBudgetExhaustion(t *testing.T) {
+	e, _ := workloadEngine(t, fullProvider, 1)
+	_, err := RunWorkload(e, WorkloadConfig{
+		Clients: 4, Rate: 1, WriteRatio: 1, Keys: 4,
+		Ops: 500, MaxSlots: 3, Seed: 1,
+	}, opCmd)
+	if !errors.Is(err, ErrSlotUndecided) {
+		t.Errorf("error = %v, want ErrSlotUndecided", err)
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	good := WorkloadConfig{Clients: 1, Rate: 0.5, WriteRatio: 0.5, Keys: 1, Ops: 1, MaxSlots: 10, Seed: 1}
+	mutations := []func(*WorkloadConfig){
+		func(c *WorkloadConfig) { c.Clients = 0 },
+		func(c *WorkloadConfig) { c.Rate = 0 },
+		func(c *WorkloadConfig) { c.Rate = 1.5 },
+		func(c *WorkloadConfig) { c.WriteRatio = -0.1 },
+		func(c *WorkloadConfig) { c.Keys = 0 },
+		func(c *WorkloadConfig) { c.Ops = 0 },
+		func(c *WorkloadConfig) { c.MaxSlots = 0 },
+		func(c *WorkloadConfig) { c.ZipfS = -0.5 },
+	}
+	for i, mut := range mutations {
+		e, _ := workloadEngine(t, fullProvider, 1)
+		cfg := good
+		mut(&cfg)
+		if _, err := RunWorkload(e, cfg, opCmd); err == nil {
+			t.Errorf("mutation %d accepted: %+v", i, cfg)
+		}
+	}
+	e, _ := workloadEngine(t, fullProvider, 1)
+	if _, err := RunWorkload[string](e, good, nil); err == nil {
+		t.Error("nil makeCmd accepted")
+	}
+	// A used engine is rejected.
+	e2, _ := workloadEngine(t, fullProvider, 1)
+	e2.Submit(1, 1, "x")
+	if _, err := RunWorkload(e2, good, opCmd); err == nil {
+		t.Error("non-fresh engine accepted")
+	}
+}

@@ -5,6 +5,11 @@
 // independent streams.
 package xrand
 
+import (
+	"math"
+	"sort"
+)
+
 // Rand is a splitmix64 generator. The zero value is a valid generator
 // seeded with 0; prefer New for clarity.
 type Rand struct {
@@ -74,4 +79,41 @@ func (r *Rand) Perm(n int) []int {
 		out[i], out[j] = out[j], out[i]
 	}
 	return out
+}
+
+// Zipf samples integers in [0, n) with P(k) ∝ 1/(k+1)^s — the skewed key
+// distribution of workload generators (s ≈ 1 is the classic YCSB-style
+// hot-key workload; s = 0 degenerates to uniform). The implementation
+// precomputes the CDF and inverts it by binary search, so sampling is
+// deterministic given the underlying Rand.
+type Zipf struct {
+	r   *Rand
+	cdf []float64
+}
+
+// NewZipf creates a sampler over [0, n) with exponent s ≥ 0. It panics if
+// n <= 0 or s < 0 (programming error, matching Intn).
+func NewZipf(r *Rand, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with negative exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{r: r, cdf: cdf}
+}
+
+// Next returns the next sample.
+func (z *Zipf) Next() int {
+	u := z.r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
 }

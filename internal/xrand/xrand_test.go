@@ -132,3 +132,61 @@ func TestForkIndependence(t *testing.T) {
 		t.Error("forked streams start identically")
 	}
 }
+
+func TestZipfSkewAndRange(t *testing.T) {
+	z := NewZipf(New(5), 1.0, 10)
+	counts := make([]int, 10)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		k := z.Next()
+		if k < 0 || k >= 10 {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	// With s=1 the head key carries ~34% of the mass; key 9 ~3.4%.
+	if counts[0] < counts[9]*3 {
+		t.Errorf("no skew: counts[0]=%d counts[9]=%d", counts[0], counts[9])
+	}
+	if counts[0] == draws {
+		t.Error("degenerate sampler: every draw hit key 0")
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(New(7), 0, 4)
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		counts[z.Next()]++
+	}
+	for k, c := range counts {
+		if c < 1600 || c > 2400 { // 2000 ± 20%
+			t.Errorf("s=0 not uniform: counts[%d]=%d", k, c)
+		}
+	}
+}
+
+func TestZipfDeterministic(t *testing.T) {
+	a, b := NewZipf(New(9), 0.99, 100), NewZipf(New(9), 0.99, 100)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("diverged at draw %d", i)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(New(1), 1, 0) },
+		func() { NewZipf(New(1), -0.5, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,20 +1,25 @@
 #!/usr/bin/env bash
-# bench.sh — run the event-core benchmark suite and emit BENCH_sim.json,
-# one point on the repo's perf trajectory (see DESIGN.md "Performance").
+# bench.sh — run the benchmark suites and emit the repo's perf-trajectory
+# points (see DESIGN.md "Performance"): BENCH_sim.json for the event core
+# and BENCH_kv.json for the replication service layer.
 #
 # Usage:
-#   scripts/bench.sh                # full run, writes BENCH_sim.json
+#   scripts/bench.sh                # full run, writes both JSON files
 #   BENCHTIME=0.2s scripts/bench.sh # reduced iterations (CI smoke job)
-#   OUT=/tmp/b.json scripts/bench.sh
+#   OUT=/tmp/b.json KVOUT=/tmp/kv.json scripts/bench.sh
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 1s)
 #   COUNT      go test -count value (default 1)
-#   OUT        output path (default BENCH_sim.json in the repo root)
+#   OUT        event-core output path (default BENCH_sim.json)
+#   KVOUT      service-layer output path (default BENCH_kv.json)
 #
-# The JSON records ns/op, B/op and allocs/op for every BenchmarkSim_* and
-# BenchmarkRunner_* benchmark, plus the wall time of a full `hobench -exp
-# e9` table (the 240-cell loss sweep, the heaviest single experiment).
+# BENCH_sim.json (bench_sim/v1) records ns/op, B/op and allocs/op for
+# every BenchmarkSim_* and BenchmarkRunner_* benchmark, plus the wall
+# time of a full `hobench -exp e9` table (the 240-cell loss sweep).
+# BENCH_kv.json (bench_kv/v1) records cmds/sec and slots/cmd for every
+# BenchmarkRSM_* benchmark, plus the wall time of `hobench -exp e10`
+# (the closed-loop service table).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,9 +27,10 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_sim.json}"
+KVOUT="${KVOUT:-BENCH_kv.json}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw" "$raw.hobench"' EXIT
+trap 'rm -f "$raw" "$raw.kv" "$raw.hobench"' EXIT
 
 echo "bench.sh: go test -bench 'BenchmarkSim_|BenchmarkRunner_' -benchtime $BENCHTIME -count $COUNT" >&2
 go test -run '^$' -bench 'BenchmarkSim_|BenchmarkRunner_' -benchmem \
@@ -73,3 +79,48 @@ END {
 }' "$raw" >"$OUT"
 
 echo "bench.sh: wrote $OUT" >&2
+
+echo "bench.sh: go test -bench BenchmarkRSM_ -benchtime $BENCHTIME ./internal/rsm" >&2
+go test -run '^$' -bench 'BenchmarkRSM_' -benchmem \
+	-benchtime "$BENCHTIME" -count "$COUNT" ./internal/rsm | tee /dev/stderr >"$raw.kv"
+
+echo "bench.sh: timing hobench -exp e10" >&2
+go build -o "$raw.hobench" ./cmd/hobench
+e10_start=$(date +%s.%N)
+"$raw.hobench" -exp e10 >/dev/null
+e10_end=$(date +%s.%N)
+rm -f "$raw.hobench"
+e10_wall=$(awk -v a="$e10_start" -v b="$e10_end" 'BEGIN{printf "%.3f", b-a}')
+
+awk -v benchtime="$BENCHTIME" -v goversion="$go_version" -v date="$date_utc" \
+	-v commit="$commit" -v e10wall="$e10_wall" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	iters = $2
+	ns = ""; cmds = ""; spc = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op")     ns = $i
+		if ($(i+1) == "cmds/sec")  cmds = $i
+		if ($(i+1) == "slots/cmd") spc = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"cmds_per_sec\": %s, \"slots_per_cmd\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, cmds == "" ? "null" : cmds, spc == "" ? "null" : spc, allocs == "" ? "null" : allocs)
+	rows[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"schema\": \"bench_kv/v1\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"e10_wall_seconds\": %s,\n", e10wall
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], i < n-1 ? "," : ""
+	printf "  ]\n}\n"
+}' "$raw.kv" >"$KVOUT"
+
+echo "bench.sh: wrote $KVOUT" >&2
