@@ -44,7 +44,7 @@ func main() {
 
 func run() error {
 	var (
-		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (e1..e10, ea) or 'all'")
+		expFlag  = flag.String("exp", "all", "comma-separated experiment ids (e1..e11, ea) or 'all'")
 		seed     = flag.Uint64("seed", 1, "base seed for all randomized runs")
 		markdown = flag.Bool("markdown", false, "emit markdown tables instead of aligned text")
 		parallel = flag.Int("parallel", 0, "sweep worker goroutines (0 = all cores, 1 = sequential)")
@@ -76,7 +76,7 @@ func run() error {
 		for _, id := range strings.Split(*expFlag, ",") {
 			id = strings.ToLower(strings.TrimSpace(id))
 			if !valid[id] {
-				return fmt.Errorf("unknown experiment %q (want e1..e10 or ea)", id)
+				return fmt.Errorf("unknown experiment %q (want e1..e11 or ea)", id)
 			}
 			selected = append(selected, id)
 		}

@@ -1,7 +1,8 @@
 // Command hoload is the closed-loop load harness for the replication
-// service layer (internal/rsm under internal/kvstore): a configurable
-// client population drives the batched + pipelined engine through a
-// chosen fault environment and the run reports throughput,
+// service layer (internal/rsm under internal/kvstore, and internal/shard
+// above both): a configurable client population drives the batched +
+// pipelined engine — or, with -shards > 1, a sharded fleet of engines —
+// through chosen fault environments and the run reports throughput,
 // slots-per-command amortization, and latency-in-rounds percentiles.
 //
 // All measurements are in simulated rounds, so stdout is byte-identical
@@ -15,12 +16,16 @@
 //	hoload -env crash                       # rotating crash-recovery epochs
 //	hoload -clients 64 -ops 2000 -dist zipfian -rate 0.9
 //	hoload -batch 16 -pipeline 8            # service-layer tuning
+//	hoload -shards 4                        # 4 independent groups, all -env
+//	hoload -shards 4 -shardenvs good,loss,crash   # per-shard environments
+//	hoload -zipf 0                          # an explicit s=0 IS honored
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"heardof/internal/adversary"
@@ -28,6 +33,7 @@ import (
 	"heardof/internal/kvstore"
 	"heardof/internal/otr"
 	"heardof/internal/rsm"
+	"heardof/internal/shard"
 )
 
 func main() {
@@ -39,28 +45,29 @@ func main() {
 
 func run() error {
 	var (
-		n         = flag.Int("n", 5, "number of replicas")
+		n         = flag.Int("n", 5, "number of replicas per shard")
 		env       = flag.String("env", "good", "fault environment: good, loss, crash")
-		lossRate  = flag.Float64("loss", 0.2, "transmission loss probability for -env loss")
+		lossRate  = flag.Float64("loss", 0.2, "transmission loss probability for loss environments")
+		shards    = flag.Int("shards", 1, "independent replication groups over a partitioned keyspace")
+		shardenvs = flag.String("shardenvs", "", "comma-separated per-shard environments, cycled across shards (default: -env everywhere)")
 		clients   = flag.Int("clients", 16, "closed-loop client population")
 		rate      = flag.Float64("rate", 0.7, "per-window submission probability of an idle client")
 		writes    = flag.Float64("writes", 0.75, "write fraction of the operation mix")
 		keys      = flag.Int("keys", 48, "key-space size")
 		dist      = flag.String("dist", "zipfian", "key distribution: uniform or zipfian")
-		zipfS     = flag.Float64("zipf", 0.99, "zipfian exponent")
+		zipfS     = flag.Float64("zipf", 0.99, "zipfian exponent (0 is uniform; the default is the YCSB 0.99)")
 		ops       = flag.Int("ops", 500, "commands to complete")
 		batch     = flag.Int("batch", 8, "commands per consensus slot (1..63)")
 		pipeline  = flag.Int("pipeline", 4, "consensus slots in flight per window")
-		parallel  = flag.Int("parallel", 0, "sweep workers for in-flight slots (0 = pipeline depth)")
+		parallel  = flag.Int("parallel", 0, "sweep workers for in-flight slots and shards (0 = natural width)")
 		maxRounds = flag.Int("maxrounds", 400, "round budget per consensus slot")
 		maxSlots  = flag.Int("maxslots", 0, "slot budget for the whole run (0 = 20×ops)")
 		seed      = flag.Uint64("seed", 1, "workload and environment seed")
 	)
 	flag.Parse()
 
-	provider, err := buildProvider(*env, *n, *lossRate, *seed)
-	if err != nil {
-		return err
+	if *shards < 1 {
+		return fmt.Errorf("shards = %d, need ≥ 1", *shards)
 	}
 	var keyDist rsm.KeyDist
 	switch *dist {
@@ -75,19 +82,29 @@ func run() error {
 	if budget == 0 {
 		budget = 20 * *ops
 	}
+	wcfg := rsm.WorkloadConfig{
+		Clients: *clients, Rate: *rate, WriteRatio: *writes,
+		Keys: *keys, Dist: keyDist, ZipfS: *zipfS,
+		Ops: *ops, MaxSlots: budget, Seed: *seed,
+	}
+	tune := rsm.Tuning{BatchSize: *batch, Pipeline: *pipeline, Parallel: *parallel}
 
-	cluster, err := kvstore.NewClusterTuned(*n, otr.Algorithm{}, provider, core.Round(*maxRounds),
-		rsm.Tuning{BatchSize: *batch, Pipeline: *pipeline, Parallel: *parallel})
+	if *shards > 1 || *shardenvs != "" {
+		return runSharded(*shards, *shardenvs, *env, *n, *lossRate, *parallel,
+			core.Round(*maxRounds), tune, wcfg)
+	}
+
+	provider, err := buildProvider(*env, *n, *lossRate, *seed)
+	if err != nil {
+		return err
+	}
+	cluster, err := kvstore.NewClusterTuned(*n, otr.Algorithm{}, provider, core.Round(*maxRounds), tune)
 	if err != nil {
 		return err
 	}
 
 	start := time.Now()
-	res, err := rsm.RunWorkload(cluster.Engine(), rsm.WorkloadConfig{
-		Clients: *clients, Rate: *rate, WriteRatio: *writes,
-		Keys: *keys, Dist: keyDist, ZipfS: *zipfS,
-		Ops: *ops, MaxSlots: budget, Seed: *seed,
-	}, kvstore.WorkloadCommand)
+	res, err := rsm.RunWorkload(cluster.Engine(), wcfg, kvstore.WorkloadCommand)
 	elapsed := time.Since(start)
 	if err != nil {
 		return err
@@ -98,6 +115,76 @@ func run() error {
 
 	fmt.Printf("config env=%s n=%d clients=%d rate=%g writes=%g keys=%d dist=%s ops=%d batch=%d pipeline=%d seed=%d\n",
 		*env, *n, *clients, *rate, *writes, *keys, keyDist, *ops, *batch, *pipeline, *seed)
+	printResult(res)
+	fmt.Fprintf(os.Stderr, "hoload: %d commands in %v (%.0f cmds/sec wall)\n",
+		res.Completed, elapsed.Round(time.Millisecond), float64(res.Completed)/elapsed.Seconds())
+	return nil
+}
+
+// runSharded is the -shards > 1 (or -shardenvs) path: S independent
+// groups with per-shard fault environments, the sharded closed loop, and
+// per-shard + aggregate reporting.
+func runSharded(shards int, shardenvs, defaultEnv string, n int, lossRate float64,
+	parallel int, maxRounds core.Round, tune rsm.Tuning, wcfg rsm.WorkloadConfig) error {
+	envs := []string{defaultEnv}
+	if shardenvs != "" {
+		envs = strings.Split(shardenvs, ",")
+		for i, e := range envs {
+			envs[i] = strings.TrimSpace(e)
+		}
+	}
+	envOf := func(s int) string { return envs[s%len(envs)] }
+	// Validate every named environment up front (buildProvider errors on
+	// unknown names and bad loss rates) — including entries the current
+	// shard count would not reach, so a typo'd list always errors.
+	for _, e := range envs {
+		if _, err := buildProvider(e, n, lossRate, wcfg.Seed); err != nil {
+			return err
+		}
+	}
+	providers := func(s int) func(slot int) core.HOProvider {
+		// Seed each shard's environment from (seed, shard) so shard
+		// environments are independent streams and independent of S-1
+		// other shards' consumption.
+		p, err := buildProvider(envOf(s), n, lossRate, wcfg.Seed+uint64(s)*1000003)
+		if err != nil { // unreachable: validated above
+			panic(err)
+		}
+		return p
+	}
+	cluster, err := kvstore.NewShardedCluster(shard.Config{Shards: shards, Parallel: parallel},
+		n, otr.Algorithm{}, providers, maxRounds, tune)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := shard.RunWorkload(cluster.Sharded(), wcfg, kvstore.WorkloadCommand, kvstore.WorkloadRouteKey)
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if !cluster.Converged() {
+		return fmt.Errorf("a shard's replicas diverged — impossible if consensus safety holds")
+	}
+
+	fmt.Printf("config env=%s shards=%d shardenvs=%s n=%d clients=%d rate=%g writes=%g keys=%d dist=%s ops=%d batch=%d pipeline=%d seed=%d\n",
+		defaultEnv, shards, shardenvs, n, wcfg.Clients, wcfg.Rate, wcfg.WriteRatio,
+		wcfg.Keys, wcfg.Dist, wcfg.Ops, tune.BatchSize, tune.Pipeline, wcfg.Seed)
+	for s, ps := range res.PerShard {
+		fmt.Printf("shard %d env=%s completed=%d slots=%d wall_rounds=%d lat p50=%d p95=%d p99=%d\n",
+			s, envOf(s), ps.Completed, ps.Slots, ps.WallRounds,
+			ps.LatencyP50, ps.LatencyP95, ps.LatencyP99)
+	}
+	printResult(res.Aggregate)
+	fmt.Fprintf(os.Stderr, "hoload: %d commands over %d shards in %v (%.0f cmds/sec wall)\n",
+		res.Aggregate.Completed, shards, elapsed.Round(time.Millisecond),
+		float64(res.Aggregate.Completed)/elapsed.Seconds())
+	return nil
+}
+
+// printResult emits the measurement block shared by the single-group and
+// sharded (aggregate) paths.
+func printResult(res rsm.WorkloadResult) {
 	fmt.Printf("completed %d\n", res.Completed)
 	fmt.Printf("slots %d\n", res.Slots)
 	fmt.Printf("slots_per_cmd %.4f\n", res.SlotsPerCmd)
@@ -105,14 +192,11 @@ func run() error {
 	fmt.Printf("wall_rounds %d\n", res.WallRounds)
 	fmt.Printf("total_rounds %d\n", res.TotalRounds)
 	fmt.Printf("latency_rounds p50=%d p95=%d p99=%d\n", res.LatencyP50, res.LatencyP95, res.LatencyP99)
-	fmt.Fprintf(os.Stderr, "hoload: %d commands in %v (%.0f cmds/sec wall)\n",
-		res.Completed, elapsed.Round(time.Millisecond), float64(res.Completed)/elapsed.Seconds())
-	return nil
 }
 
 // buildProvider maps an environment name to a per-slot HO provider — the
-// same shared factories (internal/adversary) experiments E10 tabulates,
-// so hoload runs are directly comparable to the E10 table.
+// same shared factories (internal/adversary) experiments E10 and E11
+// tabulate, so hoload runs are directly comparable to those tables.
 func buildProvider(env string, n int, loss float64, seed uint64) (func(slot int) core.HOProvider, error) {
 	switch env {
 	case "good":

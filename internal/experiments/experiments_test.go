@@ -207,6 +207,61 @@ func TestE10DeterministicAcrossParallel(t *testing.T) {
 	}
 }
 
+func TestE11ScalingShape(t *testing.T) {
+	tbl := E11Sharding(1)
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("E11 has %d rows, want 8 (notes: %v)", len(tbl.Rows), tbl.Notes)
+	}
+	shards := col(t, tbl, "shards")
+	dist := col(t, tbl, "dist")
+	cmds := col(t, tbl, "cmds")
+	tput := col(t, tbl, "cmds/round")
+	hot := col(t, tbl, "hot-shard cmds")
+	// cmds/round per (dist) keyed by shard count, to check scaling.
+	uniform := map[string]float64{}
+	for _, row := range tbl.Rows {
+		// Weak scaling: 120 commands per shard.
+		s := int(parseF(t, row[shards]))
+		if want := strconv.Itoa(120 * s); row[cmds] != want {
+			t.Errorf("row %v: completed %s of %s", row, row[cmds], want)
+		}
+		if v := parseF(t, row[tput]); v <= 0 {
+			t.Errorf("row %v: throughput %v", row, v)
+		}
+		h, c := parseF(t, row[hot]), parseF(t, row[cmds])
+		if h > c {
+			t.Errorf("row %v: hot-shard cmds %v above total %v", row, h, c)
+		}
+		if row[dist] == "uniform" {
+			uniform[row[shards]] = parseF(t, row[tput])
+		}
+	}
+	// Uniform load over more shards must raise aggregate throughput:
+	// S=8 over S=1 is the headline scaling claim of the sharded layer.
+	if !(uniform["8"] > uniform["1"]) {
+		t.Errorf("uniform cmds/round did not scale: S=1 %v vs S=8 %v", uniform["1"], uniform["8"])
+	}
+}
+
+// TestE11DeterministicAcrossParallel extends the determinism contract to
+// the sharded layer: table bytes are identical whether the sweep, the
+// shard fan-out inside each cell, and each group's pipeline run on one
+// worker or eight.
+func TestE11DeterministicAcrossParallel(t *testing.T) {
+	render := func(parallel int) string {
+		tbl := New(Config{Seed: 1, Parallel: parallel}).E11Sharding(context.Background())
+		var buf bytes.Buffer
+		if err := tbl.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Errorf("E11 output differs between -parallel 1 and 8:\n%s\nvs\n%s", seq, par)
+	}
+}
+
 func TestAblationTableShape(t *testing.T) {
 	tbl := Ablations(1)
 	if len(tbl.Rows) != 3 {
@@ -255,7 +310,7 @@ func TestRenderAndMarkdown(t *testing.T) {
 
 func TestAllProducesEveryTable(t *testing.T) {
 	tables := All(1)
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "EA"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "EA"}
 	if len(tables) != len(want) {
 		t.Fatalf("All returned %d tables, want %d", len(tables), len(want))
 	}

@@ -48,10 +48,10 @@ func New(cfg Config) *Runner {
 
 // IDs returns the experiment identifiers in canonical order.
 func IDs() []string {
-	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "ea"}
+	return []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "ea"}
 }
 
-// Run regenerates one experiment table by id (e1..e10, ea).
+// Run regenerates one experiment table by id (e1..e11, ea).
 func (r *Runner) Run(ctx context.Context, id string) (*Table, error) {
 	switch strings.ToLower(strings.TrimSpace(id)) {
 	case "e1":
@@ -74,10 +74,12 @@ func (r *Runner) Run(ctx context.Context, id string) (*Table, error) {
 		return r.E9LossSweep(ctx), nil
 	case "e10":
 		return r.E10Service(ctx), nil
+	case "e11":
+		return r.E11Sharding(ctx), nil
 	case "ea":
 		return r.Ablations(ctx), nil
 	default:
-		return nil, fmt.Errorf("unknown experiment %q (want e1..e10 or ea)", id)
+		return nil, fmt.Errorf("unknown experiment %q (want e1..e11 or ea)", id)
 	}
 }
 

@@ -88,7 +88,7 @@ func (r *Runner) E10Service(ctx context.Context) *Table {
 			}
 			res, err := rsm.RunWorkload(cluster.Engine(), rsm.WorkloadConfig{
 				Clients: e10Clients, Rate: 0.7, WriteRatio: 0.75,
-				Keys: e10Keys, Dist: spec.dist, Ops: e10Ops,
+				Keys: e10Keys, Dist: spec.dist, ZipfS: 0.99, Ops: e10Ops,
 				MaxSlots: e10MaxSlots, Seed: seed + spec.off + 1,
 			}, kvstore.WorkloadCommand)
 			if err != nil {

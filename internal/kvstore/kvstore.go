@@ -205,11 +205,11 @@ func (c *Cluster) Drain(maxSlots int) (int, error) {
 
 // WorkloadCommand maps a generated workload operation (rsm.RunWorkload)
 // to a KV command: reads become linearizable OpGets through the log,
-// writes become puts with an occasional delete. Shared by the E10
-// experiment and cmd/hoload so their workloads stay key-for-key
+// writes become puts with an occasional delete. Shared by the E10/E11
+// experiments and cmd/hoload so their workloads stay key-for-key
 // comparable.
 func WorkloadCommand(op rsm.Op) Command {
-	key := fmt.Sprintf("k%03d", op.Key)
+	key := workloadKey(op.Key)
 	switch {
 	case !op.Write:
 		return Command{Op: OpGet, Key: key}
@@ -219,6 +219,11 @@ func WorkloadCommand(op rsm.Op) Command {
 		return Command{Op: OpPut, Key: key, Value: fmt.Sprintf("c%d#%d", op.Client, op.Seq)}
 	}
 }
+
+// workloadKey names workload key index k; WorkloadCommand and
+// WorkloadRouteKey must agree on it so a generated op and the command
+// built from it route to the same shard.
+func workloadKey(k int) string { return fmt.Sprintf("k%03d", k) }
 
 // Converged reports whether all replicas have identical state.
 func (c *Cluster) Converged() bool {

@@ -1,0 +1,145 @@
+// Sharded replicated KV: the store-shaped API over internal/shard's
+// multi-group replication layer. Each shard is an independent cluster of
+// n replicas deciding its own slot log under its OWN fault environment;
+// keys are partitioned across shards by a pure router, so scaling (more
+// shards) stays orthogonal to fault handling (per-shard providers) — the
+// separation the predicate abstraction licenses.
+
+package kvstore
+
+import (
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/rsm"
+	"heardof/internal/shard"
+)
+
+// ShardedCluster replicates a partitioned KV store: S independent
+// replication groups of n replicas each. Cross-shard operations are not
+// transactional — each command touches exactly one key and therefore
+// exactly one shard, which is what makes per-shard logs sufficient.
+type ShardedCluster struct {
+	shards   int
+	n        int
+	sharded  *shard.Sharded[Command]
+	replicas [][]*Replica // [shard][replica]
+}
+
+// NewShardedCluster creates cfg.Shards groups of n replicas deciding
+// slots with alg under per-shard HO environments: providers(s) is shard
+// s's per-slot provider factory — heterogeneous environments (one shard
+// lossy, the rest in good periods) are just different factories per
+// index. tune applies to every group; cfg carries the router (nil means
+// shard.HashRouter) and the shard-level parallelism.
+func NewShardedCluster(cfg shard.Config, n int, alg core.Algorithm,
+	providers func(shard int) func(slot int) core.HOProvider,
+	maxRounds core.Round, tune rsm.Tuning) (*ShardedCluster, error) {
+	if providers == nil {
+		return nil, fmt.Errorf("kvstore: nil per-shard provider factory")
+	}
+	c := &ShardedCluster{shards: cfg.Shards, n: n}
+	sh, err := shard.New[Command](cfg,
+		func(s int) rsm.Config {
+			return rsm.Config{
+				N: n, Algorithm: alg, Provider: providers(s), MaxRounds: maxRounds,
+				BatchSize: tune.BatchSize, Pipeline: tune.Pipeline, Parallel: tune.Parallel,
+			}
+		},
+		func(s, replica int, cmd Command) {
+			c.replicas[s][replica].SM.Apply(cmd)
+		})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: %w", err)
+	}
+	c.replicas = make([][]*Replica, cfg.Shards)
+	for s := range c.replicas {
+		c.replicas[s] = make([]*Replica, n)
+		for i := range c.replicas[s] {
+			c.replicas[s][i] = &Replica{ID: core.ProcessID(i), SM: NewStateMachine()}
+		}
+	}
+	c.sharded = sh
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *ShardedCluster) Shards() int { return c.shards }
+
+// Sharded exposes the underlying sharded replication service (workload
+// harness, per-shard engines, aggregate stats).
+func (c *ShardedCluster) Sharded() *shard.Sharded[Command] { return c.sharded }
+
+// Replica returns replica i of shard s.
+func (c *ShardedCluster) Replica(s, i int) *Replica { return c.replicas[s][i] }
+
+// RouteKey returns the shard owning a string key.
+func (c *ShardedCluster) RouteKey(key string) int {
+	return c.sharded.Route(shard.StringKey(key))
+}
+
+// Submit accepts a command at a contact replica and enters it into the
+// owning shard's log (routing by the command's key). The contact runs one
+// client session PER SHARD — sequence numbers are per (shard, contact) —
+// so every Submit is a fresh command on its shard.
+func (c *ShardedCluster) Submit(contact int, cmd Command) error {
+	if contact < 0 || contact >= c.n {
+		return fmt.Errorf("kvstore: contact replica %d out of range [0, %d)", contact, c.n)
+	}
+	c.sharded.SubmitNext(shard.StringKey(cmd.Key), rsm.ClientID(contact), cmd)
+	return nil
+}
+
+// PendingTotal counts queued-but-unreplicated commands across all shards.
+func (c *ShardedCluster) PendingTotal() int { return c.sharded.Pending() }
+
+// DecideWindows decides one window on every shard with pending commands
+// (concurrently, deterministically merged) and returns the number of
+// commands applied.
+func (c *ShardedCluster) DecideWindows() (int, error) { return c.sharded.DecideWindows() }
+
+// Drain decides windows on every shard until nothing is pending anywhere
+// or some shard exhausts maxSlotsPerShard launches. Every undecided path
+// satisfies errors.Is(err, ErrSlotUndecided).
+func (c *ShardedCluster) Drain(maxSlotsPerShard int) (int, error) {
+	return c.sharded.Drain(maxSlotsPerShard)
+}
+
+// Stats returns the aggregate engine counters (sums across shards;
+// WallRounds is the slowest shard's clock).
+func (c *ShardedCluster) Stats() rsm.Stats { return c.sharded.Stats() }
+
+// Get reads a key from replica 0 of its owning shard — a local
+// (non-linearizable) read; replicate an OpGet for a read through the log.
+func (c *ShardedCluster) Get(key string) (string, bool) {
+	return c.replicas[c.RouteKey(key)][0].SM.Get(key)
+}
+
+// WorkloadRouteKey routes a generated workload operation the way
+// ShardedCluster routes the command WorkloadCommand builds from it — by
+// the FNV hash of the command's STRING key, not the raw integer index.
+// Pass it as shard.RunWorkload's keyOf so workload-driven and
+// Submit-driven traffic agree on every key's owning shard (and Get reads
+// the shard that actually applied the put).
+func WorkloadRouteKey(op rsm.Op) uint64 { return shard.StringKey(workloadKey(op.Key)) }
+
+// ShardConverged reports whether shard s's replicas have identical state.
+func (c *ShardedCluster) ShardConverged(s int) bool {
+	want := c.replicas[s][0].SM.Fingerprint()
+	for _, r := range c.replicas[s][1:] {
+		if r.SM.Fingerprint() != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Converged reports whether every shard's replicas converged.
+func (c *ShardedCluster) Converged() bool {
+	for s := 0; s < c.shards; s++ {
+		if !c.ShardConverged(s) {
+			return false
+		}
+	}
+	return true
+}

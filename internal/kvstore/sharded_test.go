@@ -1,0 +1,175 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/rsm"
+	"heardof/internal/shard"
+)
+
+func newShardedKV(t *testing.T, shards int, providers func(int) func(int) core.HOProvider,
+	tune rsm.Tuning) *ShardedCluster {
+	t.Helper()
+	if providers == nil {
+		providers = func(int) func(int) core.HOProvider { return adversary.SlotFull() }
+	}
+	c, err := NewShardedCluster(shard.Config{Shards: shards}, 3, otr.Algorithm{}, providers, 300, tune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestShardedClusterBasicOps(t *testing.T) {
+	c := newShardedKV(t, 4, nil, rsm.Tuning{BatchSize: 8})
+	const keys = 40
+	for i := 0; i < keys; i++ {
+		if err := c.Submit(i%3, Command{Op: OpPut, Key: fmt.Sprintf("k%03d", i), Value: fmt.Sprintf("v%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := c.Drain(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != keys {
+		t.Errorf("drained %d of %d", n, keys)
+	}
+	if !c.Converged() {
+		t.Error("a shard diverged")
+	}
+	// Every key is readable from its owning shard, and ONLY stored there.
+	shardHit := make([]bool, 4)
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("k%03d", i)
+		v, ok := c.Get(key)
+		if !ok || v != fmt.Sprintf("v%d", i) {
+			t.Errorf("Get(%s) = (%q, %v)", key, v, ok)
+		}
+		owner := c.RouteKey(key)
+		shardHit[owner] = true
+		for s := 0; s < c.Shards(); s++ {
+			_, has := c.Replica(s, 0).SM.Get(key)
+			if has != (s == owner) {
+				t.Errorf("key %s present on shard %d, owner is %d", key, s, owner)
+			}
+		}
+	}
+	for s, hit := range shardHit {
+		if !hit {
+			t.Errorf("no key routed to shard %d of 4 (40 keys)", s)
+		}
+	}
+	if st := c.Stats(); st.Committed != keys {
+		t.Errorf("aggregate committed %d, want %d", st.Committed, keys)
+	}
+	if err := c.Submit(-1, Command{Op: OpPut, Key: "x"}); err == nil {
+		t.Error("bad contact accepted")
+	}
+}
+
+func TestShardedClusterHeterogeneousEnvs(t *testing.T) {
+	// Shard 1 under 30% loss, others fault-free — all converge.
+	providers := func(s int) func(int) core.HOProvider {
+		if s == 1 {
+			return adversary.SlotLoss(0.3, 9)
+		}
+		return adversary.SlotFull()
+	}
+	c, err := NewShardedCluster(shard.Config{Shards: 3, Router: shard.ModRouter{}}, 5, otr.Algorithm{},
+		providers, 500, rsm.Tuning{BatchSize: 4, Pipeline: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 48; i++ {
+		if err := c.Submit(0, Command{Op: OpPut, Key: fmt.Sprintf("key-%d", i), Value: "v"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, derr := c.Drain(100); derr != nil || n != 48 {
+		t.Fatalf("drain: n=%d err=%v", n, derr)
+	}
+	if !c.Converged() {
+		t.Error("replicas diverged under a heterogeneous environment")
+	}
+}
+
+func TestShardedClusterWorkloadHarness(t *testing.T) {
+	// The closed-loop harness over the sharded store: mixed per-shard
+	// environments, zipfian keys, per-shard convergence afterwards.
+	providers := func(s int) func(int) core.HOProvider {
+		switch s % 3 {
+		case 1:
+			return adversary.SlotLoss(0.2, 100+uint64(s))
+		case 2:
+			return adversary.SlotRotatingCrash(5, 10)
+		default:
+			return adversary.SlotFull()
+		}
+	}
+	c, err := NewShardedCluster(shard.Config{Shards: 4}, 5, otr.Algorithm{}, providers, 400,
+		rsm.Tuning{BatchSize: 8, Pipeline: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := shard.RunWorkload(c.Sharded(), rsm.WorkloadConfig{
+		Clients: 12, Rate: 0.8, WriteRatio: 0.75, Keys: 64,
+		Dist: rsm.Zipfian, ZipfS: 0.99, Ops: 150, MaxSlots: 2000, Seed: 6,
+	}, WorkloadCommand, WorkloadRouteKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aggregate.Completed != 150 {
+		t.Errorf("completed %d of 150", res.Aggregate.Completed)
+	}
+	if !c.Converged() {
+		t.Error("a shard diverged after the workload")
+	}
+	total := 0
+	for s := 0; s < c.Shards(); s++ {
+		total += c.Replica(s, 0).SM.Len()
+	}
+	if total != 150 {
+		t.Errorf("state machines applied %d commands in total, want 150", total)
+	}
+	// Regression: the workload must route every op the way the store
+	// routes its string key (WorkloadRouteKey), or Get would read a shard
+	// that never applied the put. Every written key must live on its
+	// RouteKey shard and nowhere else.
+	for k := 0; k < 64; k++ {
+		key := fmt.Sprintf("k%03d", k)
+		owner := c.RouteKey(key)
+		for s := 0; s < c.Shards(); s++ {
+			if _, has := c.Replica(s, 0).SM.Get(key); has && s != owner {
+				t.Errorf("key %s applied on shard %d, but RouteKey says %d — Get would miss it", key, s, owner)
+			}
+		}
+	}
+}
+
+func TestShardedClusterValidation(t *testing.T) {
+	if _, err := NewShardedCluster(shard.Config{Shards: 0}, 3, otr.Algorithm{},
+		func(int) func(int) core.HOProvider { return adversary.SlotFull() }, 300, rsm.Tuning{}); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewShardedCluster(shard.Config{Shards: 2}, 3, otr.Algorithm{}, nil, 300, rsm.Tuning{}); err == nil {
+		t.Error("nil providers accepted")
+	}
+	if _, err := NewShardedCluster(shard.Config{Shards: 2}, 0, otr.Algorithm{},
+		func(int) func(int) core.HOProvider { return adversary.SlotFull() }, 300, rsm.Tuning{}); err == nil {
+		t.Error("0 replicas accepted")
+	}
+	var undecided *ShardedCluster
+	undecided = newShardedKV(t, 2, func(int) func(int) core.HOProvider {
+		return func(int) core.HOProvider { return adversary.Silence{} }
+	}, rsm.Tuning{})
+	undecided.Submit(0, Command{Op: OpPut, Key: "k", Value: "v"})
+	if _, err := undecided.Drain(2); !errors.Is(err, ErrSlotUndecided) {
+		t.Errorf("drain error = %v, want ErrSlotUndecided", err)
+	}
+}

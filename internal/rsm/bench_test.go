@@ -85,7 +85,7 @@ func BenchmarkRSM_ClosedLoopWorkload(b *testing.B) {
 			Tuning{BatchSize: 8, Pipeline: 4})
 		_, err := RunWorkload(e, WorkloadConfig{
 			Clients: 16, Rate: 0.7, WriteRatio: 0.75, Keys: 48,
-			Dist: Zipfian, Ops: cmds, MaxSlots: 2000, Seed: uint64(i) + 1,
+			Dist: Zipfian, ZipfS: 0.99, Ops: cmds, MaxSlots: 2000, Seed: uint64(i) + 1,
 		}, func(op Op) string {
 			return fmt.Sprintf("c%d#%d k%d", op.Client, op.Seq, op.Key)
 		})

@@ -242,9 +242,32 @@ func (e *Engine[C]) DecideWindow() (int, error) {
 	return e.decideWindow(e.cfg.Pipeline)
 }
 
-// decideWindow is DecideWindow bounded to at most maxChunks in-flight
-// slots (callers with a slot budget clamp the final window with it).
-func (e *Engine[C]) decideWindow(maxChunks int) (int, error) {
+// DecideWindowCapped is DecideWindow with the window's in-flight slot
+// count additionally capped at maxSlots ≥ 1. Callers that spread a global
+// launch budget across several engines (the sharded layer) clamp each
+// group's window with it.
+func (e *Engine[C]) DecideWindowCapped(maxSlots int) (int, error) {
+	if maxSlots < 1 {
+		return 0, fmt.Errorf("rsm: window cap %d, need ≥ 1", maxSlots)
+	}
+	return e.decideWindow(maxSlots)
+}
+
+// PlannedWindow returns the number of consensus instances the next
+// DecideWindowCapped(maxChunks) call would launch given the current
+// pending queue — the launch budget a caller must reserve for it. It
+// returns 0 when maxChunks < 1.
+func (e *Engine[C]) PlannedWindow(maxChunks int) int {
+	if maxChunks < 1 {
+		return 0
+	}
+	return e.windowChunks(maxChunks)
+}
+
+// windowChunks computes the in-flight slot count of the next window under
+// the cap: ⌈pending/BatchSize⌉ (at least one — an empty no-op slot),
+// clamped by Pipeline and maxChunks.
+func (e *Engine[C]) windowChunks(maxChunks int) int {
 	b := e.cfg.BatchSize
 	chunks := (len(e.pending) + b - 1) / b
 	if chunks == 0 {
@@ -256,6 +279,14 @@ func (e *Engine[C]) decideWindow(maxChunks int) (int, error) {
 	if chunks > maxChunks {
 		chunks = maxChunks
 	}
+	return chunks
+}
+
+// decideWindow is DecideWindow bounded to at most maxChunks in-flight
+// slots (callers with a slot budget clamp the final window with it).
+func (e *Engine[C]) decideWindow(maxChunks int) (int, error) {
+	b := e.cfg.BatchSize
+	chunks := e.windowChunks(maxChunks)
 
 	runs := make([]func() (slotResult, error), chunks)
 	chunkLen := make([]int, chunks)

@@ -11,6 +11,7 @@ package rsm
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"heardof/internal/core"
@@ -62,7 +63,10 @@ type WorkloadConfig struct {
 	Keys int
 	// Dist selects Uniform or Zipfian keys.
 	Dist KeyDist
-	// ZipfS is the Zipfian exponent; 0 means 0.99 (the YCSB default).
+	// ZipfS is the Zipfian exponent. An explicit 0 is honored as s = 0
+	// (a uniform draw through the Zipf sampler); defaults such as the
+	// YCSB 0.99 live in the flag/config layer (cmd/hoload -zipf), not
+	// here, so `-zipf 0` means what it says.
 	ZipfS float64
 	// Ops is the total number of commands to commit.
 	Ops int
@@ -95,6 +99,53 @@ type WorkloadResult struct {
 	LatencyP50, LatencyP95, LatencyP99 core.Round
 }
 
+// Validate checks the generator parameters — the part of the
+// configuration shared by every workload harness (this package's
+// RunWorkload and internal/shard's).
+func (cfg WorkloadConfig) Validate() error {
+	if cfg.Clients < 1 {
+		return fmt.Errorf("workload needs ≥ 1 client, got %d", cfg.Clients)
+	}
+	if !(cfg.Rate > 0 && cfg.Rate <= 1) {
+		return fmt.Errorf("workload rate %v outside (0, 1]", cfg.Rate)
+	}
+	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
+		return fmt.Errorf("write ratio %v outside [0, 1]", cfg.WriteRatio)
+	}
+	if cfg.Keys < 1 || cfg.Ops < 1 || cfg.MaxSlots < 1 {
+		return fmt.Errorf("workload needs positive Keys, Ops and MaxSlots (got %d, %d, %d)",
+			cfg.Keys, cfg.Ops, cfg.MaxSlots)
+	}
+	if cfg.ZipfS < 0 {
+		return fmt.Errorf("zipfian exponent %v is negative", cfg.ZipfS)
+	}
+	return nil
+}
+
+// ResultFromStats derives a WorkloadResult from engine counters and the
+// (not necessarily sorted) latencies of the same run — the one mapping
+// from raw counters to service-level numbers, shared by this harness and
+// the per-shard views of internal/shard. lats is sorted in place.
+func ResultFromStats(st Stats, lats []core.Round) WorkloadResult {
+	var res WorkloadResult
+	res.Completed = st.Committed
+	res.Slots = st.Slots
+	res.Launched = st.Launched
+	res.WallRounds = st.WallRounds
+	res.TotalRounds = st.TotalRounds
+	if st.Committed > 0 {
+		res.SlotsPerCmd = float64(st.Slots) / float64(st.Committed)
+	}
+	if st.WallRounds > 0 {
+		res.CmdsPerRound = float64(st.Committed) / float64(st.WallRounds)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	res.LatencyP50 = Percentile(lats, 0.50)
+	res.LatencyP95 = Percentile(lats, 0.95)
+	res.LatencyP99 = Percentile(lats, 0.99)
+	return res
+}
+
 // RunWorkload drives a closed loop over a fresh engine. makeCmd turns a
 // generated operation into the engine's command type. The engine must be
 // unused (zero committed commands); reusing one would fold the previous
@@ -104,21 +155,8 @@ func RunWorkload[C any](e *Engine[C], cfg WorkloadConfig, makeCmd func(Op) C) (W
 	if e.stats.Launched != 0 || e.Pending() != 0 {
 		return res, errors.New("rsm: RunWorkload needs a fresh engine")
 	}
-	if cfg.Clients < 1 {
-		return res, fmt.Errorf("rsm: workload needs ≥ 1 client, got %d", cfg.Clients)
-	}
-	if !(cfg.Rate > 0 && cfg.Rate <= 1) {
-		return res, fmt.Errorf("rsm: workload rate %v outside (0, 1]", cfg.Rate)
-	}
-	if cfg.WriteRatio < 0 || cfg.WriteRatio > 1 {
-		return res, fmt.Errorf("rsm: write ratio %v outside [0, 1]", cfg.WriteRatio)
-	}
-	if cfg.Keys < 1 || cfg.Ops < 1 || cfg.MaxSlots < 1 {
-		return res, fmt.Errorf("rsm: workload needs positive Keys, Ops and MaxSlots (got %d, %d, %d)",
-			cfg.Keys, cfg.Ops, cfg.MaxSlots)
-	}
-	if cfg.ZipfS < 0 {
-		return res, fmt.Errorf("rsm: zipfian exponent %v is negative", cfg.ZipfS)
+	if err := cfg.Validate(); err != nil {
+		return res, fmt.Errorf("rsm: %w", err)
 	}
 	if makeCmd == nil {
 		return res, errors.New("rsm: nil command constructor")
@@ -127,11 +165,7 @@ func RunWorkload[C any](e *Engine[C], cfg WorkloadConfig, makeCmd func(Op) C) (W
 	rng := xrand.New(cfg.Seed)
 	var zipf *xrand.Zipf
 	if cfg.Dist == Zipfian {
-		s := cfg.ZipfS
-		if s == 0 {
-			s = 0.99
-		}
-		zipf = xrand.NewZipf(rng.Fork(), s, cfg.Keys)
+		zipf = xrand.NewZipf(rng.Fork(), cfg.ZipfS, cfg.Keys)
 	}
 	nextKey := func() int {
 		if zipf != nil {
@@ -143,23 +177,7 @@ func RunWorkload[C any](e *Engine[C], cfg WorkloadConfig, makeCmd func(Op) C) (W
 	nextSeq := make([]uint64, cfg.Clients) // last sequence submitted per client
 	submitted := 0
 	finish := func(err error) (WorkloadResult, error) {
-		st := e.Stats()
-		res.Completed = st.Committed
-		res.Slots = st.Slots
-		res.Launched = st.Launched
-		res.WallRounds = st.WallRounds
-		res.TotalRounds = st.TotalRounds
-		if st.Committed > 0 {
-			res.SlotsPerCmd = float64(st.Slots) / float64(st.Committed)
-		}
-		if st.WallRounds > 0 {
-			res.CmdsPerRound = float64(st.Committed) / float64(st.WallRounds)
-		}
-		lats := e.Latencies()
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		res.LatencyP50 = percentile(lats, 0.50)
-		res.LatencyP95 = percentile(lats, 0.95)
-		res.LatencyP99 = percentile(lats, 0.99)
+		res = ResultFromStats(e.Stats(), e.Latencies())
 		return res, err
 	}
 
@@ -202,13 +220,22 @@ func RunWorkload[C any](e *Engine[C], cfg WorkloadConfig, makeCmd func(Op) C) (W
 	return finish(nil)
 }
 
-// percentile returns the q-quantile (nearest-rank) of an already-sorted
-// latency slice, or 0 for an empty one.
-func percentile(sorted []core.Round, q float64) core.Round {
+// Percentile returns the q-quantile of an already-sorted latency slice
+// using the nearest-rank definition — index ⌈q·n⌉−1 — or 0 for an empty
+// slice. (An earlier version rounded q·n half-up, which picks the rank
+// BELOW the nearest rank whenever q·n falls strictly between two
+// integers by less than 0.5 — e.g. n=39, q=0.95: ⌈37.05⌉−1 = 37, but
+// round-half-up gave 36.) Shared by the per-group and sharded workload
+// harnesses.
+func Percentile(sorted []core.Round, q float64) core.Round {
 	if len(sorted) == 0 {
 		return 0
 	}
-	rank := int(q*float64(len(sorted))+0.5) - 1
+	// The epsilon guards the ceil against float64 products landing one
+	// ulp ABOVE an exact integer q·n (0.07·100 = 7.000000000000001 would
+	// otherwise yield rank 8 where exact arithmetic says 7).
+	const eps = 1e-9
+	rank := int(math.Ceil(q*float64(len(sorted))-eps)) - 1
 	if rank < 0 {
 		rank = 0
 	}

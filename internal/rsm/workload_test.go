@@ -29,7 +29,7 @@ func TestWorkloadClosedLoopCompletes(t *testing.T) {
 	e, l := workloadEngine(t, fullProvider, 4)
 	res, err := RunWorkload(e, WorkloadConfig{
 		Clients: 10, Rate: 0.8, WriteRatio: 0.7, Keys: 32,
-		Dist: Zipfian, Ops: 120, MaxSlots: 400, Seed: 3,
+		Dist: Zipfian, ZipfS: 0.99, Ops: 120, MaxSlots: 400, Seed: 3,
 	}, opCmd)
 	if err != nil {
 		t.Fatal(err)
@@ -87,7 +87,7 @@ func TestWorkloadDeterministic(t *testing.T) {
 		e, l := workloadEngine(t, provider, 4)
 		res, err := RunWorkload(e, WorkloadConfig{
 			Clients: 8, Rate: 0.7, WriteRatio: 0.6, Keys: 24,
-			Dist: Zipfian, Ops: 80, MaxSlots: 500, Seed: 11,
+			Dist: Zipfian, ZipfS: 0.99, Ops: 80, MaxSlots: 500, Seed: 11,
 		}, opCmd)
 		if err != nil {
 			t.Fatal(err)
@@ -112,6 +112,94 @@ func TestWorkloadBudgetExhaustion(t *testing.T) {
 	}, opCmd)
 	if !errors.Is(err, ErrSlotUndecided) {
 		t.Errorf("error = %v, want ErrSlotUndecided", err)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	// Regression: the old implementation rounded q·n half-up
+	// (int(q·n+0.5)−1), which undershoots the nearest rank ⌈q·n⌉−1
+	// whenever frac(q·n) ∈ (0, 0.5) — e.g. n=39, q=0.95 gave index 36
+	// instead of 37.
+	seq := func(n int) []core.Round {
+		out := make([]core.Round, n)
+		for i := range out {
+			out[i] = core.Round(i) // sorted[i] == i, so values ARE indexes
+		}
+		return out
+	}
+	tests := []struct {
+		n    int
+		q    float64
+		want core.Round
+	}{
+		{39, 0.95, 37},   // ⌈37.05⌉−1 = 37; the old code picked 36
+		{39, 0.50, 19},   // ⌈19.5⌉−1 = 19
+		{39, 0.99, 38},   // ⌈38.61⌉−1 = 38
+		{150, 0.99, 148}, // ⌈148.5⌉−1 = 148; the old code picked 147
+		{100, 0.95, 94},  // q·n integral: ⌈95⌉−1 = 94
+		{100, 0.50, 49},
+		{1, 0.99, 0},
+		{10, 0.01, 0}, // ⌈0.1⌉−1 = 0
+		{4, 1.0, 3},   // q = 1 is the maximum
+		// Float guard: 0.07·100 is 7.000000000000001 in float64; a naive
+		// ceil would overshoot to rank 7 where exact ⌈7⌉−1 = 6.
+		{100, 0.07, 6},
+	}
+	for _, tt := range tests {
+		if got := Percentile(seq(tt.n), tt.q); got != tt.want {
+			t.Errorf("Percentile(n=%d, q=%v) = %d, want %d", tt.n, tt.q, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(empty) = %d, want 0", got)
+	}
+}
+
+func TestZipfExponentZeroIsHonored(t *testing.T) {
+	// Regression: ZipfS == 0 used to be treated as "unset → 0.99", so an
+	// explicit `-zipf 0` silently ran the YCSB default. Now an explicit 0
+	// runs s = 0 (uniform through the Zipf sampler) and must generate a
+	// different key sequence than s = 0.99.
+	keysFor := func(s float64) []string {
+		e, _ := workloadEngine(t, fullProvider, 1)
+		var keys []string
+		_, err := RunWorkload(e, WorkloadConfig{
+			Clients: 4, Rate: 0.9, WriteRatio: 1, Keys: 64,
+			Dist: Zipfian, ZipfS: s, Ops: 80, MaxSlots: 400, Seed: 9,
+		}, func(op Op) string {
+			k := fmt.Sprintf("k%d", op.Key)
+			keys = append(keys, k)
+			return k
+		})
+		if err != nil {
+			t.Fatalf("s=%v: %v", s, err)
+		}
+		return keys
+	}
+	zero, ycsb := keysFor(0), keysFor(0.99)
+	if fmt.Sprint(zero) == fmt.Sprint(ycsb) {
+		t.Error("ZipfS=0 generated the same keys as ZipfS=0.99 — the explicit 0 was overridden")
+	}
+	// s = 0 is uniform: with 80 draws over 64 keys no key should dominate
+	// the way a 0.99-skewed stream's hottest key does.
+	count := func(keys []string) map[string]int {
+		m := make(map[string]int)
+		for _, k := range keys {
+			m[k]++
+		}
+		return m
+	}
+	max := func(m map[string]int) int {
+		best := 0
+		for _, c := range m {
+			if c > best {
+				best = c
+			}
+		}
+		return best
+	}
+	if mz, my := max(count(zero)), max(count(ycsb)); mz >= my {
+		t.Errorf("hottest-key count under s=0 (%d) not below s=0.99 (%d) — s=0 should be uniform", mz, my)
 	}
 }
 

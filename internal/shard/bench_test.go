@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/rsm"
+)
+
+// The BenchmarkShard_* suite extends the service-layer perf trajectory to
+// the sharded layer: scripts/bench.sh parses the cmds/sec, cmds/round and
+// shards metrics into BENCH_kv.json (schema bench_kv/v2). Each
+// sub-benchmark fixes the PER-SHARD load, so the shards=1..8 rows are a
+// weak-scaling curve in two clocks:
+//
+//   - cmds/round is aggregate simulated throughput — the aggregate wall
+//     clock is the slowest shard's (groups run concurrently in simulated
+//     time), so it scales ~linearly with S regardless of host cores.
+//   - cmds/sec is host throughput — it scales with S up to GOMAXPROCS
+//     (independent groups drain concurrently through the sweep pool) and
+//     holds flat beyond, which doubles as a sharding-overhead check: a
+//     flat curve on a saturated host means zero cross-shard coordination
+//     cost.
+
+func benchSharded(b *testing.B, shards int, provider func(int) func(int) core.HOProvider,
+	tune rsm.Tuning) *Sharded[string] {
+	b.Helper()
+	s, err := New[string](Config{Shards: shards, Router: ModRouter{}},
+		func(shard int) rsm.Config {
+			return rsm.Config{
+				N: 5, Algorithm: otr.Algorithm{}, Provider: provider(shard), MaxRounds: 500,
+				BatchSize: tune.BatchSize, Pipeline: tune.Pipeline, Parallel: tune.Parallel,
+			}
+		}, func(int, int, string) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkShard_DrainFaultFree drains 200 commands PER SHARD through
+// 63-wide batches in a fault-free environment — the pure scaling path:
+// aggregate cmds/sec across the shards=1,2,4,8 rows is the headline
+// weak-scaling measurement of the sharded layer.
+func BenchmarkShard_DrainFaultFree(b *testing.B) {
+	const perShard = 200
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cmds := perShard * shards
+			var st rsm.Stats
+			for i := 0; i < b.N; i++ {
+				s := benchSharded(b, shards, func(int) func(int) core.HOProvider {
+					return adversary.SlotFull()
+				}, rsm.Tuning{})
+				for j := 0; j < cmds; j++ {
+					s.SubmitNext(uint64(j), rsm.ClientID(j%8), "put k=v")
+				}
+				if _, err := s.Drain(perShard); err != nil {
+					b.Fatal(err)
+				}
+				st = s.Stats()
+			}
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(float64(cmds*b.N)/b.Elapsed().Seconds(), "cmds/sec")
+			if st.WallRounds > 0 {
+				b.ReportMetric(float64(st.Committed)/float64(st.WallRounds), "cmds/round")
+			}
+		})
+	}
+}
+
+// BenchmarkShard_WorkloadMixedEnv runs the E11-shaped closed loop: 12
+// zipfian clients per shard completing 120 commands per shard, with
+// shard environments cycling good / 30% loss / crash-recovery.
+func BenchmarkShard_WorkloadMixedEnv(b *testing.B) {
+	const (
+		clientsPerShard = 12
+		opsPerShard     = 120
+	)
+	mixed := func(seed uint64) func(int) func(int) core.HOProvider {
+		return func(shard int) func(int) core.HOProvider {
+			switch shard % 3 {
+			case 1:
+				return adversary.SlotLoss(0.3, seed+uint64(shard)*100003)
+			case 2:
+				return adversary.SlotRotatingCrash(5, 10)
+			default:
+				return adversary.SlotFull()
+			}
+		}
+	}
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			ops := opsPerShard * shards
+			var last Result
+			for i := 0; i < b.N; i++ {
+				s := benchSharded(b, shards, mixed(uint64(i)+1),
+					rsm.Tuning{BatchSize: 8, Pipeline: 4})
+				res, err := RunWorkload(s, rsm.WorkloadConfig{
+					Clients: clientsPerShard * shards, Rate: 0.7, WriteRatio: 0.75,
+					Keys: 96, Dist: rsm.Zipfian, ZipfS: 0.99, Ops: ops,
+					MaxSlots: 20 * ops, Seed: uint64(i) + 1,
+				}, func(op rsm.Op) string {
+					return fmt.Sprintf("c%d#%d k%d", op.Client, op.Seq, op.Key)
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(float64(shards), "shards")
+			b.ReportMetric(float64(ops*b.N)/b.Elapsed().Seconds(), "cmds/sec")
+			b.ReportMetric(last.Aggregate.CmdsPerRound, "cmds/round")
+		})
+	}
+}

@@ -1,0 +1,296 @@
+// Package shard is the horizontal-scaling layer over internal/rsm: a
+// Sharded[C] partitions clients and keys across S independent replication
+// groups (one rsm.Engine each) and drives all groups' consensus windows
+// concurrently through internal/sweep.
+//
+// The paper's separation of concerns carries through unchanged: each
+// group faces its OWN fault environment — its rsm.Config carries its own
+// per-slot core.HOProvider factory — so one deployment can run shard 2
+// under sustained 30% transmission loss while every other shard enjoys
+// good periods, the per-subsystem "elementary behavioral patterns" view
+// of Shimi et al. Sharding is pure scaling; fault handling stays
+// per-group and orthogonal (De Florio's application-layer argument).
+//
+// Determinism contract (the same one internal/sweep and internal/rsm
+// give): shards are self-contained — a shard owns its engine, its
+// environment providers, and its RNG streams — and results are merged in
+// shard-index order, so every observable output (applied logs, stats,
+// latencies, workload tables) is byte-identical for every Parallel
+// setting, both the shard-level worker count here and each group's own
+// pipeline parallelism.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/rsm"
+	"heardof/internal/sweep"
+)
+
+// Router maps a key to one of S shards. Implementations must be pure
+// functions of (key, shards): no RNG, no mutable state — that is what
+// makes routing seed- and scheduling-independent, and what guarantees
+// every key routes to exactly one shard.
+type Router interface {
+	Shard(key uint64, shards int) int
+}
+
+// HashRouter is the default Router: a splitmix64 finalizer mix of the key
+// reduced mod shards. The mix spreads adjacent integer keys (workload key
+// indexes k, k+1, …) across shards instead of striping them.
+type HashRouter struct{}
+
+// Shard implements Router.
+func (HashRouter) Shard(key uint64, shards int) int {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(shards))
+}
+
+// ModRouter routes key mod shards — the transparent choice for tests and
+// for workloads that want adjacent keys on adjacent shards.
+type ModRouter struct{}
+
+// Shard implements Router.
+func (ModRouter) Shard(key uint64, shards int) int {
+	return int(key % uint64(shards))
+}
+
+// StringKey hashes a string key (e.g. a kvstore key) into the uint64 key
+// space routers operate on, using FNV-1a.
+func StringKey(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Config parameterizes a Sharded service.
+type Config struct {
+	// Shards is the number of independent replication groups, ≥ 1.
+	Shards int
+	// Router routes keys to shards; nil means HashRouter{}.
+	Router Router
+	// Parallel is the shard-level sweep worker count used when several
+	// groups decide windows in the same call; 0 means Shards workers.
+	// Observable state is identical for every value.
+	Parallel int
+}
+
+// Sharded replicates commands of type C across Shards independent
+// replication groups. Client sessions are per (shard, client): a client's
+// sequence numbers are dense within each shard it touches, so rsm's
+// exactly-once dedup applies unchanged inside every group.
+type Sharded[C any] struct {
+	cfg     Config
+	router  Router
+	engines []*rsm.Engine[C]
+	eng     *sweep.Engine
+}
+
+// New creates a sharded service. group supplies each shard's rsm.Config —
+// in particular its Provider, which is that shard's private fault
+// environment — and apply is invoked for every (shard, replica, committed
+// command) triple, in commit order within each shard.
+func New[C any](cfg Config, group func(shard int) rsm.Config, apply func(shard, replica int, cmd C)) (*Sharded[C], error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards = %d, need ≥ 1", cfg.Shards)
+	}
+	if group == nil || apply == nil {
+		return nil, errors.New("shard: nil group config or apply function")
+	}
+	if cfg.Router == nil {
+		cfg.Router = HashRouter{}
+	}
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = cfg.Shards
+	}
+	s := &Sharded[C]{
+		cfg:     cfg,
+		router:  cfg.Router,
+		engines: make([]*rsm.Engine[C], cfg.Shards),
+		eng:     &sweep.Engine{Workers: workers},
+	}
+	for i := range s.engines {
+		i := i
+		e, err := rsm.New(group(i), func(replica int, cmd C) { apply(i, replica, cmd) })
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		s.engines[i] = e
+	}
+	return s, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharded[C]) Shards() int { return s.cfg.Shards }
+
+// Engine returns shard i's replication engine.
+func (s *Sharded[C]) Engine(i int) *rsm.Engine[C] { return s.engines[i] }
+
+// Route returns the shard owning a key.
+func (s *Sharded[C]) Route(key uint64) int {
+	return s.router.Shard(key, s.cfg.Shards)
+}
+
+// Submit offers a command keyed by key under a client session on the
+// owning shard. seq is the client's sequence number WITHIN that shard
+// (sessions are per (shard, client)); dedup follows rsm.Engine.Submit.
+func (s *Sharded[C]) Submit(key uint64, client rsm.ClientID, seq uint64, cmd C) (shard int, accepted bool, err error) {
+	shard = s.Route(key)
+	accepted, err = s.engines[shard].Submit(client, seq, cmd)
+	return shard, accepted, err
+}
+
+// SubmitNext enters cmd on the owning shard at the client's next fresh
+// sequence number there, returning the shard and the sequence used.
+func (s *Sharded[C]) SubmitNext(key uint64, client rsm.ClientID, cmd C) (shard int, seq uint64) {
+	shard = s.Route(key)
+	return shard, s.engines[shard].SubmitNext(client, cmd)
+}
+
+// Pending counts accepted-but-uncommitted commands across all shards.
+func (s *Sharded[C]) Pending() int {
+	total := 0
+	for _, e := range s.engines {
+		total += e.Pending()
+	}
+	return total
+}
+
+// Stats returns the aggregate engine counters: every counter is the sum
+// across shards EXCEPT WallRounds, which is the max — for burst drains
+// (Drain, DecideWindows) the groups run fully concurrently from a common
+// origin, so aggregate elapsed time is the slowest shard's clock. The
+// closed-loop harness (RunWorkload) reports its own pass-accumulated
+// aggregate clock instead, because its passes synchronize shards.
+func (s *Sharded[C]) Stats() rsm.Stats {
+	var agg rsm.Stats
+	for _, e := range s.engines {
+		st := e.Stats()
+		agg.Slots += st.Slots
+		agg.Launched += st.Launched
+		agg.Aborted += st.Aborted
+		agg.Committed += st.Committed
+		agg.TotalRounds += st.TotalRounds
+		if st.WallRounds > agg.WallRounds {
+			agg.WallRounds = st.WallRounds
+		}
+	}
+	return agg
+}
+
+// ShardStats returns shard i's own counters.
+func (s *Sharded[C]) ShardStats(i int) rsm.Stats { return s.engines[i].Stats() }
+
+// Latencies returns the commit latencies of every committed command,
+// concatenated in shard-index order (each shard's slice is in its own
+// commit order, in that shard's wall rounds).
+func (s *Sharded[C]) Latencies() []core.Round {
+	var out []core.Round
+	for _, e := range s.engines {
+		out = append(out, e.Latencies()...)
+	}
+	return out
+}
+
+// activeShards lists the shards with pending commands, in index order.
+func (s *Sharded[C]) activeShards() []int {
+	active := make([]int, 0, len(s.engines))
+	for i, e := range s.engines {
+		if e.Pending() > 0 {
+			active = append(active, i)
+		}
+	}
+	return active
+}
+
+// runShards executes run(shard) for every listed shard concurrently
+// through the sweep pool (inline when only one shard is listed) and
+// merges the outcomes in shard-index order: committed counts sum, and
+// the first failing shard's error is returned wrapped with its index.
+// This index-ordered merge is the whole determinism argument of the
+// layer — see the package comment.
+func (s *Sharded[C]) runShards(active []int, run func(shard int) (int, error)) (int, error) {
+	if len(active) == 0 {
+		return 0, nil
+	}
+	type outcome struct {
+		n   int
+		err error
+	}
+	outs := make([]outcome, len(active))
+	if len(active) == 1 {
+		n, err := run(active[0])
+		outs[0] = outcome{n: n, err: err}
+	} else {
+		cells := make([]sweep.Cell, len(active))
+		for j := range active {
+			j := j
+			cells[j] = sweep.Cell{
+				Label: fmt.Sprintf("shard=%d", active[j]),
+				Run: func(context.Context) (any, error) {
+					n, err := run(active[j])
+					return outcome{n: n, err: err}, nil
+				},
+			}
+		}
+		results, _ := s.eng.Run(context.Background(), cells)
+		for j, res := range results {
+			if res.Err != nil { // a cell panic; cells themselves never error
+				outs[j] = outcome{err: res.Err}
+			} else {
+				outs[j] = res.Value.(outcome)
+			}
+		}
+	}
+	committed := 0
+	var firstErr error
+	for j, out := range outs {
+		committed += out.n
+		if out.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard %d: %w", active[j], out.err)
+		}
+	}
+	return committed, firstErr
+}
+
+// DecideWindows runs one pipelined window on every shard that has pending
+// commands, concurrently through the sweep pool, and returns the total
+// number of commands committed. Shards with nothing pending are skipped
+// (no no-op slots are spent on idle groups); if NO shard has pending
+// commands the call is a no-op.
+//
+// If shards fail, the first failure in shard-index order is returned
+// (wrapping the shard's error, which itself wraps rsm.ErrSlotUndecided on
+// budget exhaustion); commands committed by other shards in the same call
+// are still counted and applied.
+func (s *Sharded[C]) DecideWindows() (int, error) {
+	return s.runShards(s.activeShards(), func(shard int) (int, error) {
+		return s.engines[shard].DecideWindow()
+	})
+}
+
+// Drain decides windows on every shard until nothing is pending anywhere
+// or a shard exhausts maxSlotsPerShard consensus launches, returning the
+// total number of commands committed. Shards drain concurrently; each
+// shard's Drain is the rsm one, so every undecided path satisfies
+// errors.Is(err, rsm.ErrSlotUndecided) and the first failing shard (in
+// shard-index order) is reported.
+func (s *Sharded[C]) Drain(maxSlotsPerShard int) (int, error) {
+	return s.runShards(s.activeShards(), func(shard int) (int, error) {
+		return s.engines[shard].Drain(maxSlotsPerShard)
+	})
+}

@@ -1,0 +1,355 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"heardof/internal/adversary"
+	"heardof/internal/core"
+	"heardof/internal/otr"
+	"heardof/internal/rsm"
+)
+
+// shardLogs collects apply calls per (shard, replica) so tests can check
+// per-shard convergence and exactly-once application.
+type shardLogs struct{ byShard [][][]string }
+
+func newShardLogs(shards, n int) *shardLogs {
+	l := &shardLogs{byShard: make([][][]string, shards)}
+	for s := range l.byShard {
+		l.byShard[s] = make([][]string, n)
+	}
+	return l
+}
+
+func (l *shardLogs) apply(shard, replica int, cmd string) {
+	l.byShard[shard][replica] = append(l.byShard[shard][replica], cmd)
+}
+
+func (l *shardLogs) converged() bool {
+	for _, replicas := range l.byShard {
+		for _, lg := range replicas[1:] {
+			if !reflect.DeepEqual(lg, replicas[0]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (l *shardLogs) firstDuplicate() (string, bool) {
+	seen := make(map[string]bool)
+	for _, replicas := range l.byShard {
+		for _, cmd := range replicas[0] {
+			if seen[cmd] {
+				return cmd, true
+			}
+			seen[cmd] = true
+		}
+	}
+	return "", false
+}
+
+func (l *shardLogs) total() int {
+	n := 0
+	for _, replicas := range l.byShard {
+		n += len(replicas[0])
+	}
+	return n
+}
+
+// groupConfig builds each shard's rsm.Config with its own environment.
+func groupConfig(n int, provider func(shard int) func(slot int) core.HOProvider, tune rsm.Tuning) func(int) rsm.Config {
+	return func(shard int) rsm.Config {
+		return rsm.Config{
+			N: n, Algorithm: otr.Algorithm{}, Provider: provider(shard), MaxRounds: 500,
+			BatchSize: tune.BatchSize, Pipeline: tune.Pipeline, Parallel: tune.Parallel,
+		}
+	}
+}
+
+func allGood(int) func(slot int) core.HOProvider {
+	return adversary.SlotFull()
+}
+
+func newSharded(t *testing.T, cfg Config, n int, provider func(shard int) func(slot int) core.HOProvider,
+	tune rsm.Tuning) (*Sharded[string], *shardLogs) {
+	t.Helper()
+	l := newShardLogs(cfg.Shards, n)
+	s, err := New[string](cfg, groupConfig(n, provider, tune), l.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, l
+}
+
+func TestRoutingProperty(t *testing.T) {
+	// Every key routes to exactly one shard in [0, S), and routing is a
+	// pure function: independent of instance, seed, Parallel, and call
+	// history. This is the property test of the routing layer.
+	for _, router := range []Router{HashRouter{}, ModRouter{}} {
+		for _, shards := range []int{1, 2, 4, 8, 13} {
+			counts := make([]int, shards)
+			for key := uint64(0); key < 1<<14; key++ {
+				sh := router.Shard(key, shards)
+				if sh < 0 || sh >= shards {
+					t.Fatalf("%T: key %d routed to shard %d outside [0, %d)", router, key, sh, shards)
+				}
+				if again := router.Shard(key, shards); again != sh {
+					t.Fatalf("%T: key %d routed to %d then %d", router, key, sh, again)
+				}
+				counts[sh]++
+			}
+			for sh, c := range counts {
+				if c == 0 && shards <= 16 {
+					t.Errorf("%T: shard %d received no keys of 2^14 (S=%d)", router, sh, shards)
+				}
+			}
+		}
+	}
+	// Routing is independent of the Sharded instance's seed-bearing
+	// engines and Parallel setting: two services with different shard
+	// parallelism and environments route every key identically.
+	mk := func(parallel int, seed uint64) *Sharded[string] {
+		s, _ := New[string](Config{Shards: 8, Parallel: parallel},
+			groupConfig(3, func(shard int) func(int) core.HOProvider {
+				return adversary.SlotLoss(0.3, seed+uint64(shard))
+			}, rsm.Tuning{}), func(int, int, string) {})
+		return s
+	}
+	a, b := mk(1, 1), mk(8, 999)
+	for key := uint64(0); key < 4096; key++ {
+		if a.Route(key) != b.Route(key) {
+			t.Fatalf("key %d routes differently across instances: %d vs %d", key, a.Route(key), b.Route(key))
+		}
+	}
+}
+
+func TestStringKeyDeterministic(t *testing.T) {
+	if StringKey("k001") != StringKey("k001") {
+		t.Error("StringKey not deterministic")
+	}
+	if StringKey("k001") == StringKey("k002") {
+		t.Error("distinct keys collided (FNV-1a on 4-byte keys)")
+	}
+}
+
+func TestShardedDrainConvergesAndAggregates(t *testing.T) {
+	s, l := newSharded(t, Config{Shards: 4}, 3, allGood, rsm.Tuning{BatchSize: 8})
+	const cmds = 96
+	perShard := make([]int, 4)
+	for i := 0; i < cmds; i++ {
+		key := uint64(i)
+		sh, seq := s.SubmitNext(key, rsm.ClientID(i%5), fmt.Sprintf("k%d", i))
+		if seq == 0 {
+			t.Fatalf("submit %d rejected", i)
+		}
+		perShard[sh]++
+	}
+	if s.Pending() != cmds {
+		t.Fatalf("pending = %d, want %d", s.Pending(), cmds)
+	}
+	n, err := s.Drain(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != cmds {
+		t.Errorf("drained %d of %d", n, cmds)
+	}
+	if !l.converged() {
+		t.Error("a shard's replicas diverged")
+	}
+	if dup, has := l.firstDuplicate(); has {
+		t.Errorf("command %q applied twice", dup)
+	}
+	if l.total() != cmds {
+		t.Errorf("applied %d commands, want %d", l.total(), cmds)
+	}
+	// Aggregate counters are sums; WallRounds is the max across shards.
+	agg := s.Stats()
+	sums := rsm.Stats{}
+	for i := 0; i < s.Shards(); i++ {
+		st := s.ShardStats(i)
+		sums.Slots += st.Slots
+		sums.Launched += st.Launched
+		sums.Aborted += st.Aborted
+		sums.Committed += st.Committed
+		sums.TotalRounds += st.TotalRounds
+		if st.WallRounds > sums.WallRounds {
+			sums.WallRounds = st.WallRounds
+		}
+		if perShard[i] != st.Committed {
+			t.Errorf("shard %d committed %d, routed %d", i, st.Committed, perShard[i])
+		}
+	}
+	if agg != sums {
+		t.Errorf("aggregate stats %+v != recomputed %+v", agg, sums)
+	}
+	if len(s.Latencies()) != cmds {
+		t.Errorf("pooled latencies %d, want %d", len(s.Latencies()), cmds)
+	}
+}
+
+func TestHeterogeneousShardEnvironments(t *testing.T) {
+	// The scenario class this layer exists for: shard 2 under 30%
+	// transmission loss while every other shard runs fault-free. All
+	// shards still converge and complete; the lossy shard pays more
+	// consensus rounds per slot.
+	provider := func(shard int) func(int) core.HOProvider {
+		if shard == 2 {
+			return adversary.SlotLoss(0.3, 77)
+		}
+		return adversary.SlotFull()
+	}
+	s, l := newSharded(t, Config{Shards: 4, Router: ModRouter{}}, 5, provider,
+		rsm.Tuning{BatchSize: 4, Pipeline: 2})
+	const cmds = 64
+	for i := 0; i < cmds; i++ {
+		s.SubmitNext(uint64(i), rsm.ClientID(i%4), fmt.Sprintf("k%d", i))
+	}
+	if n, err := s.Drain(200); err != nil || n != cmds {
+		t.Fatalf("drain: n=%d err=%v", n, err)
+	}
+	if !l.converged() {
+		t.Error("replicas diverged under heterogeneous environments")
+	}
+	lossy, good := s.ShardStats(2), s.ShardStats(0)
+	if lossy.Slots == 0 || good.Slots == 0 {
+		t.Fatalf("expected both shards to decide slots: %+v vs %+v", lossy, good)
+	}
+	lossyRPS := float64(lossy.TotalRounds) / float64(lossy.Slots)
+	goodRPS := float64(good.TotalRounds) / float64(good.Slots)
+	if lossyRPS <= goodRPS {
+		t.Errorf("lossy shard rounds/slot %.2f not above fault-free %.2f", lossyRPS, goodRPS)
+	}
+}
+
+func TestDecideWindowsSkipsIdleShards(t *testing.T) {
+	s, _ := newSharded(t, Config{Shards: 3, Router: ModRouter{}}, 3, allGood, rsm.Tuning{})
+	// All keys land on shard 1.
+	for i := 0; i < 5; i++ {
+		s.Submit(1, 1, uint64(i+1), fmt.Sprintf("k%d", i))
+	}
+	n, err := s.DecideWindows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("committed %d, want 5", n)
+	}
+	for _, idle := range []int{0, 2} {
+		if st := s.ShardStats(idle); st.Slots != 0 || st.Launched != 0 {
+			t.Errorf("idle shard %d spent slots: %+v", idle, st)
+		}
+	}
+	// A fully idle service is a no-op, not an empty slot per shard.
+	if n, err := s.DecideWindows(); err != nil || n != 0 {
+		t.Errorf("idle DecideWindows = (%d, %v), want (0, nil)", n, err)
+	}
+	if st := s.Stats(); st.Slots != 1 {
+		t.Errorf("aggregate slots = %d, want 1", st.Slots)
+	}
+}
+
+func TestShardFailureIsAttributed(t *testing.T) {
+	// Shard 1's environment never delivers anything: its windows fail
+	// with ErrSlotUndecided and the error names the shard; the healthy
+	// shard's commands still commit in the same call.
+	provider := func(shard int) func(int) core.HOProvider {
+		if shard == 1 {
+			return func(int) core.HOProvider { return adversary.Silence{} }
+		}
+		return adversary.SlotFull()
+	}
+	l := newShardLogs(2, 3)
+	s, err := New[string](Config{Shards: 2, Router: ModRouter{}},
+		func(shard int) rsm.Config {
+			return rsm.Config{N: 3, Algorithm: otr.Algorithm{}, Provider: provider(shard), MaxRounds: 5}
+		}, l.apply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(0, 1, 1, "healthy")
+	s.Submit(1, 1, 1, "doomed")
+	n, werr := s.DecideWindows()
+	if !errors.Is(werr, rsm.ErrSlotUndecided) {
+		t.Fatalf("error = %v, want ErrSlotUndecided", werr)
+	}
+	if !strings.Contains(werr.Error(), "shard 1") {
+		t.Errorf("error %q does not attribute shard 1", werr)
+	}
+	if n != 1 {
+		t.Errorf("committed %d, want the healthy shard's 1", n)
+	}
+	if _, derr := s.Drain(3); !errors.Is(derr, rsm.ErrSlotUndecided) {
+		t.Errorf("drain error = %v, want ErrSlotUndecided", derr)
+	}
+}
+
+// shardFingerprint captures every observable output of a sharded run.
+func shardFingerprint(s *Sharded[string], l *shardLogs) string {
+	return fmt.Sprintf("%v|%+v|%v|%v", l.byShard, s.Stats(), perShardStats(s), s.Latencies())
+}
+
+func perShardStats(s *Sharded[string]) []rsm.Stats {
+	out := make([]rsm.Stats, s.Shards())
+	for i := range out {
+		out[i] = s.ShardStats(i)
+	}
+	return out
+}
+
+func TestShardParallelSettingInvisible(t *testing.T) {
+	// The sharded determinism contract: byte-identical logs, stats and
+	// latencies whether shards are driven by 1 worker or 8, and whether
+	// each group's pipeline runs on 1 worker or 4 — under heterogeneous
+	// lossy environments.
+	run := func(shardParallel, engineParallel int) string {
+		provider := func(shard int) func(int) core.HOProvider {
+			return adversary.SlotLoss(0.2+0.05*float64(shard), 300+uint64(shard))
+		}
+		s, l := newSharded(t, Config{Shards: 4, Parallel: shardParallel}, 5, provider,
+			rsm.Tuning{BatchSize: 6, Pipeline: 4, Parallel: engineParallel})
+		for i := 0; i < 80; i++ {
+			s.SubmitNext(uint64(i*131), rsm.ClientID(i%6), fmt.Sprintf("m%d", i))
+		}
+		if _, err := s.Drain(300); err != nil {
+			t.Fatal(err)
+		}
+		return shardFingerprint(s, l)
+	}
+	ref := run(1, 1)
+	for _, combo := range [][2]int{{8, 1}, {1, 4}, {8, 4}, {3, 2}} {
+		if got := run(combo[0], combo[1]); got != ref {
+			t.Errorf("state differs between Parallel=(1,1) and Parallel=(%d,%d)", combo[0], combo[1])
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	group := groupConfig(3, allGood, rsm.Tuning{})
+	apply := func(int, int, string) {}
+	if _, err := New[string](Config{Shards: 0}, group, apply); err == nil {
+		t.Error("Shards=0 accepted")
+	}
+	if _, err := New[string](Config{Shards: 2}, nil, apply); err == nil {
+		t.Error("nil group accepted")
+	}
+	if _, err := New[string](Config{Shards: 2}, group, nil); err == nil {
+		t.Error("nil apply accepted")
+	}
+	// A bad group config is surfaced with its shard index.
+	bad := func(shard int) rsm.Config {
+		cfg := group(shard)
+		if shard == 1 {
+			cfg.MaxRounds = 0
+		}
+		return cfg
+	}
+	if _, err := New[string](Config{Shards: 3}, bad, apply); err == nil || !strings.Contains(err.Error(), "shard 1") {
+		t.Errorf("bad group config error = %v, want shard-1 attribution", err)
+	}
+}

@@ -190,8 +190,18 @@ func (c *Config) Validate() error {
 		default:
 			return fmt.Errorf("period %d has invalid kind %d", i, int(p.Kind))
 		}
-		if p.Kind != Bad && p.Pi0.Intersect(core.FullSet(c.N)).IsEmpty() {
-			return fmt.Errorf("good period %d has empty π0", i)
+		if p.Kind != Bad {
+			if p.Pi0.IsEmpty() {
+				return fmt.Errorf("good period %d has empty π0", i)
+			}
+			// π0 must be a subset of Π = {0..n-1}: out-of-range members
+			// would be silently dropped downstream (the simulator indexes
+			// processes by pid), turning a typo like {7} with n=5 into a
+			// different — and quietly smaller — synchronous set.
+			if !p.Pi0.SubsetOf(core.FullSet(c.N)) {
+				return fmt.Errorf("good period %d has π0 %v ⊄ Π = %v (n = %d)",
+					i, p.Pi0, core.FullSet(c.N), c.N)
+			}
 		}
 	}
 	return nil

@@ -53,6 +53,15 @@ func TestValidateRejections(t *testing.T) {
 		{"empty pi0", func(c *Config) {
 			c.Periods = []Period{{Start: 0, Kind: GoodDown}}
 		}, "empty π0"},
+		// Regression: π0 ⊄ Π used to validate as long as the intersection
+		// with Π was non-empty — {7} ∪ {1} with n=4 slipped through and the
+		// junk member was silently dropped downstream.
+		{"pi0 outside Π entirely", func(c *Config) {
+			c.Periods = []Period{{Start: 0, Kind: GoodDown, Pi0: core.SetOf(7)}}
+		}, "⊄ Π"},
+		{"pi0 with one out-of-range member", func(c *Config) {
+			c.Periods = []Period{{Start: 0, Kind: GoodArbitrary, Pi0: core.SetOf(1, 7)}}
+		}, "⊄ Π"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -190,3 +190,37 @@ func TestZipfPanics(t *testing.T) {
 		}()
 	}
 }
+
+// TestZipfCDFProperties is the property test over the sampler's internals:
+// for a sweep of (s, n) the precomputed CDF must be strictly increasing
+// (every key has positive mass), its final entry must be exactly 1.0
+// (the normalization divides the running sum by itself, so the last entry
+// is sum/sum — bitwise 1.0, which guarantees Next can never fall off the
+// end for any u < 1), and every sample must land in [0, n).
+func TestZipfCDFProperties(t *testing.T) {
+	exponents := []float64{0, 0.5, 0.99, 1.0, 1.5, 3}
+	sizes := []int{1, 2, 7, 48, 1000}
+	for _, s := range exponents {
+		for _, n := range sizes {
+			z := NewZipf(New(11), s, n)
+			if len(z.cdf) != n {
+				t.Fatalf("s=%v n=%d: cdf has %d entries", s, n, len(z.cdf))
+			}
+			prev := 0.0
+			for k, c := range z.cdf {
+				if !(c > prev) {
+					t.Errorf("s=%v n=%d: cdf[%d]=%v not above cdf[%d]=%v", s, n, k, c, k-1, prev)
+				}
+				prev = c
+			}
+			if last := z.cdf[n-1]; last != 1.0 {
+				t.Errorf("s=%v n=%d: final CDF entry %v, want exactly 1.0", s, n, last)
+			}
+			for i := 0; i < 2000; i++ {
+				if k := z.Next(); k < 0 || k >= n {
+					t.Fatalf("s=%v n=%d: sample %d outside [0, %d)", s, n, k, n)
+				}
+			}
+		}
+	}
+}
