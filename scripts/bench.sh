@@ -17,9 +17,13 @@
 # BENCH_sim.json (bench_sim/v1) records ns/op, B/op and allocs/op for
 # every BenchmarkSim_* and BenchmarkRunner_* benchmark, plus the wall
 # time of a full `hobench -exp e9` table (the 240-cell loss sweep).
-# BENCH_kv.json (bench_kv/v1) records cmds/sec and slots/cmd for every
-# BenchmarkRSM_* benchmark, plus the wall time of `hobench -exp e10`
-# (the closed-loop service table).
+# BENCH_kv.json (bench_kv/v2) records cmds/sec, slots/cmd and — for the
+# sharded suite — shards and aggregate cmds/round for every
+# BenchmarkRSM_* and BenchmarkShard_* benchmark, plus the wall time of
+# `hobench -exp e10,e11` (the closed-loop service + sharded tables).
+# v2 over v1: the shards / cmds_per_round fields and the BenchmarkShard_*
+# rows (the cmds/round curve across shards=1..8 is the weak-scaling
+# measurement of the sharded layer).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -80,14 +84,14 @@ END {
 
 echo "bench.sh: wrote $OUT" >&2
 
-echo "bench.sh: go test -bench BenchmarkRSM_ -benchtime $BENCHTIME ./internal/rsm" >&2
-go test -run '^$' -bench 'BenchmarkRSM_' -benchmem \
-	-benchtime "$BENCHTIME" -count "$COUNT" ./internal/rsm | tee /dev/stderr >"$raw.kv"
+echo "bench.sh: go test -bench 'BenchmarkRSM_|BenchmarkShard_' -benchtime $BENCHTIME ./internal/rsm ./internal/shard" >&2
+go test -run '^$' -bench 'BenchmarkRSM_|BenchmarkShard_' -benchmem \
+	-benchtime "$BENCHTIME" -count "$COUNT" ./internal/rsm ./internal/shard | tee /dev/stderr >"$raw.kv"
 
-echo "bench.sh: timing hobench -exp e10" >&2
+echo "bench.sh: timing hobench -exp e10,e11" >&2
 go build -o "$raw.hobench" ./cmd/hobench
 e10_start=$(date +%s.%N)
-"$raw.hobench" -exp e10 >/dev/null
+"$raw.hobench" -exp e10,e11 >/dev/null
 e10_end=$(date +%s.%N)
 rm -f "$raw.hobench"
 e10_wall=$(awk -v a="$e10_start" -v b="$e10_end" 'BEGIN{printf "%.3f", b-a}')
@@ -99,25 +103,28 @@ awk -v benchtime="$BENCHTIME" -v goversion="$go_version" -v date="$date_utc" \
 	sub(/-[0-9]+$/, "", name)
 	sub(/^Benchmark/, "", name)
 	iters = $2
-	ns = ""; cmds = ""; spc = ""; allocs = ""
+	ns = ""; cmds = ""; spc = ""; allocs = ""; shards = ""; cpr = ""
 	for (i = 3; i < NF; i++) {
-		if ($(i+1) == "ns/op")     ns = $i
-		if ($(i+1) == "cmds/sec")  cmds = $i
-		if ($(i+1) == "slots/cmd") spc = $i
-		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) == "ns/op")      ns = $i
+		if ($(i+1) == "cmds/sec")   cmds = $i
+		if ($(i+1) == "slots/cmd")  spc = $i
+		if ($(i+1) == "allocs/op")  allocs = $i
+		if ($(i+1) == "shards")     shards = $i
+		if ($(i+1) == "cmds/round") cpr = $i
 	}
-	line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"cmds_per_sec\": %s, \"slots_per_cmd\": %s, \"allocs_per_op\": %s}",
-		name, iters, ns, cmds == "" ? "null" : cmds, spc == "" ? "null" : spc, allocs == "" ? "null" : allocs)
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"cmds_per_sec\": %s, \"slots_per_cmd\": %s, \"shards\": %s, \"cmds_per_round\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, cmds == "" ? "null" : cmds, spc == "" ? "null" : spc,
+		shards == "" ? "null" : shards, cpr == "" ? "null" : cpr, allocs == "" ? "null" : allocs)
 	rows[n++] = line
 }
 END {
 	printf "{\n"
-	printf "  \"schema\": \"bench_kv/v1\",\n"
+	printf "  \"schema\": \"bench_kv/v2\",\n"
 	printf "  \"date\": \"%s\",\n", date
 	printf "  \"commit\": \"%s\",\n", commit
 	printf "  \"go\": \"%s\",\n", goversion
 	printf "  \"benchtime\": \"%s\",\n", benchtime
-	printf "  \"e10_wall_seconds\": %s,\n", e10wall
+	printf "  \"e10_e11_wall_seconds\": %s,\n", e10wall
 	printf "  \"benchmarks\": [\n"
 	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], i < n-1 ? "," : ""
 	printf "  ]\n}\n"
