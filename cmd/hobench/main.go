@@ -52,6 +52,7 @@ func run() error {
 		progress = flag.Bool("progress", false, "report live cell progress on stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		liveCmp  = flag.Bool("live", false, "append E12, the simulated-vs-live comparison (real time: NOT byte-reproducible, excluded from 'all')")
 	)
 	flag.Parse()
 
@@ -115,6 +116,20 @@ func run() error {
 				fmt.Fprintln(os.Stderr) // terminate the partial "\r... cells" line
 			}
 			return fmt.Errorf("interrupted after %s: %w", table.ID, ctx.Err())
+		}
+	}
+
+	// E12 runs the live runtime against real clocks, so it is opt-in and
+	// always last: everything above it on stdout stays byte-reproducible.
+	if *liveCmp {
+		table := runner.E12Live(ctx)
+		if *markdown {
+			err = table.Markdown(os.Stdout)
+		} else {
+			err = table.Render(os.Stdout)
+		}
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,230 @@
+// The -http client mode: instead of driving the deterministic simulator,
+// hoload becomes a real closed-loop HTTP load generator against a
+// hoserve deployment — the end-to-end path of the live runtime. Each
+// client owns a disjoint key set and writes strictly increasing values,
+// so linearizability has a machine-checkable shape: a GET must return
+// exactly the client's last committed PUT for that key (hoserve reads go
+// through the replicated log, and the PUT returned only after its
+// commit). Any stale read is counted as a violation and fails the run.
+//
+// Unlike the simulator modes, output here depends on host speed and
+// scheduling; it is measurement, not a reproducible table, and it is
+// deliberately NOT part of CI's byte-determinism comparisons.
+
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"heardof/internal/xrand"
+)
+
+// httpConfig carries the flags of the HTTP client mode.
+type httpConfig struct {
+	servers    []string
+	clients    int
+	ops        int
+	writeRatio float64
+	keysPerCl  int
+	opTimeout  time.Duration
+	seed       uint64
+}
+
+// httpTally aggregates one client's results.
+type httpTally struct {
+	ops        int
+	errors     []error
+	violations []string
+	latencies  []time.Duration
+}
+
+// runHTTP drives the closed loop and prints the aggregate report.
+// It returns an error (non-zero exit) on any transport error or
+// linearizability violation.
+func runHTTP(cfg httpConfig) error {
+	if cfg.clients < 1 || cfg.ops < 1 {
+		return fmt.Errorf("http mode needs ≥ 1 client and ≥ 1 op (got %d, %d)", cfg.clients, cfg.ops)
+	}
+	for i := range cfg.servers {
+		cfg.servers[i] = strings.TrimSpace(cfg.servers[i])
+		if cfg.servers[i] == "" {
+			return fmt.Errorf("empty server address in -http list")
+		}
+	}
+	if cfg.keysPerCl < 1 {
+		cfg.keysPerCl = 4
+	}
+	if cfg.opTimeout <= 0 {
+		cfg.opTimeout = 15 * time.Second
+	}
+	perClient := cfg.ops / cfg.clients
+	if perClient < 1 {
+		perClient = 1
+	}
+
+	httpc := &http.Client{Timeout: cfg.opTimeout}
+	tallies := make([]httpTally, cfg.clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for cl := 0; cl < cfg.clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			tallies[cl] = runHTTPClient(httpc, cfg, cl, perClient)
+		}(cl)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total, nerr, nviol int
+	var lats []time.Duration
+	for cl := range tallies {
+		t := &tallies[cl]
+		total += t.ops
+		nerr += len(t.errors)
+		nviol += len(t.violations)
+		lats = append(lats, t.latencies...)
+		for _, e := range t.errors[:min(len(t.errors), 3)] {
+			fmt.Fprintf(os.Stderr, "hoload: client %d error: %v\n", cl, e)
+		}
+		for _, v := range t.violations[:min(len(t.violations), 3)] {
+			fmt.Fprintf(os.Stderr, "hoload: client %d VIOLATION: %s\n", cl, v)
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	// Nearest-rank ⌈q·n⌉−1 with the same float-ulp guard as
+	// rsm.Percentile, so live latency percentiles use the identical
+	// statistic as every simulated-mode table (the element types differ,
+	// time.Duration vs core.Round, hence the local copy).
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		const eps = 1e-9
+		rank := int(math.Ceil(q*float64(len(lats))-eps)) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(lats) {
+			rank = len(lats) - 1
+		}
+		return lats[rank]
+	}
+
+	fmt.Printf("http servers=%d clients=%d ops=%d writes=%g keys_per_client=%d\n",
+		len(cfg.servers), cfg.clients, total, cfg.writeRatio, cfg.keysPerCl)
+	fmt.Printf("completed %d\n", total-nerr)
+	fmt.Printf("errors %d\n", nerr)
+	fmt.Printf("linearizability_violations %d\n", nviol)
+	fmt.Printf("elapsed %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("ops_per_sec %.1f\n", float64(total-nerr)/elapsed.Seconds())
+	fmt.Printf("latency_ms p50=%.2f p95=%.2f p99=%.2f\n",
+		float64(pct(0.50))/float64(time.Millisecond),
+		float64(pct(0.95))/float64(time.Millisecond),
+		float64(pct(0.99))/float64(time.Millisecond))
+
+	if nviol > 0 {
+		return fmt.Errorf("%d linearizable-read violations", nviol)
+	}
+	if nerr > 0 {
+		return fmt.Errorf("%d request errors", nerr)
+	}
+	return nil
+}
+
+// runHTTPClient is one closed-loop client: a mixed PUT/GET stream over
+// its private keys, each GET checked against the last committed PUT.
+func runHTTPClient(httpc *http.Client, cfg httpConfig, cl, ops int) httpTally {
+	var t httpTally
+	rng := xrand.New(cfg.seed + uint64(cl)*0x9e3779b97f4a7c15)
+	lastWritten := make(map[string]string, cfg.keysPerCl)
+	seq := 0
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("c%d-k%d", cl, rng.Intn(cfg.keysPerCl))
+		server := cfg.servers[rng.Intn(len(cfg.servers))]
+		url := fmt.Sprintf("http://%s/kv/%s", server, key)
+		t.ops++
+		opStart := time.Now()
+		if rng.Bool(cfg.writeRatio) || lastWritten[key] == "" {
+			seq++
+			val := fmt.Sprintf("c%d#%d", cl, seq)
+			if err := httpPut(httpc, url, val, cfg.opTimeout); err != nil {
+				t.errors = append(t.errors, fmt.Errorf("put %s: %w", key, err))
+				// The PUT failed client-side but may still have committed
+				// server-side, so the key's expected value is ambiguous:
+				// stop checking it until the next successful write.
+				delete(lastWritten, key)
+				continue
+			}
+			lastWritten[key] = val
+		} else {
+			got, ok, err := httpGet(httpc, url, cfg.opTimeout)
+			if err != nil {
+				t.errors = append(t.errors, fmt.Errorf("get %s: %w", key, err))
+				continue
+			}
+			if want := lastWritten[key]; !ok || got != want {
+				t.violations = append(t.violations,
+					fmt.Sprintf("key %s read %q (found=%v), last committed write was %q", key, got, ok, want))
+			}
+		}
+		t.latencies = append(t.latencies, time.Since(opStart))
+	}
+	return t
+}
+
+// httpPut issues one PUT and demands commit (200).
+func httpPut(httpc *http.Client, url, val string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, strings.NewReader(val))
+	if err != nil {
+		return err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %s", resp.Status)
+	}
+	return nil
+}
+
+// httpGet issues one GET; found=false on 404.
+func httpGet(httpc *http.Client, url string, timeout time.Duration) (string, bool, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", false, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return "", false, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return "", false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return string(body), true, nil
+	case http.StatusNotFound:
+		return "", false, nil
+	default:
+		return "", false, fmt.Errorf("status %s", resp.Status)
+	}
+}

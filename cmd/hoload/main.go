@@ -19,6 +19,16 @@
 //	hoload -shards 4                        # 4 independent groups, all -env
 //	hoload -shards 4 -shardenvs good,loss,crash   # per-shard environments
 //	hoload -zipf 0                          # an explicit s=0 IS honored
+//
+// With -http host:port[,host:port...] hoload instead drives a LIVE
+// hoserve deployment over HTTP: a closed-loop mixed PUT/GET workload
+// with per-client single-writer keys, checking every read against the
+// last committed write (a linearizability check the replicated-log reads
+// must pass) and reporting wall-clock throughput and latency
+// percentiles. That mode measures real time and is not byte-reproducible
+// — it is excluded from the CI determinism comparisons.
+//
+//	hoload -http 127.0.0.1:8101,127.0.0.1:8102 -clients 8 -ops 1000
 package main
 
 import (
@@ -63,8 +73,24 @@ func run() error {
 		maxRounds = flag.Int("maxrounds", 400, "round budget per consensus slot")
 		maxSlots  = flag.Int("maxslots", 0, "slot budget for the whole run (0 = 20×ops)")
 		seed      = flag.Uint64("seed", 1, "workload and environment seed")
+
+		httpTo    = flag.String("http", "", "drive a live hoserve deployment at these comma-separated HTTP addresses instead of the simulator")
+		keysPerCl = flag.Int("keysperclient", 4, "http mode: private keys per client (single-writer linearizability check)")
+		opTimeout = flag.Duration("optimeout", 15*time.Second, "http mode: per-request deadline")
 	)
 	flag.Parse()
+
+	if *httpTo != "" {
+		return runHTTP(httpConfig{
+			servers:    strings.Split(*httpTo, ","),
+			clients:    *clients,
+			ops:        *ops,
+			writeRatio: *writes,
+			keysPerCl:  *keysPerCl,
+			opTimeout:  *opTimeout,
+			seed:       *seed,
+		})
+	}
 
 	if *shards < 1 {
 		return fmt.Errorf("shards = %d, need ≥ 1", *shards)

@@ -67,5 +67,11 @@ func main() {
 	if err := trace.CheckConsensusSafety(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("agreement and integrity verified")
+	// AgreedValue folds all-decided + agreement into one check and hands
+	// back the single decided value.
+	v, err := trace.AgreedValue()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agreement and integrity verified; agreed value %d\n", v)
 }

@@ -1,0 +1,46 @@
+package lastvoting
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+)
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	codec := WireCodec{}
+	cases := []core.Message{
+		nil,
+		estimateMsg{X: 0, TS: 0},
+		estimateMsg{X: -5, TS: 12},
+		estimateMsg{X: 1<<40 | 3, TS: 1 << 20},
+		voteMsg{V: 42},
+		voteMsg{V: -1},
+		ackMsg{},
+		decideMsg{V: 7},
+	}
+	for _, want := range cases {
+		b, err := codec.Encode(want)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", want, err)
+		}
+		got, err := codec.Decode(b)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip %#v → %#v", want, got)
+		}
+	}
+}
+
+func TestWireCodecRejectsMalformed(t *testing.T) {
+	codec := WireCodec{}
+	if _, err := codec.Encode("not a lastvoting payload"); err == nil {
+		t.Error("foreign payload encoded")
+	}
+	for _, b := range [][]byte{nil, {99}, {wireEstimate}, {wireVote}, {wireDecide}} {
+		if _, err := codec.Decode(b); err == nil {
+			t.Errorf("decoded malformed %v", b)
+		}
+	}
+}

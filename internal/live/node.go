@@ -1,0 +1,148 @@
+// The round driver: real-time pacing of one core.Instance through
+// communication-closed rounds. This is the live counterpart of
+// core.Runner.StepRound — same contract (rounds strictly increasing,
+// every round exactly once, inbox slice call-scoped), different clock:
+// instead of an HOProvider choosing heard-of sets, HO(p, r) is whatever
+// arrived before the round closed.
+//
+// A round closes when the first of these happens:
+//
+//   - all n round-r messages arrived (the good-period fast path: in a
+//     synchronous spell every round closes at network speed, not at the
+//     timeout — the live realization of the paper's good periods);
+//   - any peer was observed already past round r (it closed r without
+//     us; a round-r message can no longer reach it, so the driver
+//     transitions immediately and fast-forwards to the highest round
+//     seen, consuming buffered messages on the way). This jump rule is
+//     what keeps processes ROUND-ALIGNED: without it, two survivors of a
+//     larger group can drift a constant number of rounds apart and stay
+//     there forever — the leader drops the laggard's stale rounds while
+//     both advance at one timeout per round — and no phase ever
+//     completes. Jumping re-aligns a laggard in one hop and only ever
+//     shrinks heard-of sets, which the algorithm layer absorbs;
+//   - the per-round timeout fires (the bad-period slow path).
+//
+// Cutting a round short only shrinks HO(p, r), which the algorithm layer
+// already tolerates by construction — that is the entire point of the
+// abstraction.
+
+package live
+
+import (
+	"context"
+	"time"
+
+	"heardof/internal/core"
+)
+
+// roundMsg is a decoded round-r message for the slot being driven.
+type roundMsg struct {
+	From    core.ProcessID
+	Round   core.Round
+	Payload core.Message
+}
+
+// slotReport is the outcome of driving one instance.
+type slotReport struct {
+	Decided bool
+	Value   core.Value
+	Rounds  core.Round // rounds executed before returning
+	Aborted bool       // stopped because the slot was decided externally
+}
+
+// runSlot paces inst through rounds over send/in until it decides, the
+// abort channel closes (the replica learned the slot's decision through
+// sync), or the context ends. There is deliberately NO round budget: a
+// slot that cannot reach quorum (partition, paused majority) keeps
+// executing rounds at timeout pace until the environment heals or the
+// decision arrives externally. Restarting a slot with a fresh instance
+// would discard the algorithm's locked state (LastVoting's vote and
+// timestamp) and allow a second attempt to decide differently from a
+// first-attempt decision the retrier never saw — a genuine agreement
+// violation, so one slot gets exactly one instance for the replica's
+// lifetime. send broadcasts one round message to the peers; in carries
+// decoded inbound round messages of this slot; timeout bounds each
+// round's collection window.
+func runSlot(ctx context.Context, self core.ProcessID, n int, inst core.Instance,
+	send func(r core.Round, m core.Message), in <-chan roundMsg,
+	abort <-chan struct{}, timeout time.Duration) slotReport {
+
+	// future buffers messages for rounds beyond the current one; target
+	// is the highest round any peer was seen in. Rounds at or below
+	// target never wait: the driver fast-forwards through them, draining
+	// the buffer, until it rejoins the group's frontier.
+	future := make(map[core.Round]map[core.ProcessID]core.Message)
+	var target core.Round
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+
+	for r := core.Round(1); ; r++ {
+		payload := inst.Send(r)
+		send(r, payload)
+
+		heard := future[r]
+		delete(future, r)
+		if heard == nil {
+			heard = make(map[core.ProcessID]core.Message, n)
+		}
+		heard[self] = payload // self-delivery never crosses the network
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(timeout)
+
+	collect:
+		for len(heard) < n && target <= r {
+			select {
+			case m, ok := <-in:
+				if !ok {
+					return slotReport{Rounds: r - 1, Aborted: true}
+				}
+				if m.Round > target {
+					target = m.Round
+				}
+				switch {
+				case m.Round < r:
+					// A stale round: its HO membership window has closed.
+				case m.Round == r:
+					if _, dup := heard[m.From]; !dup {
+						heard[m.From] = m.Payload
+					}
+				default:
+					fr := future[m.Round]
+					if fr == nil {
+						fr = make(map[core.ProcessID]core.Message, n)
+						future[m.Round] = fr
+					}
+					if _, dup := fr[m.From]; !dup {
+						fr[m.From] = m.Payload
+					}
+				}
+			case <-timer.C:
+				break collect
+			case <-abort:
+				return slotReport{Rounds: r - 1, Aborted: true}
+			case <-ctx.Done():
+				return slotReport{Rounds: r - 1, Aborted: true}
+			}
+		}
+
+		// Deliver the inbox in process order: deterministic given the
+		// heard set, mirroring the simulator's presentation.
+		msgs := make([]core.IncomingMessage, 0, len(heard))
+		for q := 0; q < n; q++ {
+			if pl, ok := heard[core.ProcessID(q)]; ok {
+				msgs = append(msgs, core.IncomingMessage{From: core.ProcessID(q), Payload: pl})
+			}
+		}
+		inst.Transition(r, msgs)
+		if v, ok := inst.Decided(); ok {
+			return slotReport{Decided: true, Value: v, Rounds: r}
+		}
+	}
+}

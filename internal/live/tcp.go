@@ -1,0 +1,250 @@
+// TCPTransport: the real-deployment transport. Every process listens on
+// one address and lazily dials each peer; envelopes travel as
+// length-prefixed binary frames. The transport is deliberately
+// best-effort — a send while a peer is unreachable, a full write queue,
+// or a torn connection all just LOSE messages, because the layers above
+// were built for fair-lossy links: retransmission is the round
+// structure's job (every round resends fresh state), not the socket's.
+// That keeps reconnect logic trivial and maps the paper's transmission
+// faults one-to-one onto real network weather.
+
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"heardof/internal/core"
+)
+
+// dialBackoff paces reconnect attempts to an unreachable peer.
+const dialBackoff = 100 * time.Millisecond
+
+// TCPTransport connects the n processes of a deployment over sockets.
+type TCPTransport struct {
+	self  core.ProcessID
+	addrs []string
+	ln    net.Listener
+	recv  chan Envelope
+	peers []*tcpPeer
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{} // accepted connections, for Close
+	wg     sync.WaitGroup
+}
+
+// ListenTCP binds addr (use "host:0" to let the kernel pick a port; the
+// chosen address is ln.Addr()).
+func ListenTCP(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// NewTCP builds process self's transport from its already-bound listener
+// and the peer address table (addrs[self] is informational only). It
+// starts the accept loop and one writer per peer.
+func NewTCP(self core.ProcessID, ln net.Listener, addrs []string) (*TCPTransport, error) {
+	n := len(addrs)
+	if n < 1 || n > core.MaxProcesses {
+		return nil, fmt.Errorf("live: %d peer addresses out of range [1, %d]", n, core.MaxProcesses)
+	}
+	if int(self) < 0 || int(self) >= n {
+		return nil, fmt.Errorf("live: self %d outside address table of %d", self, n)
+	}
+	if ln == nil {
+		return nil, fmt.Errorf("live: nil listener")
+	}
+	t := &TCPTransport{
+		self:  self,
+		addrs: addrs,
+		ln:    ln,
+		recv:  make(chan Envelope, 4096),
+		peers: make([]*tcpPeer, n),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for q := range t.peers {
+		if core.ProcessID(q) == self {
+			continue
+		}
+		p := &tcpPeer{addr: addrs[q], queue: make(chan []byte, 1024), done: make(chan struct{})}
+		t.peers[q] = p
+		t.wg.Add(1)
+		go func() { defer t.wg.Done(); p.writeLoop() }()
+	}
+	t.wg.Add(1)
+	go func() { defer t.wg.Done(); t.acceptLoop() }()
+	return t, nil
+}
+
+// Send implements Transport: frame the envelope and enqueue it to the
+// peer's writer; drop on overflow or after Close.
+func (t *TCPTransport) Send(to core.ProcessID, env Envelope) {
+	env.From = t.self
+	if to == t.self {
+		select {
+		case t.recv <- env:
+		default:
+		}
+		return
+	}
+	if int(to) < 0 || int(to) >= len(t.peers) || t.peers[to] == nil {
+		return
+	}
+	frame := make([]byte, 4, 4+64+len(env.Payload))
+	frame = AppendEnvelope(frame, env)
+	if len(frame) > maxFrame {
+		return
+	}
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(frame)-4))
+	select {
+	case t.peers[to].queue <- frame:
+	default: // writer backed up: loss, not backpressure
+	}
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv() <-chan Envelope { return t.recv }
+
+// Close implements Transport: stop accepting, tear down every
+// connection, and close the receive channel once the loops drain.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	err := t.ln.Close()
+	for _, p := range t.peers {
+		if p != nil {
+			close(p.done)
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	close(t.recv)
+	return err
+}
+
+// isClosed reports whether Close ran.
+func (t *TCPTransport) isClosed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.closed
+}
+
+// acceptLoop turns inbound connections into frame readers.
+func (t *TCPTransport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			t.readLoop(conn)
+			t.mu.Lock()
+			delete(t.conns, conn)
+			t.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// readLoop decodes frames off one connection until it breaks. Malformed
+// frames poison the connection (the peer will redial); decode errors on
+// a well-framed envelope just drop that envelope.
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(lenBuf[:])
+		if size == 0 || size > maxFrame {
+			return
+		}
+		buf := make([]byte, size)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return
+		}
+		env, err := DecodeEnvelope(buf)
+		if err != nil {
+			continue
+		}
+		if t.isClosed() {
+			return
+		}
+		select {
+		case t.recv <- env:
+		default: // receiver backed up: loss
+		}
+	}
+}
+
+// tcpPeer is the outbound side of one peer link.
+type tcpPeer struct {
+	addr  string
+	queue chan []byte
+	done  chan struct{}
+}
+
+// writeLoop dials lazily, writes frames, and on any error drops the
+// connection and backs off before redialing. Frames arriving while
+// disconnected are consumed and lost — the transport contract.
+func (p *tcpPeer) writeLoop() {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	lastDial := time.Time{}
+	for {
+		select {
+		case <-p.done:
+			return
+		case frame := <-p.queue:
+			if conn == nil {
+				if wait := dialBackoff - time.Since(lastDial); wait > 0 {
+					select {
+					case <-time.After(wait):
+					case <-p.done:
+						return
+					}
+				}
+				lastDial = time.Now()
+				c, err := net.DialTimeout("tcp", p.addr, time.Second)
+				if err != nil {
+					continue // the frame is lost; later frames retry
+				}
+				conn = c
+			}
+			conn.SetWriteDeadline(time.Now().Add(time.Second))
+			if _, err := conn.Write(frame); err != nil {
+				conn.Close()
+				conn = nil
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Wire encoding of kvstore command batches for dissemination: a uvarint
+// entry count, then per entry the session identity, the op tag, and the
+// length-prefixed key/value strings.
+
+package livekv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heardof/internal/kvstore"
+	"heardof/internal/live"
+)
+
+// maxString bounds one decoded key or value.
+const maxString = 1 << 16
+
+// cmdCodec implements live.BatchCodec for kvstore commands.
+type cmdCodec struct{}
+
+// AppendEntries implements live.BatchCodec.
+func (cmdCodec) AppendEntries(dst []byte, entries []live.Entry[kvstore.Command]) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, e.Client)
+		dst = binary.AppendUvarint(dst, e.Seq)
+		dst = append(dst, byte(e.Cmd.Op))
+		dst = binary.AppendUvarint(dst, uint64(len(e.Cmd.Key)))
+		dst = append(dst, e.Cmd.Key...)
+		dst = binary.AppendUvarint(dst, uint64(len(e.Cmd.Value)))
+		dst = append(dst, e.Cmd.Value...)
+	}
+	return dst
+}
+
+// DecodeEntries implements live.BatchCodec.
+func (cmdCodec) DecodeEntries(src []byte) ([]live.Entry[kvstore.Command], error) {
+	str := func() (string, error) {
+		l, n := binary.Uvarint(src)
+		if n <= 0 || l > maxString || uint64(len(src)-n) < l {
+			return "", fmt.Errorf("livekv: truncated string")
+		}
+		s := string(src[n : n+int(l)])
+		src = src[n+int(l):]
+		return s, nil
+	}
+	count, n := binary.Uvarint(src)
+	if n <= 0 || count > 1<<16 {
+		return nil, fmt.Errorf("livekv: bad batch entry count")
+	}
+	src = src[n:]
+	entries := make([]live.Entry[kvstore.Command], 0, count)
+	for i := uint64(0); i < count; i++ {
+		var e live.Entry[kvstore.Command]
+		var n int
+		if e.Client, n = binary.Uvarint(src); n <= 0 {
+			return nil, fmt.Errorf("livekv: truncated client id")
+		}
+		src = src[n:]
+		if e.Seq, n = binary.Uvarint(src); n <= 0 || e.Seq == 0 {
+			return nil, fmt.Errorf("livekv: bad sequence number")
+		}
+		src = src[n:]
+		if len(src) < 1 {
+			return nil, fmt.Errorf("livekv: truncated op")
+		}
+		op := kvstore.Op(src[0])
+		if op < kvstore.OpPut || op > kvstore.OpGet {
+			return nil, fmt.Errorf("livekv: unknown op %d", op)
+		}
+		e.Cmd.Op = op
+		src = src[1:]
+		var err error
+		if e.Cmd.Key, err = str(); err != nil {
+			return nil, err
+		}
+		if e.Cmd.Value, err = str(); err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

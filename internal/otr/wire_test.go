@@ -1,0 +1,36 @@
+package otr
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+)
+
+func TestWireCodecRoundTrip(t *testing.T) {
+	codec := WireCodec{}
+	for _, want := range []core.Message{nil, message{X: 0}, message{X: -3}, message{X: 1 << 50}} {
+		b, err := codec.Encode(want)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", want, err)
+		}
+		got, err := codec.Decode(b)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip %#v → %#v", want, got)
+		}
+	}
+}
+
+func TestWireCodecRejectsMalformed(t *testing.T) {
+	codec := WireCodec{}
+	if _, err := codec.Encode(42); err == nil {
+		t.Error("foreign payload encoded")
+	}
+	for _, b := range [][]byte{nil, {77}, {wireEstimate}} {
+		if _, err := codec.Decode(b); err == nil {
+			t.Errorf("decoded malformed %v", b)
+		}
+	}
+}

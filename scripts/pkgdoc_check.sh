@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Package-doc audit: every internal/* package must carry a proper
+# `// Package <name>` doc comment, every cmd/* binary a `// Command
+# <name>` one, and the module root its own package doc. A package
+# missing documentation fails CI — the doc comment is where each layer
+# states its contract (see DESIGN.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+check_dir() {
+  local dir="$1" kind="$2" name="$3"
+  local found=0 f
+  for f in "$dir"/*.go; do
+    [ -e "$f" ] || continue
+    case "$f" in *_test.go) continue ;; esac
+    if grep -q "^// $kind $name" "$f"; then
+      found=1
+      break
+    fi
+  done
+  if [ "$found" = 0 ]; then
+    echo "MISSING: $dir has no '// $kind $name' doc comment"
+    fail=1
+  fi
+}
+
+for dir in internal/*/; do
+  check_dir "${dir%/}" "Package" "$(basename "$dir")"
+done
+for dir in cmd/*/; do
+  check_dir "${dir%/}" "Command" "$(basename "$dir")"
+done
+check_dir "." "Package" "heardof"
+
+if [ "$fail" != 0 ]; then
+  echo "package-doc audit failed"
+  exit 1
+fi
+echo "package-doc audit OK: every package documents its contract"
