@@ -3,10 +3,15 @@
 // predicates hold, their witnesses, per-round kernels, and whether the
 // trace's decisions satisfy consensus safety.
 //
+// The -live mode instead model-checks the live replica protocol at a
+// small scope (see live.go in this package and internal/modelcheck).
+//
 // Usage:
 //
 //	hocheck trace.json
 //	hocheck -demo            # generate, print and check a sample trace
+//	hocheck -live            # model-check the replica protocol
+//	hocheck -live -mutant all  # run the seeded-mutant regression suite
 package main
 
 import (
@@ -23,14 +28,32 @@ import (
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "hocheck:", err)
+		if v, ok := err.(errVerdict); ok {
+			fmt.Fprintln(os.Stderr, v.msg)
+		} else {
+			fmt.Fprintln(os.Stderr, "hocheck:", err)
+		}
 		os.Exit(1)
 	}
 }
 
 func run() error {
 	demo := flag.Bool("demo", false, "generate and check a demo trace instead of reading a file")
+	liveMode := flag.Bool("live", false, "model-check the live replica protocol instead of a trace")
+	lf := liveFlags{}
+	flag.IntVar(&lf.n, "n", 3, "live: number of replicas")
+	flag.Uint64Var(&lf.slots, "slots", 2, "live: consensus slots to drive (one submission each)")
+	flag.IntVar(&lf.rounds, "rounds", 2, "live: per-slot round bound (OTR decides at 2, LastVoting needs 5)")
+	flag.IntVar(&lf.crash, "crash", 1, "live: crash-stop budget")
+	flag.IntVar(&lf.states, "states", 150_000, "live: state budget (0 = the 2M default)")
+	flag.IntVar(&lf.maxBatch, "maxbatch", 1, "live: max entries per batch (0 = core default)")
+	flag.StringVar(&lf.alg, "alg", "otr", "live: consensus algorithm (otr or lastvoting)")
+	flag.StringVar(&lf.mutant, "mutant", "", "live: run seeded-mutant probes (locked-vote, drift-livelock, stall-window, or all)")
 	flag.Parse()
+
+	if *liveMode {
+		return runLive(lf)
+	}
 
 	var tr *core.Trace
 	switch {

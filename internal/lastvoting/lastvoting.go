@@ -16,6 +16,8 @@
 package lastvoting
 
 import (
+	"encoding/binary"
+
 	"heardof/internal/core"
 	"heardof/internal/quorum"
 )
@@ -211,4 +213,27 @@ func (i *Instance) Restore(s core.Snapshot) {
 	}
 	i.x, i.ts, i.vote, i.commit = sn.x, sn.ts, sn.vote, sn.commit
 	i.ready, i.ackable, i.decided, i.decision = sn.ready, sn.ackable, sn.decided, sn.decision
+}
+
+// AppendState appends a canonical byte encoding of the instance state,
+// for model-checker fingerprinting (a fast path avoiding reflection).
+func (i *Instance) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(i.x))
+	dst = binary.AppendVarint(dst, int64(i.ts))
+	dst = binary.AppendVarint(dst, int64(i.vote))
+	var flags byte
+	if i.commit {
+		flags |= 1
+	}
+	if i.ready {
+		flags |= 2
+	}
+	if i.ackable {
+		flags |= 4
+	}
+	if i.decided {
+		flags |= 8
+	}
+	dst = append(dst, flags)
+	return binary.AppendVarint(dst, int64(i.decision))
 }

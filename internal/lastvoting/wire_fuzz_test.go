@@ -1,0 +1,76 @@
+package lastvoting
+
+import (
+	"testing"
+
+	"heardof/internal/core"
+)
+
+// FuzzWireCodecDecode hammers the decode path with arbitrary bytes: it
+// must never panic, and any input it accepts must re-encode and decode
+// to the same message. The seed corpus is real round traffic from a
+// complete phase — all four payload types plus the null message — and
+// the interesting malformed prefixes.
+func FuzzWireCodecDecode(f *testing.F) {
+	codec := WireCodec{}
+	for _, enc := range phaseTraffic(f) {
+		f.Add(enc)
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte{wireEstimate})       // truncated: no estimate
+	f.Add([]byte{wireEstimate, 0x04}) // truncated: estimate but no timestamp
+	f.Add([]byte{wireVote})
+	f.Add([]byte{wireDecide, 0x80})
+	f.Add([]byte{0xFF})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := codec.Decode(b)
+		if err != nil {
+			return
+		}
+		enc, err := codec.Encode(m)
+		if err != nil {
+			t.Fatalf("decoded %#v from %x but cannot re-encode: %v", m, b, err)
+		}
+		m2, err := codec.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoding of %#v does not decode: %v", m, err)
+		}
+		if m2 != m {
+			t.Fatalf("round trip changed the message: %#v → %#v", m, m2)
+		}
+	})
+}
+
+// phaseTraffic runs phase 1 of a 3-process LastVoting group to a
+// decision and returns the encoding of every message sent along the
+// way: estimates, the vote, acks, the decide, and the null messages
+// non-speakers emit.
+func phaseTraffic(f *testing.F) [][]byte {
+	codec := WireCodec{}
+	n := 3
+	insts := make([]core.Instance, n)
+	for p := 0; p < n; p++ {
+		insts[p] = Algorithm{}.NewInstance(core.ProcessID(p), n, core.Value(10*p+3))
+	}
+	var out [][]byte
+	for r := core.Round(1); r <= 4; r++ {
+		msgs := make([]core.IncomingMessage, 0, n)
+		for p := 0; p < n; p++ {
+			m := insts[p].Send(r)
+			enc, err := codec.Encode(m)
+			if err != nil {
+				f.Fatalf("round %d sender %d: %v", r, p, err)
+			}
+			out = append(out, enc)
+			msgs = append(msgs, core.IncomingMessage{From: core.ProcessID(p), Payload: m})
+		}
+		for p := 0; p < n; p++ {
+			insts[p].Transition(r, msgs)
+		}
+	}
+	if _, ok := insts[1].Decided(); !ok {
+		f.Fatal("seed phase never decided — traffic generator is broken")
+	}
+	return out
+}

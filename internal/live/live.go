@@ -177,13 +177,13 @@ func DecodeEnvelope(b []byte) (Envelope, error) {
 // volatile timers keep running, or of a network partition of one).
 // All knobs may be flipped while traffic flows.
 type Faults struct {
-	mu       sync.Mutex
-	rng      *xrand.Rand
-	loss     float64
-	delayLo  time.Duration
-	delayHi  time.Duration
-	paused   bool
-	dropped  int
+	mu        sync.Mutex
+	rng       *xrand.Rand
+	loss      float64
+	delayLo   time.Duration
+	delayHi   time.Duration
+	paused    bool
+	dropped   int
 	delivered int
 }
 

@@ -1,4 +1,4 @@
-// The round driver: real-time pacing of one core.Instance through
+// The round driver: pacing of one core.Instance through
 // communication-closed rounds. This is the live counterpart of
 // core.Runner.StepRound — same contract (rounds strictly increasing,
 // every round exactly once, inbox slice call-scoped), different clock:
@@ -25,124 +25,98 @@
 // Cutting a round short only shrinks HO(p, r), which the algorithm layer
 // already tolerates by construction — that is the entire point of the
 // abstraction.
+//
+// The driver is a pure state machine (slotRun): it advances on delivered
+// messages and timeout EVENTS, never on a clock of its own, so the same
+// code runs under the replica's goroutine shell (which turns timer fires
+// into events) and under the exhaustive model checker (which enumerates
+// event interleavings). Time lives in the shell; the protocol lives here.
 
 package live
 
 import (
-	"context"
-	"time"
-
 	"heardof/internal/core"
 )
 
-// roundMsg is a decoded round-r message for the slot being driven.
-type roundMsg struct {
-	From    core.ProcessID
-	Round   core.Round
-	Payload core.Message
+// slotRun is the round-driver state of one consensus slot: the instance,
+// the current round's partial heard-of set, buffered future-round
+// messages, and the highest peer round observed (the jump target).
+type slotRun struct {
+	slot   uint64
+	inst   core.Instance
+	r      core.Round
+	heard  map[core.ProcessID]core.Message
+	future map[core.Round]map[core.ProcessID]core.Message
+	target core.Round
 }
 
-// slotReport is the outcome of driving one instance.
-type slotReport struct {
-	Decided bool
-	Value   core.Value
-	Rounds  core.Round // rounds executed before returning
-	Aborted bool       // stopped because the slot was decided externally
+// newSlotRun opens a slot's one instance at round 0; the caller advances
+// into round 1 with beginRound.
+func newSlotRun(slot uint64, inst core.Instance) *slotRun {
+	return &slotRun{
+		slot:   slot,
+		inst:   inst,
+		future: make(map[core.Round]map[core.ProcessID]core.Message),
+	}
 }
 
-// runSlot paces inst through rounds over send/in until it decides, the
-// abort channel closes (the replica learned the slot's decision through
-// sync), or the context ends. There is deliberately NO round budget: a
-// slot that cannot reach quorum (partition, paused majority) keeps
-// executing rounds at timeout pace until the environment heals or the
-// decision arrives externally. Restarting a slot with a fresh instance
-// would discard the algorithm's locked state (LastVoting's vote and
-// timestamp) and allow a second attempt to decide differently from a
-// first-attempt decision the retrier never saw — a genuine agreement
-// violation, so one slot gets exactly one instance for the replica's
-// lifetime. send broadcasts one round message to the peers; in carries
-// decoded inbound round messages of this slot; timeout bounds each
-// round's collection window.
-func runSlot(ctx context.Context, self core.ProcessID, n int, inst core.Instance,
-	send func(r core.Round, m core.Message), in <-chan roundMsg,
-	abort <-chan struct{}, timeout time.Duration) slotReport {
-
-	// future buffers messages for rounds beyond the current one; target
-	// is the highest round any peer was seen in. Rounds at or below
-	// target never wait: the driver fast-forwards through them, draining
-	// the buffer, until it rejoins the group's frontier.
-	future := make(map[core.Round]map[core.ProcessID]core.Message)
-	var target core.Round
-
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-
-	for r := core.Round(1); ; r++ {
-		payload := inst.Send(r)
-		send(r, payload)
-
-		heard := future[r]
-		delete(future, r)
-		if heard == nil {
-			heard = make(map[core.ProcessID]core.Message, n)
+// deliver records one decoded round message. It reports whether the
+// current round's collection window is now closed (all heard, or — unless
+// the jump rule is mutated out — a peer was seen past the current round).
+func (s *slotRun) deliver(n int, from core.ProcessID, round core.Round, payload core.Message, noJump bool) (closed bool) {
+	if round > s.target {
+		s.target = round
+	}
+	switch {
+	case round < s.r:
+		// A stale round: its HO membership window has closed.
+	case round == s.r:
+		if _, dup := s.heard[from]; !dup {
+			s.heard[from] = payload
 		}
-		heard[self] = payload // self-delivery never crosses the network
-
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
+	default:
+		fr := s.future[round]
+		if fr == nil {
+			fr = make(map[core.ProcessID]core.Message, n)
+			s.future[round] = fr
 		}
-		timer.Reset(timeout)
-
-	collect:
-		for len(heard) < n && target <= r {
-			select {
-			case m, ok := <-in:
-				if !ok {
-					return slotReport{Rounds: r - 1, Aborted: true}
-				}
-				if m.Round > target {
-					target = m.Round
-				}
-				switch {
-				case m.Round < r:
-					// A stale round: its HO membership window has closed.
-				case m.Round == r:
-					if _, dup := heard[m.From]; !dup {
-						heard[m.From] = m.Payload
-					}
-				default:
-					fr := future[m.Round]
-					if fr == nil {
-						fr = make(map[core.ProcessID]core.Message, n)
-						future[m.Round] = fr
-					}
-					if _, dup := fr[m.From]; !dup {
-						fr[m.From] = m.Payload
-					}
-				}
-			case <-timer.C:
-				break collect
-			case <-abort:
-				return slotReport{Rounds: r - 1, Aborted: true}
-			case <-ctx.Done():
-				return slotReport{Rounds: r - 1, Aborted: true}
-			}
-		}
-
-		// Deliver the inbox in process order: deterministic given the
-		// heard set, mirroring the simulator's presentation.
-		msgs := make([]core.IncomingMessage, 0, len(heard))
-		for q := 0; q < n; q++ {
-			if pl, ok := heard[core.ProcessID(q)]; ok {
-				msgs = append(msgs, core.IncomingMessage{From: core.ProcessID(q), Payload: pl})
-			}
-		}
-		inst.Transition(r, msgs)
-		if v, ok := inst.Decided(); ok {
-			return slotReport{Decided: true, Value: v, Rounds: r}
+		if _, dup := fr[from]; !dup {
+			fr[from] = payload
 		}
 	}
+	return s.closed(n, noJump)
+}
+
+// closed reports whether the current round's collection window is over:
+// every process heard, or (jump rule) a peer observed past this round.
+func (s *slotRun) closed(n int, noJump bool) bool {
+	if len(s.heard) >= n {
+		return true
+	}
+	return !noJump && s.target > s.r
+}
+
+// inbox assembles the closed round's messages in process order:
+// deterministic given the heard set, mirroring the simulator's
+// presentation.
+func (s *slotRun) inbox(n int) []core.IncomingMessage {
+	msgs := make([]core.IncomingMessage, 0, len(s.heard))
+	for q := 0; q < n; q++ {
+		if pl, ok := s.heard[core.ProcessID(q)]; ok {
+			msgs = append(msgs, core.IncomingMessage{From: core.ProcessID(q), Payload: pl})
+		}
+	}
+	return msgs
+}
+
+// enter moves to round r: adopt its buffered future messages as the heard
+// set and self-deliver payload (self-delivery never crosses the network).
+func (s *slotRun) enter(n int, r core.Round, self core.ProcessID, payload core.Message) {
+	s.r = r
+	s.heard = s.future[r]
+	delete(s.future, r)
+	if s.heard == nil {
+		s.heard = make(map[core.ProcessID]core.Message, n)
+	}
+	s.heard[self] = payload
 }

@@ -28,6 +28,16 @@
 // log. A replica paused mid-round therefore rejoins by replaying
 // decisions, not consensus.
 //
+// ALL of the above is protocol logic, and none of it lives in this
+// file: it is ReplicaCore (replicacore.go), a pure step function that
+// the exhaustive model checker (internal/modelcheck) explores directly.
+// Replica is the production SHELL around that core — one event-loop
+// goroutine that turns transport deliveries, round-timeout fires, pull
+// retries, and heartbeat ticks into core events, transmits the
+// envelopes each step returns (rate-limiting targeted sync traffic),
+// runs the Apply hook for committed entries, and resolves submitter
+// waiters. Time, goroutines, and channels stop at this boundary.
+//
 // Fault envelope: transmission faults of any rate and crash-RECOVERY
 // (pause/rejoin — the paper's model, where {r_p, s_p} survive) are
 // fully handled. Permanent crash-STOP of a proposer in the window
@@ -36,14 +46,15 @@
 // that slot waits (pulling) until a holder returns — the same way any
 // log-based system stalls on losing committed-but-unreplicated data.
 // Closing that window (quorum-acked dissemination before proposing, or
-// carrying contents in the consensus payload) is an open ROADMAP item.
+// carrying contents in the consensus payload) is an open ROADMAP item;
+// the model checker reproduces the stall as a scripted availability
+// probe (CheckStall) so the limitation stays documented and tested.
 
 package live
 
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"time"
 
@@ -61,7 +72,11 @@ type Entry[C any] struct {
 type BatchCodec[C any] interface {
 	// AppendEntries encodes entries after dst.
 	AppendEntries(dst []byte, entries []Entry[C]) []byte
-	// DecodeEntries parses an AppendEntries encoding.
+	// DecodeEntries parses an AppendEntries encoding. It runs on raw
+	// network input, so implementations must validate before they
+	// allocate — in particular, bound the entry count before sizing a
+	// slice from it (a hostile header otherwise turns a few bytes into
+	// a giant allocation).
 	DecodeEntries(src []byte) ([]Entry[C], error)
 }
 
@@ -116,20 +131,28 @@ type ReplicaConfig[C any] struct {
 	// one socket). The replica does not close it.
 	Transport Transport
 	// Apply is invoked once per committed command, in commit order, from
-	// the replica's apply goroutine; its return value reaches the
-	// submitter's ApplyResult.Out.
+	// the replica's event loop; its return value reaches the submitter's
+	// ApplyResult.Out.
 	Apply func(slot uint64, e Entry[C]) any
 	// RoundTimeout bounds each round's collection window (default 2ms —
 	// the live stand-in for the good-period bound Φ+2Δ). A slot has no
 	// ROUND budget: its one instance runs until it decides or the
-	// decision arrives via sync (see runSlot — restarting an instance
-	// would discard locked algorithm state and break agreement).
+	// decision arrives via sync (restarting an instance would discard
+	// locked algorithm state and break agreement; the model checker's
+	// MutFreshRetry mutant proves it).
 	RoundTimeout time.Duration
 	// MaxBatch caps commands per proposal (default 64).
 	MaxBatch int
 	// SyncEvery paces the idle anti-entropy heartbeat (default 250ms).
 	SyncEvery time.Duration
 }
+
+// syncRateLimit is the minimum interval between targeted sync messages
+// to one peer.
+const syncRateLimit = 20 * time.Millisecond
+
+// pullRetry paces re-pulls of a decided batch whose contents are missing.
+const pullRetry = 50 * time.Millisecond
 
 // waiterKey identifies a submission.
 type waiterKey struct{ client, seq uint64 }
@@ -142,62 +165,35 @@ type Replica[C any] struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu        sync.Mutex
-	pending   []Entry[C]
-	batches   map[int64][]Entry[C]
-	inLog     map[int64]bool // batch ids a log slot decided (retention anchor)
-	batchWait map[int64]chan struct{}
-	offered   map[int64]struct{} // peer batches not yet fully applied
-	decided   map[uint64]int64   // slot → batch id, not yet applied
-	maxSeen   map[uint64]uint64  // client → highest accepted seq
-	log       []int64            // applied decisions; log[i] decided slot i+1
-	logHash   uint64
-	hwm       map[uint64]uint64 // client → highest applied seq
-	waiters   map[waiterKey]chan ApplyResult
-	curIn     chan roundMsg // non-nil while a slot instance runs
-	curAbort  chan struct{}
-	curClosed bool
-	poked     bool // round traffic for our next slot arrived while idle
-	batchSeq  int64
-	stats     ReplicaStats
+	mu      sync.Mutex
+	core    *ReplicaCore[C]
+	waiters map[waiterKey]chan ApplyResult
 
-	lastPush map[core.ProcessID]time.Time // sync-push rate limiter
-	lastPull map[core.ProcessID]time.Time // sync-pull rate limiter
-
-	// peerApplied tracks each peer's last observed commit index (their
-	// round messages carry their current slot; their sync pulls carry
-	// applied+1). Batches of slots every replica has applied are pruned
-	// — the GC horizon that keeps long-running servers bounded. A peer
-	// that has never been heard from pins the horizon at 0.
-	peerApplied map[core.ProcessID]uint64
-	prunedTo    uint64
+	lastPush map[core.ProcessID]time.Time // targeted sync-push rate limiter
+	lastPull map[core.ProcessID]time.Time // targeted sync-pull rate limiter
 
 	workCh chan struct{}
 }
 
-// maxSyncPairs caps decisions per sync push.
-const maxSyncPairs = 128
-
-// syncRateLimit is the minimum interval between sync messages to one peer.
-const syncRateLimit = 20 * time.Millisecond
-
 // NewReplica validates the configuration and builds a stopped replica;
 // call Start to begin participating.
 func NewReplica[C any](cfg ReplicaConfig[C]) (*Replica[C], error) {
-	if cfg.N < 1 || cfg.N > core.MaxProcesses {
-		return nil, fmt.Errorf("live: group size %d out of range [1, %d]", cfg.N, core.MaxProcesses)
+	if cfg.Transport == nil {
+		return nil, errors.New("live: nil transport")
 	}
-	if int(cfg.Self) < 0 || int(cfg.Self) >= cfg.N {
-		return nil, fmt.Errorf("live: self %d outside group of %d", cfg.Self, cfg.N)
-	}
-	if cfg.Algorithm == nil || cfg.Msg == nil || cfg.Batch == nil || cfg.Transport == nil {
-		return nil, errors.New("live: nil algorithm, codec, batch codec, or transport")
+	rc, err := NewReplicaCore(CoreConfig[C]{
+		Self:      cfg.Self,
+		N:         cfg.N,
+		Algorithm: cfg.Algorithm,
+		Msg:       cfg.Msg,
+		Batch:     cfg.Batch,
+		MaxBatch:  cfg.MaxBatch,
+	})
+	if err != nil {
+		return nil, err
 	}
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = 2 * time.Millisecond
-	}
-	if cfg.MaxBatch <= 0 {
-		cfg.MaxBatch = 64
 	}
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = 250 * time.Millisecond
@@ -205,27 +201,18 @@ func NewReplica[C any](cfg ReplicaConfig[C]) (*Replica[C], error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Replica[C]{
 		cfg: cfg, ctx: ctx, cancel: cancel,
-		batches:   make(map[int64][]Entry[C]),
-		inLog:     make(map[int64]bool),
-		batchWait: make(map[int64]chan struct{}),
-		offered:   make(map[int64]struct{}),
-		decided:   make(map[uint64]int64),
-		maxSeen:   make(map[uint64]uint64),
-		hwm:       make(map[uint64]uint64),
-		waiters:   make(map[waiterKey]chan ApplyResult),
-		lastPush:    make(map[core.ProcessID]time.Time),
-		lastPull:    make(map[core.ProcessID]time.Time),
-		peerApplied: make(map[core.ProcessID]uint64),
-		logHash:   14695981039346656037, // FNV-64 offset basis
-		workCh:    make(chan struct{}, 1),
+		core:     rc,
+		waiters:  make(map[waiterKey]chan ApplyResult),
+		lastPush: make(map[core.ProcessID]time.Time),
+		lastPull: make(map[core.ProcessID]time.Time),
+		workCh:   make(chan struct{}, 1),
 	}, nil
 }
 
-// Start launches the demux and driver goroutines.
+// Start launches the event loop.
 func (r *Replica[C]) Start() {
-	r.wg.Add(2)
-	go func() { defer r.wg.Done(); r.demux() }()
-	go func() { defer r.wg.Done(); r.drive() }()
+	r.wg.Add(1)
+	go func() { defer r.wg.Done(); r.run() }()
 }
 
 // Stop halts the replica (it does not close the transport) and releases
@@ -258,12 +245,12 @@ func (r *Replica[C]) Submit(client, seq uint64, cmd C) (<-chan ApplyResult, erro
 	}
 	ch := make(chan ApplyResult, 1)
 	r.mu.Lock()
-	if seq <= r.hwm[client] {
+	if r.core.Accept(client, seq, cmd) {
 		r.mu.Unlock()
 		ch <- ApplyResult{Dup: true}
 		return ch, nil
 	}
-	r.accept(client, seq, cmd, ch)
+	r.supersede(waiterKey{client, seq}, ch)
 	r.mu.Unlock()
 	r.signalWork()
 	return ch, nil
@@ -276,23 +263,23 @@ func (r *Replica[C]) Submit(client, seq uint64, cmd C) (<-chan ApplyResult, erro
 func (r *Replica[C]) SubmitNext(client uint64, cmd C) (<-chan ApplyResult, uint64) {
 	ch := make(chan ApplyResult, 1)
 	r.mu.Lock()
-	seq := r.maxSeen[client] + 1
-	r.accept(client, seq, cmd, ch)
+	seq := r.core.NextSeq(client)
+	if r.core.Accept(client, seq, cmd) {
+		r.mu.Unlock()
+		ch <- ApplyResult{Slot: 0, Dup: true}
+		return ch, seq
+	}
+	r.supersede(waiterKey{client, seq}, ch)
 	r.mu.Unlock()
 	r.signalWork()
 	return ch, seq
 }
 
-// accept records a fresh submission. Callers hold mu.
-func (r *Replica[C]) accept(client, seq uint64, cmd C, ch chan ApplyResult) {
-	if seq > r.maxSeen[client] {
-		r.maxSeen[client] = seq
-	}
-	key := waiterKey{client, seq}
+// supersede installs a waiter, closing any previous waiter of the same
+// submission (a resubmission supersedes it). Callers hold mu.
+func (r *Replica[C]) supersede(key waiterKey, ch chan ApplyResult) {
 	if old, ok := r.waiters[key]; ok {
-		close(old) // a resubmission supersedes the previous waiter
-	} else {
-		r.pending = append(r.pending, Entry[C]{Client: client, Seq: seq, Cmd: cmd})
+		close(old)
 	}
 	r.waiters[key] = ch
 }
@@ -301,11 +288,7 @@ func (r *Replica[C]) accept(client, seq uint64, cmd C, ch chan ApplyResult) {
 func (r *Replica[C]) Stats() ReplicaStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	st := r.stats
-	st.Applied = uint64(len(r.log))
-	st.Pending = len(r.pending)
-	st.BatchesHeld = len(r.batches)
-	return st
+	return r.core.Counters()
 }
 
 // LogHash fingerprints the applied decision log (slot, batch id)
@@ -314,19 +297,17 @@ func (r *Replica[C]) Stats() ReplicaStats {
 func (r *Replica[C]) LogHash() (uint64, uint64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return uint64(len(r.log)), r.logHash
+	return r.core.LogFingerprint()
 }
 
 // DecisionLog copies the applied decisions (for tests).
 func (r *Replica[C]) DecisionLog() []int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]int64, len(r.log))
-	copy(out, r.log)
-	return out
+	return r.core.DecisionLogCopy()
 }
 
-// signalWork nudges the driver without blocking.
+// signalWork nudges the event loop without blocking.
 func (r *Replica[C]) signalWork() {
 	select {
 	case r.workCh <- struct{}{}:
@@ -335,156 +316,116 @@ func (r *Replica[C]) signalWork() {
 }
 
 // ---------------------------------------------------------------------
-// Driver: the sequential slot loop.
+// The event loop.
 
-// drive runs slots until the context ends: apply known decisions, idle
-// when there is no work, otherwise run one consensus attempt.
-func (r *Replica[C]) drive() {
+// run is the replica's only goroutine: it feeds events into the core and
+// keeps the two shell timers — the per-round collection window and the
+// missing-batch pull retry — consistent with the core's state.
+func (r *Replica[C]) run() {
+	in := r.cfg.Transport.Recv()
 	hb := time.NewTicker(r.cfg.SyncEvery)
 	defer hb.Stop()
-	for r.ctx.Err() == nil {
-		slot := r.commitIndex() + 1
-		if bid, ok := r.peekDecision(slot); ok {
-			if !r.applySlot(slot, bid) {
-				return
-			}
-			continue
-		}
-		if !r.hasWork(slot) {
-			select {
-			case <-r.workCh:
-			case <-hb.C:
-				r.broadcast(Envelope{Slot: slot, Kind: KindSyncPull,
-					From: r.cfg.Self, Payload: appendUvarint(nil, slot)})
-			case <-r.ctx.Done():
-				return
-			}
-			continue
-		}
-		proposal := r.propose()
-		inst := r.cfg.Algorithm.NewInstance(r.cfg.Self, r.cfg.N, core.Value(proposal))
-		in, abort := r.openSlot(slot)
-		rep := runSlot(r.ctx, r.cfg.Self, r.cfg.N, inst, r.roundSender(slot),
-			in, abort, r.cfg.RoundTimeout)
-		r.closeSlot()
+
+	roundTimer := newStoppedTimer()
+	defer roundTimer.Stop()
+	retryTimer := newStoppedTimer()
+	defer retryTimer.Stop()
+
+	// The (slot, round) the round timer was last armed for: re-arm
+	// whenever the core enters a different round.
+	var armedSlot uint64
+	var armedRound core.Round
+
+	reconcile := func() {
 		r.mu.Lock()
-		r.stats.Rounds += int64(rep.Rounds)
+		slot, round, active := r.core.RoundState()
+		blocked := r.core.Blocked() != 0
 		r.mu.Unlock()
-		if rep.Decided {
-			r.recordDecision(slot, int64(rep.Value), false)
-			if bid, ok := r.peekDecision(slot); ok {
-				if !r.applySlot(slot, bid) {
-					return
-				}
-				// Eager push: peers that lost the deciding round learn
-				// the outcome now instead of at the next sync trigger.
-				r.pushDecisions(allPeers, slot)
+		if active {
+			if slot != armedSlot || round != armedRound {
+				armedSlot, armedRound = slot, round
+				resetTimer(roundTimer, r.cfg.RoundTimeout)
 			}
+		} else if armedSlot != 0 || armedRound != 0 {
+			armedSlot, armedRound = 0, 0
+			stopTimer(roundTimer)
+		}
+		if blocked {
+			resetTimer(retryTimer, pullRetry)
+		} else {
+			stopTimer(retryTimer)
 		}
 	}
-}
+	reconcile()
 
-// allPeers broadcasts a push to the whole group.
-const allPeers = core.ProcessID(-1)
-
-// commitIndex returns the applied slot count.
-func (r *Replica[C]) commitIndex() uint64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return uint64(len(r.log))
-}
-
-// peekDecision reports slot's decision if known.
-func (r *Replica[C]) peekDecision(slot uint64) (int64, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	bid, ok := r.decided[slot]
-	return bid, ok
-}
-
-// hasWork reports whether the driver should run consensus for slot: a
-// local or offered batch to commit, or peer round traffic showing the
-// group is deciding it.
-func (r *Replica[C]) hasWork(slot uint64) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.pending) > 0 || len(r.offered) > 0 {
-		return true
-	}
-	if _, ok := r.decided[slot]; ok {
-		return true
-	}
-	if r.poked {
-		r.poked = false
-		return true
-	}
-	return false
-}
-
-// propose picks this attempt's initial value: a fresh batch of local
-// pending commands, else the newest offered peer batch, else the no-op 0.
-func (r *Replica[C]) propose() int64 {
-	r.mu.Lock()
-	if len(r.pending) > 0 {
-		k := len(r.pending)
-		if k > r.cfg.MaxBatch {
-			k = r.cfg.MaxBatch
+	for {
+		select {
+		case env, ok := <-in:
+			if !ok {
+				return
+			}
+			r.dispatch(Event[C]{Kind: EvEnvelope, Env: env})
+		case <-r.workCh:
+			r.dispatch(Event[C]{Kind: EvNudge})
+		case <-roundTimer.C:
+			armedSlot, armedRound = 0, 0 // fired: re-arm via reconcile
+			r.dispatch(Event[C]{Kind: EvRoundTimeout})
+		case <-retryTimer.C:
+			r.dispatch(Event[C]{Kind: EvTick})
+		case <-hb.C:
+			r.dispatch(Event[C]{Kind: EvTick})
+		case <-r.ctx.Done():
+			return
 		}
-		entries := make([]Entry[C], k)
-		copy(entries, r.pending[:k])
-		r.batchSeq++
-		bid := (int64(r.cfg.Self)+1)<<40 | r.batchSeq
-		r.batches[bid] = entries
-		payload := r.cfg.Batch.AppendEntries(appendVarint(nil, bid), entries)
-		r.mu.Unlock()
-		r.broadcast(Envelope{Kind: KindBatch, From: r.cfg.Self, Payload: payload})
-		return bid
+		reconcile()
 	}
-	var best int64
-	for id := range r.offered {
-		if id > best {
-			best = id
+}
+
+// dispatch runs one core step and executes its effects: the Apply hook
+// and waiter resolution for committed entries (under mu, in commit
+// order), then transmission of the step's envelopes with targeted sync
+// traffic rate-limited per peer.
+func (r *Replica[C]) dispatch(ev Event[C]) {
+	r.mu.Lock()
+	res := r.core.Step(ev)
+	for _, ae := range res.Applied {
+		out := ApplyResult{Slot: ae.Slot, Dup: !ae.Fresh}
+		if ae.Fresh && r.cfg.Apply != nil {
+			out.Out = r.cfg.Apply(ae.Slot, ae.Entry)
+		}
+		key := waiterKey{ae.Entry.Client, ae.Entry.Seq}
+		if ch, ok := r.waiters[key]; ok {
+			ch <- out // buffered(1), sole send
+			delete(r.waiters, key)
+		}
+	}
+	var send []Outbound
+	if len(res.Out) > 0 {
+		now := time.Now()
+		send = res.Out[:0]
+		for _, o := range res.Out {
+			if o.To != AllPeers {
+				switch o.Env.Kind {
+				case KindSync:
+					if r.rateLimited(r.lastPush, o.To, now) {
+						continue
+					}
+				case KindSyncPull:
+					if r.rateLimited(r.lastPull, o.To, now) {
+						continue
+					}
+				}
+			}
+			send = append(send, o)
 		}
 	}
 	r.mu.Unlock()
-	return best
-}
-
-// openSlot installs the inbound round channel for a running instance.
-func (r *Replica[C]) openSlot(slot uint64) (<-chan roundMsg, <-chan struct{}) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.curIn = make(chan roundMsg, 16*r.cfg.N)
-	r.curAbort = make(chan struct{})
-	r.curClosed = false
-	if _, ok := r.decided[slot]; ok {
-		// The decision raced in between the driver's check and here.
-		r.curClosed = true
-		close(r.curAbort)
-	}
-	return r.curIn, r.curAbort
-}
-
-// closeSlot retires the running instance's channels.
-func (r *Replica[C]) closeSlot() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.curIn = nil
-	r.curAbort = nil
-	r.curClosed = false
-}
-
-// roundSender broadcasts one round message of slot to the peers.
-func (r *Replica[C]) roundSender(slot uint64) func(core.Round, core.Message) {
-	return func(round core.Round, m core.Message) {
-		b, err := r.cfg.Msg.Encode(m)
-		if err != nil {
-			r.mu.Lock()
-			r.stats.Malformed++
-			r.mu.Unlock()
-			return
+	for _, o := range send {
+		if o.To == AllPeers {
+			r.broadcast(o.Env)
+		} else {
+			r.cfg.Transport.Send(o.To, o.Env)
 		}
-		r.broadcast(Envelope{Slot: slot, Round: round, Kind: KindRound, From: r.cfg.Self, Payload: b})
 	}
 }
 
@@ -497,391 +438,8 @@ func (r *Replica[C]) broadcast(env Envelope) {
 	}
 }
 
-// recordDecision folds one decision observation in. Conflicting
-// observations for a slot — from our own instance, a peer's sync, or the
-// applied log — increment Divergent and keep the first value, so a
-// safety violation is counted, visible in /stats, and never silently
-// overwritten.
-func (r *Replica[C]) recordDecision(slot uint64, bid int64, viaSync bool) {
-	r.mu.Lock()
-	if slot <= uint64(len(r.log)) {
-		if r.log[slot-1] != bid {
-			r.stats.Divergent++
-		}
-		r.mu.Unlock()
-		return
-	}
-	if prev, ok := r.decided[slot]; ok {
-		if prev != bid {
-			r.stats.Divergent++
-		}
-		r.mu.Unlock()
-		return
-	}
-	r.decided[slot] = bid
-	if viaSync {
-		r.stats.SyncDecisions++
-	}
-	if slot == uint64(len(r.log))+1 && r.curAbort != nil && !r.curClosed {
-		r.curClosed = true
-		close(r.curAbort)
-	}
-	r.mu.Unlock()
-	r.signalWork()
-}
-
-// applySlot commits slot's batch: fetch contents if needed, apply fresh
-// entries in order under session dedup, release waiters, advance the
-// log. Returns false only when the replica is stopping.
-func (r *Replica[C]) applySlot(slot uint64, bid int64) bool {
-	var entries []Entry[C]
-	if bid != 0 {
-		var ok bool
-		if entries, ok = r.fetchBatch(bid); !ok {
-			return false
-		}
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, e := range entries {
-		key := waiterKey{e.Client, e.Seq}
-		res := ApplyResult{Slot: slot, Dup: true}
-		if e.Seq > r.hwm[e.Client] {
-			r.hwm[e.Client] = e.Seq
-			res.Dup = false
-			if r.cfg.Apply != nil {
-				res.Out = r.cfg.Apply(slot, e)
-			}
-			r.stats.Committed++
-		}
-		if ch, ok := r.waiters[key]; ok {
-			ch <- res // buffered(1), sole send
-			delete(r.waiters, key)
-		}
-	}
-	if len(entries) > 0 {
-		// Drop applied commands from the local pending queue and retire
-		// fully-applied offered batches.
-		keep := r.pending[:0]
-		for _, e := range r.pending {
-			if e.Seq > r.hwm[e.Client] {
-				keep = append(keep, e)
-			}
-		}
-		r.pending = keep
-		for id := range r.offered {
-			if r.batchApplied(id) {
-				delete(r.offered, id)
-			}
-		}
-	}
-	delete(r.decided, slot)
-	r.log = append(r.log, bid)
-	if bid != 0 {
-		r.inLog[bid] = true
-	}
-	const fnvPrime = 1099511628211
-	r.logHash = (r.logHash ^ slot) * fnvPrime
-	r.logHash = (r.logHash ^ uint64(bid)) * fnvPrime
-	r.pruneBatches()
-	return true
-}
-
-// pruneBatches bounds batch retention with two rules. Callers hold mu.
-//
-// Decided batches (in the log) are kept until every replica's observed
-// commit index passes their slot: a laggard only ever pulls the batch
-// of the slot it is applying, applied+1 ≤ horizon+1, so nothing past
-// the horizon can be pulled again. A peer that was never heard from —
-// or a long-dead one — pins this horizon, trading memory for its
-// ability to rejoin from the log; bounded-membership GC is future work.
-//
-// Undecided batches (losing or superseded proposals — under contention
-// most proposals lose) are dropped as soon as all their entries are at
-// or below the local high-water marks: any replica that could still
-// PROPOSE such a batch is by construction one that retains its
-// contents (adoption only offers ids whose contents arrived, and a
-// replica behind on the entries keeps them), so a later decision of
-// the id can still be served.
-func (r *Replica[C]) pruneBatches() {
-	horizon := uint64(len(r.log))
-	for q := 0; q < r.cfg.N; q++ {
-		p := core.ProcessID(q)
-		if p == r.cfg.Self {
-			continue
-		}
-		if pa, ok := r.peerApplied[p]; !ok {
-			horizon = 0
-			break
-		} else if pa < horizon {
-			horizon = pa
-		}
-	}
-	for s := r.prunedTo + 1; s <= horizon; s++ {
-		if bid := r.log[s-1]; bid != 0 {
-			delete(r.batches, bid)
-			delete(r.inLog, bid)
-		}
-	}
-	if horizon > r.prunedTo {
-		r.prunedTo = horizon
-	}
-	for bid := range r.batches {
-		if !r.inLog[bid] && r.batchApplied(bid) {
-			delete(r.batches, bid)
-			delete(r.offered, bid)
-		}
-	}
-}
-
-// notePeerApplied folds in an observation of a peer's commit index and
-// re-runs the pruner (the horizon can advance on peer progress alone,
-// e.g. after the local log has quiesced). Callers hold mu.
-func (r *Replica[C]) notePeerApplied(p core.ProcessID, applied uint64) {
-	if applied > r.peerApplied[p] {
-		r.peerApplied[p] = applied
-		r.pruneBatches()
-	}
-}
-
-// batchApplied reports whether every entry of a known batch is at or
-// below its client's high-water mark. Callers hold mu.
-func (r *Replica[C]) batchApplied(bid int64) bool {
-	entries, ok := r.batches[bid]
-	if !ok {
-		return false
-	}
-	for _, e := range entries {
-		if e.Seq > r.hwm[e.Client] {
-			return false
-		}
-	}
-	return true
-}
-
-// fetchBatch blocks until batch bid's contents are known, pulling from
-// peers on a retry ticker. It reports false when the replica stops.
-// The wait is deliberately unbounded: the id was DECIDED, so applying
-// anything else (or skipping) would diverge from replicas that have the
-// contents; if every holder is gone for good we stall rather than fork
-// (see the fault-envelope note in the package comment).
-func (r *Replica[C]) fetchBatch(bid int64) ([]Entry[C], bool) {
-	pull := appendVarint(nil, bid)
-	for {
-		r.mu.Lock()
-		if entries, ok := r.batches[bid]; ok {
-			r.mu.Unlock()
-			return entries, true
-		}
-		w := r.batchWait[bid]
-		if w == nil {
-			w = make(chan struct{})
-			r.batchWait[bid] = w
-		}
-		r.mu.Unlock()
-		r.broadcast(Envelope{Kind: KindBatchPull, From: r.cfg.Self, Payload: pull})
-		select {
-		case <-w:
-		case <-time.After(50 * time.Millisecond):
-		case <-r.ctx.Done():
-			return nil, false
-		}
-	}
-}
-
-// ---------------------------------------------------------------------
-// Demux: the inbound message pump.
-
-// demux routes inbound envelopes until the transport closes or the
-// replica stops.
-func (r *Replica[C]) demux() {
-	in := r.cfg.Transport.Recv()
-	for {
-		select {
-		case env, ok := <-in:
-			if !ok {
-				return
-			}
-			r.handle(env)
-		case <-r.ctx.Done():
-			return
-		}
-	}
-}
-
-// handle dispatches one envelope.
-func (r *Replica[C]) handle(env Envelope) {
-	switch env.Kind {
-	case KindRound:
-		r.handleRound(env)
-	case KindBatch:
-		r.handleBatch(env)
-	case KindBatchPull:
-		if bid, n := varint(env.Payload); n > 0 {
-			r.mu.Lock()
-			entries, ok := r.batches[bid]
-			var payload []byte
-			if ok {
-				payload = r.cfg.Batch.AppendEntries(appendVarint(nil, bid), entries)
-			}
-			r.mu.Unlock()
-			if ok {
-				r.cfg.Transport.Send(env.From, Envelope{Kind: KindBatch, From: r.cfg.Self, Payload: payload})
-			}
-		} else {
-			r.noteMalformed()
-		}
-	case KindSync:
-		r.handleSync(env)
-	case KindSyncPull:
-		if from, n := uvarint(env.Payload); n > 0 {
-			if from > 0 {
-				r.mu.Lock()
-				r.notePeerApplied(env.From, from-1)
-				r.mu.Unlock()
-			}
-			r.pushDecisions(env.From, from)
-		} else {
-			r.noteMalformed()
-		}
-	}
-}
-
-// handleRound classifies a consensus message by slot: current → the
-// running instance (or a work poke when idle); old → the sender lags, push
-// decisions; future → we lag, pull decisions.
-func (r *Replica[C]) handleRound(env Envelope) {
-	msg, err := r.cfg.Msg.Decode(env.Payload)
-	if err != nil {
-		r.noteMalformed()
-		return
-	}
-	r.mu.Lock()
-	cur := uint64(len(r.log)) + 1
-	// A round message for slot s says its sender has applied s−1.
-	if env.Slot > 0 {
-		r.notePeerApplied(env.From, env.Slot-1)
-	}
-	switch {
-	case env.Slot == cur:
-		if r.curIn != nil {
-			select {
-			case r.curIn <- roundMsg{From: env.From, Round: env.Round, Payload: msg}:
-			default: // overflow = loss; the next round resends
-			}
-		} else {
-			r.poked = true
-		}
-		r.mu.Unlock()
-		r.signalWork()
-	case env.Slot < cur:
-		r.mu.Unlock()
-		r.pushDecisions(env.From, env.Slot)
-	default: // env.Slot > cur: we lag
-		limited := r.rateLimited(r.lastPull, env.From)
-		applied := cur - 1
-		r.mu.Unlock()
-		if !limited {
-			r.cfg.Transport.Send(env.From, Envelope{Kind: KindSyncPull, From: r.cfg.Self,
-				Payload: appendUvarint(nil, applied+1)})
-		}
-	}
-}
-
-// handleBatch stores a disseminated batch and wakes adopters and pullers.
-func (r *Replica[C]) handleBatch(env Envelope) {
-	b := env.Payload
-	bid, n := varint(b)
-	if n <= 0 || bid <= 0 {
-		r.noteMalformed()
-		return
-	}
-	entries, err := r.cfg.Batch.DecodeEntries(b[n:])
-	if err != nil {
-		r.noteMalformed()
-		return
-	}
-	r.mu.Lock()
-	if _, ok := r.batches[bid]; !ok {
-		r.batches[bid] = entries
-		if !r.batchApplied(bid) {
-			r.offered[bid] = struct{}{}
-		}
-	}
-	if w, ok := r.batchWait[bid]; ok {
-		close(w)
-		delete(r.batchWait, bid)
-	}
-	r.mu.Unlock()
-	r.signalWork()
-}
-
-// handleSync records pushed decisions.
-func (r *Replica[C]) handleSync(env Envelope) {
-	b := env.Payload
-	count, n := uvarint(b)
-	if n <= 0 || count > maxSyncPairs {
-		r.noteMalformed()
-		return
-	}
-	b = b[n:]
-	for i := uint64(0); i < count; i++ {
-		slot, n1 := uvarint(b)
-		if n1 <= 0 {
-			r.noteMalformed()
-			return
-		}
-		bid, n2 := varint(b[n1:])
-		if n2 <= 0 {
-			r.noteMalformed()
-			return
-		}
-		b = b[n1+n2:]
-		if slot == 0 {
-			r.noteMalformed()
-			return
-		}
-		r.recordDecision(slot, bid, true)
-	}
-}
-
-// pushDecisions sends the applied decisions from slot `from` on to one
-// peer (or everyone for allPeers), rate-limited per destination.
-func (r *Replica[C]) pushDecisions(to core.ProcessID, from uint64) {
-	if from == 0 {
-		from = 1
-	}
-	r.mu.Lock()
-	if to != allPeers && r.rateLimited(r.lastPush, to) {
-		r.mu.Unlock()
-		return
-	}
-	applied := uint64(len(r.log))
-	if from > applied {
-		r.mu.Unlock()
-		return
-	}
-	count := applied - from + 1
-	if count > maxSyncPairs {
-		count = maxSyncPairs
-	}
-	payload := appendUvarint(nil, count)
-	for s := from; s < from+count; s++ {
-		payload = appendUvarint(payload, s)
-		payload = appendVarint(payload, r.log[s-1])
-	}
-	r.mu.Unlock()
-	env := Envelope{Kind: KindSync, From: r.cfg.Self, Payload: payload}
-	if to == allPeers {
-		r.broadcast(env)
-	} else {
-		r.cfg.Transport.Send(to, env)
-	}
-}
-
 // rateLimited updates and checks a per-peer limiter. Callers hold mu.
-func (r *Replica[C]) rateLimited(m map[core.ProcessID]time.Time, p core.ProcessID) bool {
-	now := time.Now()
+func (r *Replica[C]) rateLimited(m map[core.ProcessID]time.Time, p core.ProcessID, now time.Time) bool {
 	if now.Sub(m[p]) < syncRateLimit {
 		return true
 	}
@@ -889,9 +447,29 @@ func (r *Replica[C]) rateLimited(m map[core.ProcessID]time.Time, p core.ProcessI
 	return false
 }
 
-// noteMalformed counts a dropped undecodable message.
-func (r *Replica[C]) noteMalformed() {
-	r.mu.Lock()
-	r.stats.Malformed++
-	r.mu.Unlock()
+// ---------------------------------------------------------------------
+// Timer plumbing.
+
+// newStoppedTimer returns a timer that is not running and whose channel
+// is empty.
+func newStoppedTimer() *time.Timer {
+	t := time.NewTimer(time.Hour)
+	stopTimer(t)
+	return t
+}
+
+// stopTimer stops t and drains a pending fire.
+func stopTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+}
+
+// resetTimer (re)arms t for d from now.
+func resetTimer(t *time.Timer, d time.Duration) {
+	stopTimer(t)
+	t.Reset(d)
 }

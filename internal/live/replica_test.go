@@ -27,7 +27,7 @@ func (strCodec) AppendEntries(dst []byte, entries []Entry[string]) []byte {
 
 func (strCodec) DecodeEntries(src []byte) ([]Entry[string], error) {
 	count, n := binary.Uvarint(src)
-	if n <= 0 {
+	if n <= 0 || count > 1<<16 {
 		return nil, fmt.Errorf("bad count")
 	}
 	src = src[n:]

@@ -1,0 +1,274 @@
+// Model-checker support for ReplicaCore: deep cloning (the checker
+// forks a core per explored event) and a canonical state encoding (the
+// checker's fingerprint for reachable-state dedup). Both require the
+// algorithm's instances to implement core.Recoverable — true for every
+// algorithm in this repo — because a running slot's instance state must
+// be copied and serialized. The production shell never calls these.
+
+package live
+
+import (
+	"fmt"
+	"sort"
+
+	"heardof/internal/core"
+)
+
+// stateAppender is the fast fingerprint path: instances that can append
+// a canonical byte encoding of their state skip the reflective
+// Snapshot-formatting fallback (otr and lastvoting implement it).
+type stateAppender interface {
+	AppendState(dst []byte) []byte
+}
+
+// Clone deep-copies the core. The clone shares nothing mutable with the
+// original: maps, slices, and the running instance (via its
+// core.Recoverable snapshot) are all duplicated. Batch entry slices are
+// shared — they are immutable after creation.
+func (c *ReplicaCore[C]) Clone() *ReplicaCore[C] {
+	d := &ReplicaCore[C]{
+		cfg:         c.cfg,
+		pending:     append([]Entry[C](nil), c.pending...),
+		batches:     make(map[int64][]Entry[C], len(c.batches)),
+		inLog:       make(map[int64]bool, len(c.inLog)),
+		offered:     make(map[int64]struct{}, len(c.offered)),
+		decided:     make(map[uint64]int64, len(c.decided)),
+		maxSeen:     make(map[uint64]uint64, len(c.maxSeen)),
+		log:         append([]int64(nil), c.log...),
+		logHash:     c.logHash,
+		hwm:         make(map[uint64]uint64, len(c.hwm)),
+		batchSeq:    c.batchSeq,
+		poked:       c.poked,
+		blockedOn:   c.blockedOn,
+		eagerPush:   c.eagerPush,
+		peerApplied: make(map[core.ProcessID]uint64, len(c.peerApplied)),
+		prunedTo:    c.prunedTo,
+		stats:       c.stats,
+	}
+	for k, v := range c.batches {
+		d.batches[k] = v
+	}
+	for k, v := range c.inLog {
+		d.inLog[k] = v
+	}
+	for k := range c.offered {
+		d.offered[k] = struct{}{}
+	}
+	for k, v := range c.decided {
+		d.decided[k] = v
+	}
+	for k, v := range c.maxSeen {
+		d.maxSeen[k] = v
+	}
+	for k, v := range c.hwm {
+		d.hwm[k] = v
+	}
+	for k, v := range c.peerApplied {
+		d.peerApplied[k] = v
+	}
+	if c.cur != nil {
+		d.cur = c.cloneSlotRun(c.cur)
+	}
+	return d
+}
+
+// cloneSlotRun deep-copies a running slot, restoring the instance from
+// its recoverable snapshot.
+func (c *ReplicaCore[C]) cloneSlotRun(s *slotRun) *slotRun {
+	inst := c.cfg.Algorithm.NewInstance(c.cfg.Self, c.cfg.N, 0)
+	rec, ok := inst.(core.Recoverable)
+	src, ok2 := s.inst.(core.Recoverable)
+	if !ok || !ok2 {
+		panic(fmt.Sprintf("live: model checking requires a core.Recoverable algorithm, got %T", s.inst))
+	}
+	rec.Restore(src.Snapshot())
+	d := &slotRun{
+		slot:   s.slot,
+		inst:   inst,
+		r:      s.r,
+		target: s.target,
+		heard:  make(map[core.ProcessID]core.Message, len(s.heard)),
+		future: make(map[core.Round]map[core.ProcessID]core.Message, len(s.future)),
+	}
+	for p, m := range s.heard {
+		d.heard[p] = m
+	}
+	for r, fr := range s.future {
+		cp := make(map[core.ProcessID]core.Message, len(fr))
+		for p, m := range fr {
+			cp[p] = m
+		}
+		d.future[r] = cp
+	}
+	return d
+}
+
+// AppendFingerprint appends a canonical encoding of the protocol state
+// to dst, for the checker's reachable-state dedup. Two cores encode
+// equal iff they are protocol-equivalent; service counters (Rounds,
+// Committed, …) are deliberately excluded so paths that differ only in
+// bookkeeping merge. inLog is derivable from log and prunedTo and is
+// likewise omitted.
+func (c *ReplicaCore[C]) AppendFingerprint(dst []byte) []byte {
+	dst = appendVarint(dst, c.batchSeq)
+	dst = appendVarint(dst, c.blockedOn)
+	dst = appendUvarint(dst, c.eagerPush)
+	dst = appendUvarint(dst, c.prunedTo)
+	if c.poked {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+
+	dst = appendUvarint(dst, uint64(len(c.log)))
+	for _, bid := range c.log {
+		dst = appendVarint(dst, bid)
+	}
+
+	dst = c.appendEntrySlice(dst, c.pending)
+
+	bids := make([]int64, 0, len(c.batches))
+	for bid := range c.batches {
+		bids = append(bids, bid)
+	}
+	sort.Slice(bids, func(i, j int) bool { return bids[i] < bids[j] })
+	dst = appendUvarint(dst, uint64(len(bids)))
+	for _, bid := range bids {
+		dst = appendVarint(dst, bid)
+		dst = c.appendEntrySlice(dst, c.batches[bid])
+	}
+
+	bids = bids[:0]
+	for bid := range c.offered {
+		bids = append(bids, bid)
+	}
+	sort.Slice(bids, func(i, j int) bool { return bids[i] < bids[j] })
+	dst = appendUvarint(dst, uint64(len(bids)))
+	for _, bid := range bids {
+		dst = appendVarint(dst, bid)
+	}
+
+	slots := make([]uint64, 0, len(c.decided))
+	for s := range c.decided {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	dst = appendUvarint(dst, uint64(len(slots)))
+	for _, s := range slots {
+		dst = appendUvarint(dst, s)
+		dst = appendVarint(dst, c.decided[s])
+	}
+
+	dst = appendU64Map(dst, c.maxSeen)
+	dst = appendU64Map(dst, c.hwm)
+
+	dst = appendUvarint(dst, uint64(len(c.peerApplied)))
+	pids := make([]int, 0, len(c.peerApplied))
+	for p := range c.peerApplied {
+		pids = append(pids, int(p))
+	}
+	sort.Ints(pids)
+	for _, p := range pids {
+		dst = appendUvarint(dst, uint64(p))
+		dst = appendUvarint(dst, c.peerApplied[core.ProcessID(p)])
+	}
+
+	if c.cur == nil {
+		return append(dst, 0)
+	}
+
+	// Frozen-window quotient: once the running round has reached the
+	// MaxRound bound, its collection window never closes again (the
+	// transition is refused by construction), so the heard set, jump
+	// target, buffered future rounds, and the instance's own state are
+	// all DEAD — no future behavior can read them. Only the slot number
+	// stays live (a sync-delivered decision for it drops the run).
+	// Encoding just the slot merges every heard/target/instance variant
+	// of a frozen window into one state — without it, delivering round
+	// messages into frozen windows multiplies the explored space by
+	// each window's 2^(n-1) heard subsets, purely as noise.
+	if c.cfg.MaxRound > 0 && c.cur.r >= c.cfg.MaxRound {
+		dst = append(dst, 2)
+		return appendUvarint(dst, c.cur.slot)
+	}
+
+	dst = append(dst, 1)
+	dst = appendUvarint(dst, c.cur.slot)
+	dst = appendUvarint(dst, uint64(c.cur.r))
+	target := c.cur.target
+	if c.cfg.MaxRound > 0 && target > c.cfg.MaxRound {
+		// Any target beyond the bound behaves identically (closed() only
+		// asks whether it exceeds the current round).
+		target = c.cfg.MaxRound
+	}
+	dst = appendUvarint(dst, uint64(target))
+	if sa, ok := c.cur.inst.(stateAppender); ok {
+		dst = sa.AppendState(dst)
+	} else {
+		rec, ok := c.cur.inst.(core.Recoverable)
+		if !ok {
+			panic(fmt.Sprintf("live: model checking requires a core.Recoverable algorithm, got %T", c.cur.inst))
+		}
+		dst = fmt.Appendf(dst, "%#v", rec.Snapshot())
+	}
+	dst = c.appendHeard(dst, c.cur.heard)
+	rounds := make([]int, 0, len(c.cur.future))
+	for r := range c.cur.future {
+		// Future rounds at or past the bound merge into a frozen window
+		// if ever entered: dead for the same reason.
+		if c.cfg.MaxRound > 0 && core.Round(r) >= c.cfg.MaxRound {
+			continue
+		}
+		rounds = append(rounds, int(r))
+	}
+	sort.Ints(rounds)
+	dst = appendUvarint(dst, uint64(len(rounds)))
+	for _, r := range rounds {
+		dst = appendUvarint(dst, uint64(r))
+		dst = c.appendHeard(dst, c.cur.future[core.Round(r)])
+	}
+	return dst
+}
+
+// appendEntrySlice canonically encodes an entry slice via the batch codec.
+func (c *ReplicaCore[C]) appendEntrySlice(dst []byte, entries []Entry[C]) []byte {
+	b := c.cfg.Batch.AppendEntries(nil, entries)
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// appendHeard canonically encodes one round's heard map via the message
+// codec.
+func (c *ReplicaCore[C]) appendHeard(dst []byte, heard map[core.ProcessID]core.Message) []byte {
+	pids := make([]int, 0, len(heard))
+	for p := range heard {
+		pids = append(pids, int(p))
+	}
+	sort.Ints(pids)
+	dst = appendUvarint(dst, uint64(len(pids)))
+	for _, p := range pids {
+		dst = appendUvarint(dst, uint64(p))
+		b, err := c.cfg.Msg.Encode(heard[core.ProcessID(p)])
+		if err != nil {
+			b = []byte("!enc")
+		}
+		dst = appendUvarint(dst, uint64(len(b)))
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
+// appendU64Map canonically encodes a uint64→uint64 map.
+func appendU64Map(dst []byte, m map[uint64]uint64) []byte {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dst = appendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendUvarint(dst, k)
+		dst = appendUvarint(dst, m[k])
+	}
+	return dst
+}

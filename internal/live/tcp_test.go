@@ -1,0 +1,169 @@
+package live
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"heardof/internal/core"
+	"heardof/internal/lastvoting"
+)
+
+// TestTCPListenerRestartRejoins runs a 3-replica group over real
+// sockets and crash-recovers one replica the hard way: its listener is
+// closed mid-run, the group commits commands without it, and then a
+// fresh replica rebinds the SAME address and rejoins with empty state.
+// The surviving peers' writers must reconnect through their dial
+// backoff, the rejoiner must rebuild the whole log via the sync path,
+// and session dedup must hold across the restart: a retried sequence
+// number is refused as a duplicate even by the replica that learned
+// the client's history purely through replication.
+//
+// The crash happens BEFORE p2 applies anything: batch retention prunes
+// a slot's contents once every replica has applied it, so an
+// empty-state rejoin is only recoverable while the GC horizon is still
+// pinned by the crashed peer (exactly the retention analysis the model
+// checker's gc-needed-batch invariant encodes). A replica that loses
+// its state after the whole group applied needs a state-transfer
+// mechanism this layer does not have.
+func TestTCPListenerRestartRejoins(t *testing.T) {
+	const n = 3
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for p := 0; p < n; p++ {
+		ln, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[p] = ln
+		addrs[p] = ln.Addr().String()
+	}
+
+	transports := make([]*TCPTransport, n)
+	reps := make([]*Replica[string], n)
+	logs := make([]*applyLog, n)
+	newNode := func(p core.ProcessID, ln net.Listener) (*TCPTransport, *Replica[string], *applyLog) {
+		tr, err := NewTCP(p, ln, addrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg := &applyLog{}
+		// LastVoting, not OTR: its majority quorums keep deciding with one
+		// of three replicas crashed (OTR's >2n/3 threshold cannot).
+		rep, err := NewReplica(ReplicaConfig[string]{
+			Self: p, N: n,
+			Algorithm: lastvoting.Algorithm{},
+			Msg:       lastvoting.WireCodec{},
+			Batch:     strCodec{},
+			Transport: tr,
+			Apply:     lg.hook,
+			// Brisk pacing: rejoin latency is dial backoff + a couple of
+			// sync heartbeats, and the test waits on real sockets.
+			RoundTimeout: time.Millisecond,
+			SyncEvery:    20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.Start()
+		return tr, rep, lg
+	}
+	for p := 0; p < n; p++ {
+		transports[p], reps[p], logs[p] = newNode(core.ProcessID(p), lns[p])
+	}
+	defer func() {
+		for p := 0; p < n; p++ {
+			if reps[p] != nil {
+				reps[p].Stop()
+			}
+			if transports[p] != nil {
+				transports[p].Close()
+			}
+		}
+	}()
+
+	submit := func(seq uint64, cmd string) {
+		t.Helper()
+		ch, err := reps[0].Submit(1, seq, cmd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := waitApplied(t, ch, 10*time.Second, cmd)
+		if res.Dup {
+			t.Fatalf("%s: fresh submission resolved as duplicate", cmd)
+		}
+	}
+
+	// Crash-stop p2 before any traffic: replica halted, listener and
+	// connections torn down, GC horizon pinned at its commit index 0.
+	reps[2].Stop()
+	transports[2].Close()
+	reps[2], transports[2] = nil, nil
+
+	// Phase 1: the survivors are a majority; commits must flow while
+	// every frame sent to p2's dead address is lost (each failed dial
+	// exercises the writer's backoff-and-retry path).
+	submit(1, "c1")
+	submit(2, "c2")
+	submit(3, "c3")
+	submit(4, "c4")
+
+	// Restart: rebind the SAME address (retry — the old listener's close
+	// may still be settling) and rejoin with a brand-new replica whose
+	// core has no memory of phases 1–2.
+	var ln2 net.Listener
+	waitFor(t, 5*time.Second, "rebind p2's address", func() bool {
+		var err error
+		ln2, err = ListenTCP(addrs[2])
+		return err == nil
+	})
+	transports[2], reps[2], logs[2] = newNode(2, ln2)
+
+	// Phase 2: more traffic after the restart; the rejoiner must both
+	// replay the history it missed and follow new commits.
+	submit(5, "c5")
+	waitFor(t, 10*time.Second, "p2 rebuilds the full log", func() bool {
+		h0, l0 := reps[0].LogHash()
+		h2, l2 := reps[2].LogHash()
+		return l2 == l0 && h2 == h0 && reps[2].Stats().Applied == reps[0].Stats().Applied
+	})
+
+	// Dedup across the restart: p2 learned client 1's history purely via
+	// batch replay, yet its high-water mark must refuse the retry.
+	ch, err := reps[2].Submit(1, 2, "c2-retry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := waitApplied(t, ch, 5*time.Second, "c2-retry"); !res.Dup {
+		t.Fatalf("restarted replica re-accepted an applied sequence number: %+v", res)
+	}
+
+	// Every replica applied each command exactly once, in log order.
+	want := []string{"c1", "c2", "c3", "c4", "c5"}
+	for p := 0; p < n; p++ {
+		got := logs[p].snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("replica %d applied %v, want %v", p, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("replica %d applied %v, want %v", p, got, want)
+			}
+		}
+		if d := reps[p].Stats().Divergent; d != 0 {
+			t.Fatalf("replica %d observed %d divergent decisions", p, d)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

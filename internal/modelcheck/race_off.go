@@ -1,0 +1,10 @@
+//go:build !race
+
+package modelcheck
+
+// raceDetectorEnabled reports whether this build carries the race
+// detector. The explorer is single-goroutine, so the detector can find
+// nothing in it and only multiplies the state-sweep cost; the big
+// bounded explorations skip themselves when it is on (the CI
+// model-check job runs them race-free at full scope).
+const raceDetectorEnabled = false

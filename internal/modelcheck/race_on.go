@@ -1,0 +1,6 @@
+//go:build race
+
+package modelcheck
+
+// raceDetectorEnabled: see race_off.go.
+const raceDetectorEnabled = true

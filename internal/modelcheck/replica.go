@@ -1,0 +1,657 @@
+// Exhaustive small-scope model checking of the LIVE replica protocol
+// (live.ReplicaCore) — the layer ABOVE the consensus algorithms this
+// package already verifies. The model is the deployed step function
+// itself, not a re-implementation: each replica is a live.ReplicaCore
+// fed the same events the production shell feeds it, so dissemination,
+// adopt-newest-offered, push/pull sync, apply-side session dedup, and
+// batch GC are all checked as written.
+//
+// The environment is the classic asynchronous message soup: every
+// envelope a step emits joins a SET of in-flight messages, and the
+// explorer may deliver any soup message to its destination at any time,
+// any number of times — the soup never shrinks, so duplication and
+// arbitrary reordering come for free, and loss is simply an execution
+// that never schedules a delivery (transmission faults in the paper's
+// sense need no extra machinery). Round timeouts and anti-entropy ticks
+// are likewise free events: the explorer fires them whenever the shell
+// conceivably could. Crash-STOP of up to CrashBudget processes freezes
+// a replica permanently — strictly harsher than the paper's benign
+// crash-recovery model, where a paused process rejoins (a pause is
+// already subsumed here by schedules that simply never pick a process).
+//
+// Scope bounds that keep the state space finite: MaxSlots stops new
+// consensus attempts past a slot budget, MaxRound freezes a slot's
+// round progression (both are knobs of ReplicaCore itself, zero in
+// production), and the workload is a fixed handful of submissions. The
+// exploration is a plain depth-first reachable-state closure with
+// fingerprint dedup, checked against the safety invariants on every
+// (state, event) transition — the TLC recipe, at Go speed. (Depth
+// first, not breadth: with a state budget, going deep finds the long
+// adversarial schedules seeded mutants need, and for a full closure
+// the order is irrelevant.)
+
+package modelcheck
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"heardof/internal/core"
+	"heardof/internal/live"
+)
+
+// ByteBatchCodec serializes model batches (one-byte commands).
+type ByteBatchCodec struct{}
+
+// AppendEntries implements live.BatchCodec.
+func (ByteBatchCodec) AppendEntries(dst []byte, entries []live.Entry[byte]) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, e.Client)
+		dst = binary.AppendUvarint(dst, e.Seq)
+		dst = append(dst, e.Cmd)
+	}
+	return dst
+}
+
+// DecodeEntries implements live.BatchCodec.
+func (ByteBatchCodec) DecodeEntries(src []byte) ([]live.Entry[byte], error) {
+	count, n := binary.Uvarint(src)
+	if n <= 0 || count > 1<<16 {
+		return nil, errors.New("modelcheck: bad batch header")
+	}
+	src = src[n:]
+	entries := make([]live.Entry[byte], 0, count)
+	for i := uint64(0); i < count; i++ {
+		client, n1 := binary.Uvarint(src)
+		if n1 <= 0 {
+			return nil, errors.New("modelcheck: bad batch entry")
+		}
+		seq, n2 := binary.Uvarint(src[n1:])
+		if n2 <= 0 || len(src) < n1+n2+1 {
+			return nil, errors.New("modelcheck: bad batch entry")
+		}
+		entries = append(entries, live.Entry[byte]{Client: client, Seq: seq, Cmd: src[n1+n2]})
+		src = src[n1+n2+1:]
+	}
+	return entries, nil
+}
+
+// Submission is one workload command, submitted before exploration.
+type Submission struct {
+	Replica core.ProcessID
+	Client  uint64
+	Seq     uint64
+	Cmd     byte
+}
+
+// ReplicaModel configures one exhaustive replica-protocol exploration.
+type ReplicaModel struct {
+	// N is the group size (≤ 3 stays tractable).
+	N int
+	// Slots bounds the slots replicas START consensus for.
+	Slots uint64
+	// MaxRound freezes each slot's round progression: the transition of
+	// round MaxRound never fires. OTR can decide at the round-1
+	// transition (MaxRound 2 suffices); LastVoting decides at the
+	// round-4 transition of a phase (MaxRound ≥ 5 for phase 1).
+	MaxRound core.Round
+	// CrashBudget is the number of crash-STOP events the adversary may
+	// spend (0 = none).
+	CrashBudget int
+	// Algorithm and Msg pick the consensus layer (OTR or LastVoting with
+	// their wire codecs).
+	Algorithm core.Algorithm
+	Msg       live.Codec
+	// Mutation seeds a protocol bug (see live.Mutation); 0 checks the
+	// real protocol.
+	Mutation live.Mutation
+	// Workload is submitted before exploration starts.
+	Workload []Submission
+	// MaxBatch caps entries per batch (0 = ReplicaCore's default). Set 1
+	// to force one slot per submission — with a single proposer that
+	// keeps every slot's proposals unanimous, which OTR at MaxRound 2
+	// needs to decide at all.
+	MaxBatch int
+	// MaxStates bounds the exploration (default 2,000,000). Hitting the
+	// bound is not an error: the result reports Complete=false and the
+	// absence of violations holds for every state visited (bounded
+	// verification), which is how richer scopes whose reachable space
+	// exceeds any CI budget are checked.
+	MaxStates int
+}
+
+// ReplicaViolation is a reachable safety violation of the replica layer.
+type ReplicaViolation struct {
+	// Kind classifies the broken invariant: "agreement", "integrity",
+	// "double-apply", "commit-regression", "gc-needed-batch".
+	Kind    string
+	Message string
+}
+
+// ReplicaFinding is a non-safety observation — today only the
+// dissemination-window stall: a decided batch id whose contents no live
+// replica holds and no in-flight message carries, reachable only by
+// crash-stopping the proposer inside the window between its id deciding
+// and its contents reaching anyone (see the fault-envelope note in
+// live/replica.go). Availability, not agreement, is what is lost.
+type ReplicaFinding struct {
+	Kind    string
+	Message string
+	// Count is how many distinct reachable states exhibit the finding.
+	Count int
+}
+
+// ReplicaResult summarizes an exploration.
+type ReplicaResult struct {
+	States      int
+	Transitions int64
+	Violation   *ReplicaViolation
+	Findings    []ReplicaFinding
+	// MaxApplied is the deepest commit index any replica reached in any
+	// explored state — a vacuity guard: a clean run with MaxApplied 0
+	// never exercised decide/apply/GC and proves nothing about them.
+	MaxApplied uint64
+	// Complete reports whether the reachable space was exhausted. False
+	// means the MaxStates budget cut the run: every visited state was
+	// still checked, so a clean incomplete run is a bounded-verification
+	// result (depth-first order makes the budget cover deep schedules,
+	// not just wide shallow ones), but absence of violations beyond the
+	// budget is not established.
+	Complete bool
+}
+
+// rcState is one global model state: the replica cores (persistently
+// shared between states — only a stepped core is cloned), the message
+// soup, and the crash bookkeeping. coreFP caches each core's canonical
+// encoding (recomputed only for a stepped core) and keys mirrors the
+// soup as a sorted slice, so fingerprinting a successor is a hash over
+// cached bytes rather than a re-encode — the difference between
+// thousands and tens of thousands of states per second. soup and keys
+// are shared between states until a step actually adds a message
+// (owns tracks copy-on-write).
+type rcState struct {
+	cores   []*live.ReplicaCore[byte]
+	coreFP  [][]byte
+	soup    map[string]soupMsg
+	keys    []string
+	owns    bool
+	crashed uint8
+	crashes int
+}
+
+// soupMsg is one in-flight envelope with its destination. batchID is
+// pre-parsed for the GC invariant (0 when not a KindBatch).
+type soupMsg struct {
+	to      core.ProcessID
+	env     live.Envelope
+	batchID int64
+}
+
+// soupKey canonically encodes a (destination, envelope) pair.
+func soupKey(to core.ProcessID, env live.Envelope) string {
+	b := make([]byte, 0, 16+len(env.Payload))
+	b = binary.AppendUvarint(b, uint64(to))
+	b = append(b, byte(env.Kind))
+	b = binary.AppendUvarint(b, uint64(env.From))
+	b = binary.AppendUvarint(b, env.Slot)
+	b = binary.AppendUvarint(b, uint64(env.Round))
+	b = append(b, env.Payload...)
+	return string(b)
+}
+
+// live reports whether process p has not crash-stopped.
+func (s *rcState) live(p core.ProcessID) bool { return s.crashed&(1<<uint(p)) == 0 }
+
+// fingerprint hashes the canonical global state (cached core encodings
+// + sorted soup keys + crash bookkeeping).
+func (s *rcState) fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, fp := range s.coreFP {
+		h.Write(fp)
+		h.Write([]byte{0xFF})
+	}
+	for _, k := range s.keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0xFE})
+	}
+	h.Write([]byte{s.crashed, byte(s.crashes)})
+	return h.Sum64()
+}
+
+// absorb folds a step's outbound envelopes into the soup, expanding
+// broadcasts. Messages to self never exist (the core self-delivers).
+func (s *rcState) absorb(n int, self core.ProcessID, out []live.Outbound) {
+	for _, o := range out {
+		if o.To == live.AllPeers {
+			for q := 0; q < n; q++ {
+				if p := core.ProcessID(q); p != self {
+					s.put(p, o.Env)
+				}
+			}
+		} else {
+			s.put(o.To, o.Env)
+		}
+	}
+}
+
+// put inserts one envelope, pre-parsing batch ids for the GC check.
+// The soup is copy-on-write: the first genuinely new message in a
+// forked state duplicates the map and key slice.
+func (s *rcState) put(to core.ProcessID, env live.Envelope) {
+	key := soupKey(to, env)
+	if _, ok := s.soup[key]; ok {
+		return
+	}
+	if !s.owns {
+		cp := make(map[string]soupMsg, len(s.soup)+4)
+		for k, v := range s.soup {
+			cp[k] = v
+		}
+		s.soup = cp
+		s.keys = append(make([]string, 0, len(s.keys)+4), s.keys...)
+		s.owns = true
+	}
+	var bid int64
+	if env.Kind == live.KindBatch {
+		if v, n := binary.Varint(env.Payload); n > 0 {
+			bid = v
+		}
+	}
+	s.soup[key] = soupMsg{to: to, env: env, batchID: bid}
+	i := sort.SearchStrings(s.keys, key)
+	s.keys = append(s.keys, "")
+	copy(s.keys[i+1:], s.keys[i:])
+	s.keys[i] = key
+}
+
+// forkForStep clones the state for stepping core p: that core is deep-
+// copied, the rest (including the soup, copy-on-write) stay shared.
+// The caller must refresh coreFP[p] after stepping the clone.
+func (s *rcState) forkForStep(p core.ProcessID) *rcState {
+	next := &rcState{
+		cores:   append([]*live.ReplicaCore[byte](nil), s.cores...),
+		coreFP:  append([][]byte(nil), s.coreFP...),
+		soup:    s.soup,
+		keys:    s.keys,
+		crashed: s.crashed,
+		crashes: s.crashes,
+	}
+	next.cores[p] = s.cores[p].Clone()
+	return next
+}
+
+// NewReplicaModel validates the configuration.
+func NewReplicaModel(m ReplicaModel) (*ReplicaModel, error) {
+	if m.N < 1 || m.N > 3 {
+		return nil, fmt.Errorf("modelcheck: replica model supports 1..3 replicas, got %d", m.N)
+	}
+	if m.Slots < 1 || m.MaxRound < 1 {
+		return nil, errors.New("modelcheck: Slots and MaxRound must be ≥ 1")
+	}
+	if m.Algorithm == nil || m.Msg == nil {
+		return nil, errors.New("modelcheck: nil algorithm or codec")
+	}
+	if m.MaxStates <= 0 {
+		m.MaxStates = 2_000_000
+	}
+	return &m, nil
+}
+
+// initialState builds the cores and submits the workload.
+func (m *ReplicaModel) initialState() (*rcState, error) {
+	st := &rcState{soup: make(map[string]soupMsg), owns: true}
+	for p := 0; p < m.N; p++ {
+		c, err := live.NewReplicaCore(live.CoreConfig[byte]{
+			Self:      core.ProcessID(p),
+			N:         m.N,
+			Algorithm: m.Algorithm,
+			Msg:       m.Msg,
+			Batch:     ByteBatchCodec{},
+			Mutation:  m.Mutation,
+			MaxBatch:  m.MaxBatch,
+			MaxRound:  m.MaxRound,
+			MaxSlots:  m.Slots,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.cores = append(st.cores, c)
+	}
+	for _, sub := range m.Workload {
+		if int(sub.Replica) >= m.N {
+			return nil, fmt.Errorf("modelcheck: workload replica %d out of range", sub.Replica)
+		}
+		c := st.cores[sub.Replica]
+		res := c.Step(live.Event[byte]{Kind: live.EvSubmit, Client: sub.Client, Seq: sub.Seq, Cmd: sub.Cmd})
+		st.absorb(m.N, sub.Replica, res.Out)
+	}
+	for _, c := range st.cores {
+		st.coreFP = append(st.coreFP, c.AppendFingerprint(nil))
+	}
+	return st, nil
+}
+
+// Explore runs the depth-first closure and checks every transition.
+func (m *ReplicaModel) Explore() (ReplicaResult, error) {
+	var res ReplicaResult
+	start, err := m.initialState()
+	if err != nil {
+		return res, err
+	}
+
+	findings := map[string]*ReplicaFinding{}
+	seen := map[uint64]bool{start.fingerprint(): true}
+	var frontier []*rcState
+
+	// Coverability pruning. The soup is monotone, so a state whose soup
+	// is a superset of an already-enqueued state with the SAME cores and
+	// crash bookkeeping simulates it: the extra messages only add
+	// enabled deliveries, and every safety invariant here is monotone in
+	// the soup (none reads a message's absence — gc-needed-batch does,
+	// but in a monotone soup a broadcast batch stays in flight forever,
+	// so at crashes=0 it is unreachable regardless, and with crashes it
+	// is the stall finding, whose discovery the scripted probes own).
+	// Any violation reachable from the subset state is therefore
+	// reachable from the superset state via the mirrored schedule.
+	// Exploring only soup-maximal states per core configuration
+	// collapses the dominant source of state variety — interleavings
+	// that differ only in which sends have happened yet.
+	msgBit := map[string]uint{}
+	soupBits := func(keys []string) []uint64 {
+		var bs []uint64
+		for _, k := range keys {
+			b, ok := msgBit[k]
+			if !ok {
+				b = uint(len(msgBit))
+				msgBit[k] = b
+			}
+			for uint(len(bs)) <= b/64 {
+				bs = append(bs, 0)
+			}
+			bs[b/64] |= 1 << (b % 64)
+		}
+		return bs
+	}
+	subset := func(a, b []uint64) bool {
+		if len(a) > len(b) {
+			return false
+		}
+		for i, w := range a {
+			if w&^b[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	covered := map[string][][]uint64{}
+	coreKey := func(st *rcState) string {
+		n := 2
+		for _, fp := range st.coreFP {
+			n += len(fp) + 1
+		}
+		b := make([]byte, 0, n)
+		for _, fp := range st.coreFP {
+			b = append(b, fp...)
+			b = append(b, 0xFF)
+		}
+		b = append(b, st.crashed, byte(st.crashes))
+		return string(b)
+	}
+	enqueue := func(st *rcState) {
+		ck := coreKey(st)
+		bs := soupBits(st.keys)
+		for _, old := range covered[ck] {
+			if subset(bs, old) {
+				return
+			}
+		}
+		covered[ck] = append(covered[ck], bs)
+		frontier = append(frontier, st)
+	}
+	enqueue(start)
+	if v := m.check(start, findings); v != nil {
+		res.Violation = v
+		res.States = 1
+		return res, nil
+	}
+
+	// halt stops the exploration: a violation was found, or the state
+	// budget was hit (in which case the run is reported incomplete).
+	halt := false
+	res.Complete = true
+
+	// visit runs the shared bookkeeping for one successor state.
+	visit := func(next *rcState, v *ReplicaViolation) {
+		res.Transitions++
+		if v == nil {
+			v = m.check(next, findings)
+		}
+		if v != nil {
+			res.Violation = v
+			res.Complete = false
+			halt = true
+			return
+		}
+		for _, c := range next.cores {
+			if l, _ := c.LogFingerprint(); l > res.MaxApplied {
+				res.MaxApplied = l
+			}
+		}
+		f := next.fingerprint()
+		if !seen[f] {
+			if len(seen) >= m.MaxStates {
+				res.Complete = false
+				halt = true
+				return
+			}
+			seen[f] = true
+			enqueue(next)
+		}
+	}
+
+	for len(frontier) > 0 && !halt {
+		st := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+
+		// Deliveries: any soup message to any live destination, in
+		// canonical order for determinism.
+		for _, k := range st.keys {
+			msg := st.soup[k]
+			if halt || !st.live(msg.to) {
+				continue
+			}
+			next, v := m.step(st, msg.to, live.Event[byte]{Kind: live.EvEnvelope, Env: msg.env})
+			visit(next, v)
+		}
+
+		for p := 0; p < m.N && !halt; p++ {
+			pid := core.ProcessID(p)
+			if !st.live(pid) {
+				continue
+			}
+			// Round timeouts whenever a round is running (skipped at the
+			// MaxRound bound, where closing is a no-op by construction).
+			if _, r, active := st.cores[p].RoundState(); active && r < m.MaxRound {
+				next, v := m.step(st, pid, live.Event[byte]{Kind: live.EvRoundTimeout})
+				visit(next, v)
+			}
+			if halt {
+				break
+			}
+			// Anti-entropy ticks whenever idle (re-pull or heartbeat).
+			if _, _, active := st.cores[p].RoundState(); !active {
+				next, v := m.step(st, pid, live.Event[byte]{Kind: live.EvTick})
+				visit(next, v)
+			}
+			if halt {
+				break
+			}
+			// Crash-stop, within budget.
+			if st.crashes < m.CrashBudget {
+				next := &rcState{cores: st.cores, coreFP: st.coreFP, soup: st.soup, keys: st.keys,
+					crashed: st.crashed | 1<<uint(p), crashes: st.crashes + 1}
+				visit(next, nil)
+			}
+		}
+	}
+
+	res.States = len(seen)
+	for _, f := range findings {
+		res.Findings = append(res.Findings, *f)
+	}
+	sort.Slice(res.Findings, func(i, j int) bool { return res.Findings[i].Kind < res.Findings[j].Kind })
+	return res, nil
+}
+
+// step forks the state, applies one event to one core, and runs the
+// transition-local checks (apply dedup, commit-index monotonicity).
+func (m *ReplicaModel) step(st *rcState, p core.ProcessID, ev live.Event[byte]) (*rcState, *ReplicaViolation) {
+	pre := st.cores[p]
+	preLen, _ := pre.LogFingerprint()
+	next := st.forkForStep(p)
+	res := next.cores[p].Step(ev)
+	next.coreFP[p] = next.cores[p].AppendFingerprint(nil)
+	next.absorb(m.N, p, res.Out)
+
+	// Double-apply: a Fresh entry must be fresh against the PRE-step
+	// high-water mark, and no (client, seq) may apply fresh twice in one
+	// step. Together with hwm monotonicity this makes fresh-exactly-once
+	// an invariant over whole executions, not just single steps.
+	freshSeen := map[[2]uint64]bool{}
+	for _, ae := range res.Applied {
+		if !ae.Fresh {
+			continue
+		}
+		key := [2]uint64{ae.Entry.Client, ae.Entry.Seq}
+		if pre.SeqApplied(ae.Entry.Client, ae.Entry.Seq) || freshSeen[key] {
+			return next, &ReplicaViolation{Kind: "double-apply", Message: fmt.Sprintf(
+				"replica %d applied client %d seq %d fresh twice", p, ae.Entry.Client, ae.Entry.Seq)}
+		}
+		freshSeen[key] = true
+	}
+	if postLen, _ := next.cores[p].LogFingerprint(); postLen < preLen {
+		return next, &ReplicaViolation{Kind: "commit-regression", Message: fmt.Sprintf(
+			"replica %d commit index regressed %d → %d", p, preLen, postLen)}
+	}
+	return next, nil
+}
+
+// check evaluates the global safety invariants on one state, recording
+// availability findings (which are not violations) on the side.
+func (m *ReplicaModel) check(st *rcState, findings map[string]*ReplicaFinding) *ReplicaViolation {
+	return checkReplicaInvariants(m.N, st.cores, st.live, func(bid int64) bool {
+		for _, msg := range st.soup {
+			if msg.batchID == bid && st.live(msg.to) {
+				return true
+			}
+		}
+		return false
+	}, st.crashes, findings)
+}
+
+// checkReplicaInvariants evaluates the replica-layer safety invariants
+// on one global state — shared by the exhaustive explorer and the
+// scripted probes. isLive reports non-crashed processes, batchInFlight
+// whether some in-flight message still carries a batch's contents to a
+// live destination, and crashes how many crash-stops the execution has
+// spent (they reclassify unavailable decided contents from a GC safety
+// bug to the documented stall finding).
+func checkReplicaInvariants(n int, cores []*live.ReplicaCore[byte], isLive func(core.ProcessID) bool,
+	batchInFlight func(int64) bool, crashes int, findings map[string]*ReplicaFinding) *ReplicaViolation {
+	// Divergence counters: the cores detect conflicting decision
+	// observations themselves; any nonzero count is a split decision.
+	for p, c := range cores {
+		if d := c.Counters().Divergent; d != 0 {
+			return &ReplicaViolation{Kind: "agreement", Message: fmt.Sprintf(
+				"replica %d observed %d divergent decisions", p, d)}
+		}
+	}
+
+	// Agreement + integrity across every decision observation (applied
+	// logs and decided-but-unapplied maps).
+	decisions := map[uint64]int64{}
+	var maxSlot uint64
+	record := func(p int, slot uint64, bid int64) *ReplicaViolation {
+		if prev, ok := decisions[slot]; ok && prev != bid {
+			return &ReplicaViolation{Kind: "agreement", Message: fmt.Sprintf(
+				"slot %d decided as both %d and %d (replica %d)", slot, prev, bid, p)}
+		}
+		decisions[slot] = bid
+		if slot > maxSlot {
+			maxSlot = slot
+		}
+		if bid != 0 {
+			proposer := bid>>40 - 1
+			if proposer < 0 || proposer >= int64(n) ||
+				bid&(1<<40-1) < 1 || bid&(1<<40-1) > cores[proposer].BatchesCreated() {
+				return &ReplicaViolation{Kind: "integrity", Message: fmt.Sprintf(
+					"slot %d decided batch id %d that no replica proposed", slot, bid)}
+			}
+		}
+		return nil
+	}
+	for p, c := range cores {
+		logLen, _ := c.LogFingerprint()
+		for s := uint64(1); s <= logLen; s++ {
+			bid, _ := c.LogAt(s)
+			if v := record(p, s, bid); v != nil {
+				return v
+			}
+		}
+		for s, bid := range c.DecidedUnapplied() {
+			if v := record(p, s, bid); v != nil {
+				return v
+			}
+		}
+	}
+
+	// GC safety / availability: a decided batch some live replica has
+	// yet to apply must be obtainable — held by a live replica or in
+	// flight. Unreachable contents without any crash is a GC bug
+	// (safety); with a crash spent it is the documented dissemination-
+	// window stall (availability finding, not a violation).
+	for slot := uint64(1); slot <= maxSlot; slot++ {
+		bid, ok := decisions[slot]
+		if !ok || bid == 0 {
+			continue
+		}
+		needed := false
+		for p, c := range cores {
+			if logLen, _ := c.LogFingerprint(); isLive(core.ProcessID(p)) && logLen < slot {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
+		available := false
+		for p, c := range cores {
+			if isLive(core.ProcessID(p)) && c.HoldsBatch(bid) {
+				available = true
+				break
+			}
+		}
+		if !available && batchInFlight(bid) {
+			available = true
+		}
+		if !available {
+			if crashes == 0 {
+				return &ReplicaViolation{Kind: "gc-needed-batch", Message: fmt.Sprintf(
+					"slot %d batch %d needed by a live replica but held nowhere", slot, bid)}
+			}
+			f := findings["stall-window"]
+			if f == nil {
+				f = &ReplicaFinding{Kind: "stall-window", Message: fmt.Sprintf(
+					"dissemination-window stall: slot %d batch %d decided, contents lost with its crashed proposer", slot, bid)}
+				findings["stall-window"] = f
+			}
+			f.Count++
+		}
+	}
+	return nil
+}

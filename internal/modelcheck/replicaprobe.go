@@ -1,0 +1,371 @@
+// Scripted adversary probes for the replica checker — the seeded-mutant
+// regression suite. Exhaustive exploration (replica.go) proves the
+// absence of safety violations within its bounds, but the two bugs that
+// review actually caught in internal/live are LIVENESS-shaped or live
+// deep along one adversarial schedule, where blind breadth-first search
+// is the wrong tool: a livelock is not a reachable bad state, and the
+// locked-vote split needs a ~30-event schedule that a state budget
+// drowns in. Each probe therefore drives the real live.ReplicaCore step
+// function through ONE deterministic adversarial schedule — full
+// control over which envelopes deliver, drop, or time out — and runs
+// the same invariant engine over the outcome. Every probe is its own
+// control experiment: the identical schedule runs against the mutated
+// core (the seeded bug re-enabled) and the real core, and the checker
+// must flag the former and pass the latter. A probe that fails its
+// control proves nothing about its mutant.
+//
+// The three probes mirror the three review findings:
+//
+//   - CheckFreshRetry: live.MutFreshRetry restores the pre-review retry
+//     that restarted an undecided slot with a FRESH instance, discarding
+//     LastVoting's locked (x, ts). Schedule: phase 1 decides at the
+//     coordinator alone, the decide and sync messages are lost, the two
+//     survivors starve past the retry budget, then run freely. Real
+//     core: the survivor's ts=1 lock steers phase 2 to the decided
+//     value. Mutant: the restart forgets the lock, phase 2 decides a
+//     different batch — a split decision the invariants flag.
+//   - CheckDrift: live.MutNoJump removes the jump rule (node.go). Two
+//     survivors of a crash run in lockstep one round apart. Real core:
+//     the laggard jumps level on the first future-round message and the
+//     pair decides. Mutant: the leader drops every stale message, no
+//     coordinator ever assembles a quorum, and the pair spins forever —
+//     the drift livelock, reported as a liveness finding.
+//   - CheckStall: no core mutation — the environment escalates beyond
+//     the documented fault envelope (crash-STOP of a proposer inside
+//     the dissemination window, plus total batch loss). The decided
+//     batch's only copy dies with its proposer and the survivors block
+//     pulling forever: the availability stall PR 5 documented, surfaced
+//     as a finding. The control run (no crash) recovers via pulls.
+
+package modelcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heardof/internal/core"
+	"heardof/internal/lastvoting"
+	"heardof/internal/live"
+)
+
+// ProbeResult is the outcome of one scripted probe run.
+type ProbeResult struct {
+	// Violation is a safety violation the invariant engine found.
+	Violation *ReplicaViolation
+	// Findings are non-safety observations (stall, livelock).
+	Findings []ReplicaFinding
+	// Applied is each replica's commit index at the end of the script.
+	Applied []uint64
+}
+
+// Flagged reports whether the probe surfaced anything.
+func (r ProbeResult) Flagged() bool { return r.Violation != nil || len(r.Findings) > 0 }
+
+// scen drives cores through a deterministic schedule. The wire is a
+// FIFO of expanded (single-destination) envelopes; the script decides
+// per message whether it delivers or drops.
+type scen struct {
+	n     int
+	cores []*live.ReplicaCore[byte]
+	wire  []live.Outbound
+	dead  uint8
+}
+
+// newScen builds an n-replica LastVoting group. The probes need the
+// coordinated algorithm: locked votes and coordinator quorums are what
+// the seeded bugs break.
+func newScen(n int, mut live.Mutation, retryAfter core.Round) *scen {
+	s := &scen{n: n}
+	for p := 0; p < n; p++ {
+		c, err := live.NewReplicaCore(live.CoreConfig[byte]{
+			Self:       core.ProcessID(p),
+			N:          n,
+			Algorithm:  lastvoting.Algorithm{},
+			Msg:        lastvoting.WireCodec{},
+			Batch:      ByteBatchCodec{},
+			Mutation:   mut,
+			RetryAfter: retryAfter,
+			MaxRound:   64,
+			MaxSlots:   1,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("modelcheck: probe config: %v", err))
+		}
+		s.cores = append(s.cores, c)
+	}
+	return s
+}
+
+// stepOn feeds one event to a core and queues its output.
+func (s *scen) stepOn(p core.ProcessID, ev live.Event[byte]) {
+	if s.dead&(1<<uint(p)) != 0 {
+		return
+	}
+	res := s.cores[p].Step(ev)
+	for _, o := range res.Out {
+		if o.To == live.AllPeers {
+			for q := 0; q < s.n; q++ {
+				if pid := core.ProcessID(q); pid != p {
+					s.wire = append(s.wire, live.Outbound{To: pid, Env: o.Env})
+				}
+			}
+		} else {
+			s.wire = append(s.wire, o)
+		}
+	}
+}
+
+func (s *scen) submit(p core.ProcessID, client, seq uint64, cmd byte) {
+	s.stepOn(p, live.Event[byte]{Kind: live.EvSubmit, Client: client, Seq: seq, Cmd: cmd})
+}
+func (s *scen) timeout(p core.ProcessID) { s.stepOn(p, live.Event[byte]{Kind: live.EvRoundTimeout}) }
+func (s *scen) tick(p core.ProcessID)    { s.stepOn(p, live.Event[byte]{Kind: live.EvTick}) }
+func (s *scen) crash(p core.ProcessID)   { s.dead |= 1 << uint(p) }
+
+// deliverWhere removes every CURRENTLY queued message matching pred, in
+// order, and delivers each to its destination (messages a delivery
+// emits queue up but are not delivered in this pass). Crashed
+// destinations swallow their messages.
+func (s *scen) deliverWhere(pred func(to core.ProcessID, env live.Envelope) bool) {
+	batch := s.wire
+	s.wire = nil
+	var keep []live.Outbound
+	for _, o := range batch {
+		if pred(o.To, o.Env) {
+			s.stepOn(o.To, live.Event[byte]{Kind: live.EvEnvelope, Env: o.Env})
+		} else {
+			keep = append(keep, o)
+		}
+	}
+	// Preserve FIFO order: unmatched survivors precede newly emitted.
+	s.wire = append(keep, s.wire...)
+}
+
+// dropWhere removes matching queued messages without delivering them.
+func (s *scen) dropWhere(pred func(to core.ProcessID, env live.Envelope) bool) {
+	keep := s.wire[:0]
+	for _, o := range s.wire {
+		if !pred(o.To, o.Env) {
+			keep = append(keep, o)
+		}
+	}
+	s.wire = keep
+}
+
+// Common predicates.
+func anyMsg(core.ProcessID, live.Envelope) bool { return true }
+func kindIs(k live.Kind) func(core.ProcessID, live.Envelope) bool {
+	return func(_ core.ProcessID, env live.Envelope) bool { return env.Kind == k }
+}
+func roundTo(p core.ProcessID) func(core.ProcessID, live.Envelope) bool {
+	return func(to core.ProcessID, env live.Envelope) bool {
+		return env.Kind == live.KindRound && to == p
+	}
+}
+func roundAt(r core.Round) func(core.ProcessID, live.Envelope) bool {
+	return func(_ core.ProcessID, env live.Envelope) bool {
+		return env.Kind == live.KindRound && env.Round == r
+	}
+}
+func roundAtTo(r core.Round, p core.ProcessID) func(core.ProcessID, live.Envelope) bool {
+	return func(to core.ProcessID, env live.Envelope) bool {
+		return env.Kind == live.KindRound && env.Round == r && to == p
+	}
+}
+
+// finish runs the invariant engine over the script's end state.
+func (s *scen) finish() ProbeResult {
+	findings := map[string]*ReplicaFinding{}
+	isLive := func(p core.ProcessID) bool { return s.dead&(1<<uint(p)) == 0 }
+	inFlight := func(bid int64) bool {
+		for _, o := range s.wire {
+			if o.Env.Kind != live.KindBatch || !isLive(o.To) {
+				continue
+			}
+			if v, n := binary.Varint(o.Env.Payload); n > 0 && v == bid {
+				return true
+			}
+		}
+		return false
+	}
+	crashes := 0
+	for p := 0; p < s.n; p++ {
+		if !isLive(core.ProcessID(p)) {
+			crashes++
+		}
+	}
+	res := ProbeResult{
+		Violation: checkReplicaInvariants(s.n, s.cores, isLive, inFlight, crashes, findings),
+	}
+	for _, f := range findings {
+		res.Findings = append(res.Findings, *f)
+	}
+	for _, c := range s.cores {
+		logLen, _ := c.LogFingerprint()
+		res.Applied = append(res.Applied, logLen)
+	}
+	return res
+}
+
+// CheckFreshRetry runs the locked-vote-discard schedule. With mutated
+// (live.MutFreshRetry) the result must contain an agreement violation;
+// without, it must be clean with every replica applying the same batch.
+func CheckFreshRetry(mutated bool) ProbeResult {
+	var mut live.Mutation
+	if mutated {
+		mut = live.MutFreshRetry
+	}
+	// RetryAfter 10: long enough that a full retry phase (rounds 5–8,
+	// coordinator p1) can complete before the next restart, short enough
+	// that the starvation stage below triggers it.
+	s := newScen(3, mut, 10)
+
+	// Workload: p0 proposes batch A = (1<<40)|1, p2 batch B = (3<<40)|1.
+	// B > A, so adopt-newest-offered prefers B — the bait the mutant
+	// takes after forgetting its lock on A.
+	s.submit(0, 1, 1, 'a')
+	s.submit(2, 3, 1, 'c')
+
+	// Dissemination: contents of A and B reach p1 (it must be able to
+	// adopt B and to apply A); A reaches p2; B never reaches p0.
+	s.deliverWhere(kindIs(live.KindBatch))
+
+	// Phase 1 (rounds 1–4, coordinator p0), driven to a decision at p0
+	// ALONE. Round 1: the survivors' estimates reach p0 — all ts are 0,
+	// so p0 votes its own batch A.
+	s.deliverWhere(roundTo(0))
+	s.dropWhere(roundAt(1))
+	// Round 2: the vote reaches p1 only; p2 stays in the dark.
+	s.deliverWhere(roundAtTo(2, 1))
+	s.dropWhere(roundAt(2))
+	s.timeout(0) // p0 adopts its own vote: x=A ts=1, acks
+	s.timeout(1) // p1 adopts the vote: x=A ts=1 — THE LOCK — and acks
+	// Round 3: p1's ack reaches p0; a self-ack plus it is a majority.
+	s.deliverWhere(roundAtTo(3, 0))
+	s.dropWhere(roundAt(3))
+	s.timeout(0) // p0 ready, sends ⟨decide A⟩
+	// Round 4: both decide messages are LOST; p0 decides alone, applies
+	// A, and its eager decision push is lost too.
+	s.dropWhere(roundAt(4))
+	s.timeout(0)
+	s.dropWhere(kindIs(live.KindSync))
+
+	// Starvation: p1 and p2 time out through dead phases (their round
+	// messages all lost). The real cores just climb rounds, keeping
+	// their state; mutated cores hit RetryAfter and restart with FRESH
+	// instances — p1 forgets ts=1 and re-proposes the newest offered
+	// batch (B), p2 re-proposes a new batch entirely.
+	for i := 0; i < 12; i++ {
+		s.timeout(1)
+		s.timeout(2)
+		s.dropWhere(anyMsg)
+	}
+
+	// Free run: p1 and p2 exchange round traffic in lockstep (p0 stays
+	// silent — it is done; everything to or from it is dropped). The
+	// real pair completes a p1-coordinated phase with p1's ts=1 lock
+	// steering the vote back to A: agreement holds. The mutated pair,
+	// locks forgotten, decides B — splitting from p0's applied A.
+	for i := 0; i < 60; i++ {
+		s.deliverWhere(func(to core.ProcessID, env live.Envelope) bool {
+			return env.Kind == live.KindRound && to != 0 && env.From != 0
+		})
+		s.timeout(1)
+		s.timeout(2)
+		s.dropWhere(func(to core.ProcessID, env live.Envelope) bool {
+			return env.Kind != live.KindRound || to == 0 || env.From == 0
+		})
+	}
+	return s.finish()
+}
+
+// CheckDrift runs the round-drift schedule against a two-survivor
+// group. With mutated (live.MutNoJump) neither survivor ever decides —
+// reported as a drift-livelock finding; without, the jump rule realigns
+// the pair and both decide and apply.
+func CheckDrift(mutated bool) ProbeResult {
+	var mut live.Mutation
+	if mutated {
+		mut = live.MutNoJump
+	}
+	s := newScen(3, mut, 0)
+	s.crash(2)
+
+	s.submit(0, 1, 1, 'a')
+	// p1 adopts batch A and starts; everything else in flight is lost.
+	s.deliverWhere(kindIs(live.KindBatch))
+	s.dropWhere(anyMsg)
+	// Establish the drift: p0 times out once on its own, moving one
+	// round ahead of p1.
+	s.timeout(0)
+
+	// Lockstep: every round message delivers, then each survivor times
+	// out once. With the jump rule p1 levels up on p0's future-round
+	// message immediately and a p1-coordinated phase decides. Without
+	// it, p0 is perpetually one round ahead and drops p1's traffic as
+	// stale — no coordinator ever hears a quorum.
+	const iters = 40
+	for i := 0; i < iters; i++ {
+		s.deliverWhere(kindIs(live.KindRound))
+		s.timeout(0)
+		s.timeout(1)
+		s.dropWhere(func(_ core.ProcessID, env live.Envelope) bool {
+			return env.Kind != live.KindRound
+		})
+	}
+
+	res := s.finish()
+	if res.Violation == nil && res.Applied[0] == 0 && res.Applied[1] == 0 {
+		rounds := s.cores[0].Counters().Rounds + s.cores[1].Counters().Rounds
+		res.Findings = append(res.Findings, ReplicaFinding{
+			Kind: "drift-livelock",
+			Message: fmt.Sprintf(
+				"no decision after %d lockstep timeout rounds (%d rounds executed) with a live majority",
+				iters, rounds),
+			Count: 1,
+		})
+	}
+	return res
+}
+
+// CheckStall runs the dissemination-window schedule: batch contents
+// never leave the proposer, the batch ID decides everywhere anyway, and
+// then the proposer crash-stops. With crash=true the invariant engine
+// reports the stall finding (availability lost, agreement intact); with
+// crash=false the control run recovers by pulling the batch.
+func CheckStall(crash bool) ProbeResult {
+	s := newScen(3, 0, 0)
+	s.submit(0, 1, 1, 'a')
+	// THE WINDOW: batch A's contents never reach anyone.
+	s.dropWhere(kindIs(live.KindBatch))
+
+	// Phase 1 runs to a decision at all three replicas — agreement needs
+	// only the batch ID, not its contents.
+	s.deliverWhere(kindIs(live.KindRound)) // p0's estimates poke p1, p2 awake
+	s.deliverWhere(kindIs(live.KindRound)) // estimates reach p0: vote = A
+	s.deliverWhere(kindIs(live.KindRound)) // the vote reaches p1, p2
+	s.timeout(1)
+	s.timeout(2)                           // both adopt and ack
+	s.deliverWhere(kindIs(live.KindRound)) // acks reach p0: ready, sends decide
+	s.deliverWhere(kindIs(live.KindRound)) // decides reach p1, p2
+	s.timeout(1)
+	s.timeout(2) // both DECIDE slot 1 = A, block pulling its contents
+	s.timeout(0) // p0 decides, applies its own batch
+	s.dropWhere(anyMsg)
+
+	if crash {
+		// Crash-stop the only holder inside the window. The survivors'
+		// re-pulls can never be answered: the stall.
+		s.crash(0)
+		s.tick(1)
+		s.tick(2)
+		s.deliverWhere(anyMsg) // pulls die with p0
+	} else {
+		// Control: the proposer lives; pulls recover the contents.
+		s.tick(1)
+		s.tick(2)
+		s.deliverWhere(kindIs(live.KindBatchPull))
+		s.deliverWhere(kindIs(live.KindBatch))
+	}
+	return s.finish()
+}

@@ -14,6 +14,8 @@
 package otr
 
 import (
+	"encoding/binary"
+
 	"heardof/internal/core"
 	"heardof/internal/quorum"
 )
@@ -141,4 +143,16 @@ func (i *Instance) Restore(s core.Snapshot) {
 		return
 	}
 	i.x, i.decided, i.decision = sn.x, sn.decided, sn.decision
+}
+
+// AppendState appends a canonical byte encoding of the instance state,
+// for model-checker fingerprinting (a fast path avoiding reflection).
+func (i *Instance) AppendState(dst []byte) []byte {
+	dst = binary.AppendVarint(dst, int64(i.x))
+	if i.decided {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return binary.AppendVarint(dst, int64(i.decision))
 }
