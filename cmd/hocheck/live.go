@@ -21,6 +21,7 @@ type liveFlags struct {
 	slots    uint64
 	rounds   int
 	crash    int
+	recover  int
 	states   int
 	maxBatch int
 	alg      string
@@ -45,12 +46,13 @@ func runLive(f liveFlags) error {
 // runExplore model-checks the unmutated protocol at the flag scope.
 func runExplore(f liveFlags) error {
 	m := modelcheck.ReplicaModel{
-		N:           f.n,
-		Slots:       f.slots,
-		MaxRound:    core.Round(f.rounds),
-		CrashBudget: f.crash,
-		MaxStates:   f.states,
-		MaxBatch:    f.maxBatch,
+		N:              f.n,
+		Slots:          f.slots,
+		MaxRound:       core.Round(f.rounds),
+		CrashBudget:    f.crash,
+		RecoveryBudget: f.recover,
+		MaxStates:      f.states,
+		MaxBatch:       f.maxBatch,
 	}
 	switch f.alg {
 	case "otr":
@@ -73,8 +75,8 @@ func runExplore(f liveFlags) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("model: live replica protocol, alg=%s n=%d slots=%d rounds=%d crash=%d\n",
-		f.alg, f.n, f.slots, f.rounds, f.crash)
+	fmt.Printf("model: live replica protocol, alg=%s n=%d slots=%d rounds=%d crash=%d recover=%d\n",
+		f.alg, f.n, f.slots, f.rounds, f.crash, f.recover)
 	res, err := model.Explore()
 	if err != nil {
 		return err
@@ -131,6 +133,14 @@ var mutantProbes = []mutantProbe{
 		},
 		desc: "proposer crash inside the dissemination window strands a decided batch",
 	},
+	{
+		name: "forget-vote",
+		run:  modelcheck.CheckForgetVote,
+		killed: func(r modelcheck.ProbeResult) bool {
+			return r.Violation != nil && r.Violation.Kind == "agreement"
+		},
+		desc: "crash recovery discarding the persisted locked vote (split decision)",
+	},
 }
 
 func hasFinding(r modelcheck.ProbeResult, kind string) bool {
@@ -153,7 +163,7 @@ func runMutants(f liveFlags) error {
 		}
 	}
 	if len(selected) == 0 {
-		return fmt.Errorf("unknown -mutant %q (want locked-vote, drift-livelock, stall-window, or all)", f.mutant)
+		return fmt.Errorf("unknown -mutant %q (want locked-vote, drift-livelock, stall-window, forget-vote, or all)", f.mutant)
 	}
 	survived := 0
 	for _, p := range selected {

@@ -45,6 +45,7 @@ func run() error {
 	flag.Uint64Var(&lf.slots, "slots", 2, "live: consensus slots to drive (one submission each)")
 	flag.IntVar(&lf.rounds, "rounds", 2, "live: per-slot round bound (OTR decides at 2, LastVoting needs 5)")
 	flag.IntVar(&lf.crash, "crash", 1, "live: crash-stop budget")
+	flag.IntVar(&lf.recover, "recover", 0, "live: crash-recovery budget (reboot a replica from its write-ahead state)")
 	flag.IntVar(&lf.states, "states", 150_000, "live: state budget (0 = the 2M default)")
 	flag.IntVar(&lf.maxBatch, "maxbatch", 1, "live: max entries per batch (0 = core default)")
 	flag.StringVar(&lf.alg, "alg", "otr", "live: consensus algorithm (otr or lastvoting)")

@@ -28,6 +28,14 @@
 //
 // Fault injection (-loss, -delay, for chaos drills) applies at the
 // transport layer of THIS process only — the algorithms are never told.
+//
+// Durability: -data-dir makes the process durable — every group keeps a
+// write-ahead log and periodic snapshots there, and a process killed
+// with SIGKILL mid-load recovers its decision logs, state machines, and
+// client sessions by restarting with the same directory. SIGTERM/SIGINT
+// additionally snapshot-then-exit so the next start replays nothing.
+// With -local the directory is a deployment root holding one
+// subdirectory per in-process node.
 package main
 
 import (
@@ -74,6 +82,9 @@ func run() error {
 		loss      = flag.Float64("loss", 0, "injected iid message loss probability in [0, 1)")
 		delay     = flag.Duration("delay", 0, "injected max message delay (uniform in [0, delay])")
 		seed      = flag.Uint64("seed", 1, "fault-injection seed")
+		dataDir   = flag.String("data-dir", "", "write-ahead log + snapshot directory; empty = volatile node (kill -9 with the same -data-dir recovers the full state)")
+		snapEvery = flag.Int("snapevery", 0, "snapshot cadence in applied slots per group (0 = default, negative = never)")
+		noFsync   = flag.Bool("nofsync", false, "skip per-commit fsync (durable against process crashes only)")
 	)
 	flag.Parse()
 
@@ -81,10 +92,13 @@ func run() error {
 		return fmt.Errorf("loss %v outside [0, 1)", *loss)
 	}
 	cfg := livekv.Config{
-		Groups:       *groups,
-		RoundTimeout: *timeout,
-		MaxBatch:     *batch,
-		OpTimeout:    *opTimeout,
+		Groups:        *groups,
+		RoundTimeout:  *timeout,
+		MaxBatch:      *batch,
+		OpTimeout:     *opTimeout,
+		DataDir:       *dataDir,
+		NoFsync:       *noFsync,
+		SnapshotEvery: *snapEvery,
 	}
 	switch *alg {
 	case "lastvoting":
@@ -150,8 +164,12 @@ func run() error {
 		nd.Start()
 		serve = []*livekv.Node{nd}
 		cleanup = func() { nd.Close() }
-		fmt.Fprintf(os.Stderr, "hoserve: node %d of %d at %s, %d group(s), %s over TCP, loss=%g\n",
-			*id, len(addrs), addrs[*id], *groups, *alg, *loss)
+		durability := "volatile"
+		if *dataDir != "" {
+			durability = "data-dir " + *dataDir
+		}
+		fmt.Fprintf(os.Stderr, "hoserve: node %d of %d at %s, %d group(s), %s over TCP, loss=%g, %s\n",
+			*id, len(addrs), addrs[*id], *groups, *alg, *loss, durability)
 	default:
 		return errors.New("pick a deployment: -local N, or -id I -nodes a,b,c")
 	}
@@ -231,6 +249,15 @@ func run() error {
 		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
+		// Graceful exit on a durable node: snapshot every group and
+		// truncate the logs, so the next start replays nothing. (A
+		// kill -9 skips this and recovers via log replay instead —
+		// same state, slower start.)
+		for _, nd := range serve {
+			if err := nd.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "hoserve: shutdown checkpoint: %v\n", err)
+			}
+		}
 		return nil
 	}
 }

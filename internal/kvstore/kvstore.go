@@ -14,6 +14,8 @@
 package kvstore
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -60,6 +62,12 @@ func (c Command) String() string {
 type StateMachine struct {
 	data map[string]string
 	log  []Command
+	// restored counts commands applied before the snapshot this machine
+	// was restored from; Len reports restored + len(log) so the applied
+	// count survives restarts even though the command log itself is not
+	// part of the snapshot (the replication layer's durable decision log
+	// already owns that history).
+	restored int
 }
 
 // NewStateMachine returns an empty state machine.
@@ -84,8 +92,74 @@ func (sm *StateMachine) Get(key string) (string, bool) {
 	return v, ok
 }
 
-// Len returns the number of applied commands.
-func (sm *StateMachine) Len() int { return len(sm.log) }
+// Len returns the number of applied commands, including those applied
+// before a snapshot this machine was restored from.
+func (sm *StateMachine) Len() int { return sm.restored + len(sm.log) }
+
+// AppendSnapshot appends a deterministic encoding of the durable state
+// — the applied-command count and the key-value map, sorted — to dst.
+// The command log is deliberately excluded: it exists for tests and
+// debugging, and the replication layer's decision log is the durable
+// history.
+func (sm *StateMachine) AppendSnapshot(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(sm.Len()))
+	keys := make([]string, 0, len(sm.data))
+	for k := range sm.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		v := sm.data[k]
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// RestoreSnapshot replaces the machine's state with a snapshot produced
+// by AppendSnapshot. An empty input restores the empty machine.
+func (sm *StateMachine) RestoreSnapshot(b []byte) error {
+	if len(b) == 0 {
+		sm.data, sm.log, sm.restored = make(map[string]string), nil, 0
+		return nil
+	}
+	applied, n := binary.Uvarint(b)
+	if n <= 0 {
+		return errors.New("kvstore: corrupt snapshot: applied count")
+	}
+	b = b[n:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return errors.New("kvstore: corrupt snapshot: key count")
+	}
+	b = b[n:]
+	data := make(map[string]string, count)
+	take := func() (string, bool) {
+		l, n := binary.Uvarint(b)
+		if n <= 0 || uint64(len(b)-n) < l {
+			return "", false
+		}
+		s := string(b[n : n+int(l)])
+		b = b[n+int(l):]
+		return s, true
+	}
+	for i := uint64(0); i < count; i++ {
+		k, ok1 := take()
+		v, ok2 := take()
+		if !ok1 || !ok2 {
+			return errors.New("kvstore: corrupt snapshot: entry")
+		}
+		data[k] = v
+	}
+	if len(b) != 0 {
+		return errors.New("kvstore: corrupt snapshot: trailing bytes")
+	}
+	sm.data, sm.log, sm.restored = data, nil, int(applied)
+	return nil
+}
 
 // Fingerprint summarizes the state deterministically, for convergence
 // checks across replicas.

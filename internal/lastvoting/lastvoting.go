@@ -17,6 +17,7 @@ package lastvoting
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"heardof/internal/core"
 	"heardof/internal/quorum"
@@ -236,4 +237,45 @@ func (i *Instance) AppendState(dst []byte) []byte {
 	}
 	dst = append(dst, flags)
 	return binary.AppendVarint(dst, int64(i.decision))
+}
+
+// RestoreState loads an instance from its AppendState encoding for
+// crash recovery, keeping exactly what the paper's crash-recovery
+// variant keeps in stable storage: the locked vote (x_p, ts_p) and the
+// decision. The coordinator phase bookkeeping (commit, vote, ready,
+// ackable) is volatile ROUND state and is deliberately reset — a
+// recovered coordinator that rejoined mid-phase with a stale commit
+// would replay a vote formed from an older phase's estimates, and a
+// stale ackable would acknowledge an adoption that never happened at
+// the current phase; either breaks the majority-lock argument.
+func (i *Instance) RestoreState(b []byte) error {
+	x, n1 := binary.Varint(b)
+	if n1 <= 0 {
+		return errors.New("lastvoting: corrupt state: x")
+	}
+	b = b[n1:]
+	ts, n2 := binary.Varint(b)
+	if n2 <= 0 {
+		return errors.New("lastvoting: corrupt state: ts")
+	}
+	b = b[n2:]
+	vote, n3 := binary.Varint(b)
+	if n3 <= 0 {
+		return errors.New("lastvoting: corrupt state: vote")
+	}
+	b = b[n3:]
+	if len(b) == 0 {
+		return errors.New("lastvoting: corrupt state: flags")
+	}
+	flags := b[0]
+	decision, n4 := binary.Varint(b[1:])
+	if n4 <= 0 || flags > 15 || len(b) != 1+n4 {
+		return errors.New("lastvoting: corrupt state: decision")
+	}
+	_ = vote
+	i.x, i.ts = core.Value(x), core.Round(ts)
+	i.vote, i.commit, i.ready, i.ackable = 0, false, false, false
+	i.decided = flags&8 != 0
+	i.decision = core.Value(decision)
+	return nil
 }

@@ -209,3 +209,53 @@ func TestSnapshotRestore(t *testing.T) {
 		t.Error("garbage restore clobbered state")
 	}
 }
+
+func TestRestoreStateKeepsStableDropsPhase(t *testing.T) {
+	// Build a coordinator mid-phase: committed vote, adopted estimate.
+	inst := Algorithm{}.NewInstance(0, 3, 5).(*Instance)
+	inst.Transition(1, []core.IncomingMessage{
+		{From: 0, Payload: estimateMsg{X: 5, TS: 0}},
+		{From: 1, Payload: estimateMsg{X: 7, TS: 2}},
+	})
+	inst.Transition(2, []core.IncomingMessage{
+		{From: 0, Payload: voteMsg{V: 7}},
+	})
+	if !inst.commit || !inst.ackable || inst.ts != 1 {
+		t.Fatalf("setup: commit=%v ackable=%v ts=%d", inst.commit, inst.ackable, inst.ts)
+	}
+
+	rec := Algorithm{}.NewInstance(0, 3, 0).(*Instance)
+	if err := rec.RestoreState(inst.AppendState(nil)); err != nil {
+		t.Fatal(err)
+	}
+	// Stable storage: the locked vote (x, ts) survives the crash.
+	if rec.x != 7 || rec.ts != 1 {
+		t.Errorf("locked vote lost: x=%d ts=%d, want 7/1", rec.x, rec.ts)
+	}
+	// Phase bookkeeping is volatile: a recovered coordinator must not
+	// replay a pre-crash vote or ack a pre-crash adoption.
+	if rec.commit || rec.ready || rec.ackable || rec.vote != 0 {
+		t.Errorf("phase flags survived recovery: commit=%v ready=%v ackable=%v vote=%d",
+			rec.commit, rec.ready, rec.ackable, rec.vote)
+	}
+	if rec.decided {
+		t.Error("undecided instance recovered as decided")
+	}
+
+	// A decided instance keeps its decision.
+	inst.Transition(4, []core.IncomingMessage{{From: 0, Payload: decideMsg{V: 7}}})
+	rec2 := Algorithm{}.NewInstance(0, 3, 0).(*Instance)
+	if err := rec2.RestoreState(inst.AppendState(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := rec2.Decided(); !ok || v != 7 {
+		t.Errorf("decision lost: (%d, %v)", v, ok)
+	}
+
+	// Corrupt encodings are rejected, not silently applied.
+	for _, b := range [][]byte{nil, {0x80}, inst.AppendState(nil)[:3], append(inst.AppendState(nil), 9)} {
+		if err := rec2.RestoreState(b); err == nil {
+			t.Errorf("RestoreState(%x) accepted corrupt state", b)
+		}
+	}
+}

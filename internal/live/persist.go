@@ -1,0 +1,245 @@
+// The durability seam between ReplicaCore and internal/wal: the
+// Persister interface the core notifies of every protocol fact that
+// must survive a crash, and the recovery path that rebuilds a core
+// from a recovered wal.State.
+//
+// Write-ahead discipline, enforced by the shell: every Save* a core
+// step issues is made durable by one Persister.Sync() BEFORE any
+// envelope of that step is transmitted or any submitter acknowledged.
+// Since all externally visible behavior flows through envelopes and
+// acks, no peer or client can ever have observed state the log does
+// not hold — which is exactly the paper's crash-RECOVERY model (the
+// stable-storage variables survive, the volatile round position does
+// not). Quorum-durable dissemination is a corollary: propose() saves a
+// batch body in the same step that first broadcasts its id, so by the
+// time any replica can vote for the id, the contents are on the
+// proposer's disk and a recovered proposer still serves batch pulls —
+// closing the PR-5 stall window for crash-RECOVERY faults.
+//
+// What is persisted (and when):
+//
+//	SaveBatch     propose() and handleBatch(): batch contents at first sight
+//	SaveVote      transitionRound(): instance state (the locked vote) after
+//	              every undecided transition
+//	SaveDecision  recordDecision(): a slot's decided batch id
+//	SaveApplied   applySlot(): the applied slot and its fresh (client,seq)
+//	              advancements
+//
+// What is NOT: pending submissions (unacknowledged — clients retry),
+// peer commit-index observations (re-learned from traffic), and the
+// round position (volatile by the paper's model; recovery restarts the
+// slot's instance at round 1 with the restored vote and the jump rule
+// re-aligns it with the group).
+
+package live
+
+import (
+	"fmt"
+
+	"heardof/internal/wal"
+)
+
+// Persister receives the core's durable protocol facts. wal.Store is
+// the disk implementation; nil (in CoreConfig/ReplicaConfig) means
+// volatile operation — the default, keeping every in-memory test and
+// the model checker byte-identical to a persister-free build.
+//
+// Save* calls buffer; Sync makes everything buffered durable. The
+// byte slices passed to SaveBatch/SaveVote are not retained.
+type Persister interface {
+	SaveBatch(bid int64, contents []byte)
+	SaveVote(slot uint64, state []byte)
+	SaveDecision(slot uint64, bid int64)
+	SaveApplied(slot uint64, bid int64, fresh []wal.ClientSeq)
+	Sync() error
+	Snapshot(st *wal.State) error
+}
+
+var _ Persister = (*wal.Store)(nil)
+
+// statePersistent marks algorithm instances whose state can round-trip
+// through the durability layer (otr and lastvoting qualify).
+type statePersistent interface {
+	stateAppender
+	RestoreState(b []byte) error
+}
+
+// RestoreReplicaCore rebuilds a core from recovered durable state — the
+// crash-RECOVERY transition. Everything stable returns: the applied
+// log (and its hash, recomputed), session high-water marks, retained
+// batches, decided-but-unapplied slots, the batch counter (so new
+// batch ids never collide with durable pre-crash ones), and the newest
+// vote state, which is re-installed into the slot's fresh instance
+// when consensus for it restarts. Everything volatile is gone: pending
+// submissions, peer observations, and the round position.
+//
+// MutForgetVote (model checker only) drops the restored vote — the
+// seeded recovery bug that lets a second attempt contradict a decision
+// the first attempt's quorum already fixed.
+func RestoreReplicaCore[C any](cfg CoreConfig[C], st *wal.State) (*ReplicaCore[C], error) {
+	c, err := NewReplicaCore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return c, nil
+	}
+	const fnvPrime = 1099511628211
+	for i, bid := range st.Log {
+		c.log = append(c.log, bid)
+		c.logHash = (c.logHash ^ uint64(i+1)) * fnvPrime
+		c.logHash = (c.logHash ^ uint64(bid)) * fnvPrime
+	}
+	for client, seq := range st.HWM {
+		c.hwm[client] = seq
+		c.maxSeen[client] = seq
+	}
+	c.stats.Committed = st.Committed
+	for bid, enc := range st.Batches {
+		if bid == 0 {
+			return nil, fmt.Errorf("live: recovered state holds the no-op batch id")
+		}
+		entries, err := c.cfg.Batch.DecodeEntries(enc)
+		if err != nil {
+			return nil, fmt.Errorf("live: recovered batch %#x: %w", bid, err)
+		}
+		c.batches[bid] = entries
+		// Own durable batches bound the sequence numbers this replica has
+		// already packed: never hand a client a seq below them, or a
+		// pre-crash batch deciding later would swallow the new command.
+		for _, e := range entries {
+			if e.Seq > c.maxSeen[e.Client] {
+				c.maxSeen[e.Client] = e.Seq
+			}
+		}
+	}
+	for bid := range c.batches {
+		if !c.batchApplied(bid) {
+			// Re-offer every unapplied recovered batch — including our own:
+			// their pending-queue provenance is volatile and gone, so
+			// adoption is how their commands get committed without a client
+			// retry.
+			c.offered[bid] = struct{}{}
+		}
+	}
+	for _, bid := range c.log {
+		if bid != 0 {
+			if _, held := c.batches[bid]; held {
+				c.inLog[bid] = true
+			}
+		}
+	}
+	c.batchSeq = st.BatchSeq
+	const seqMask = (int64(1) << 40) - 1
+	for bid := range c.batches {
+		if bid>>40 == int64(c.cfg.Self)+1 && bid&seqMask > c.batchSeq {
+			c.batchSeq = bid & seqMask
+		}
+	}
+	for slot, bid := range st.Decided {
+		if slot > uint64(len(c.log)) {
+			c.decided[slot] = bid
+		}
+	}
+	next := uint64(len(c.log)) + 1
+	switch {
+	case st.VoteSlot > next:
+		return nil, fmt.Errorf("live: recovered vote for slot %d beyond next slot %d", st.VoteSlot, next)
+	case st.VoteSlot == next && len(st.Vote) > 0 && cfg.Mutation&MutForgetVote == 0:
+		// Validate the encoding now (startSlot cannot return an error).
+		probe := c.cfg.Algorithm.NewInstance(c.cfg.Self, c.cfg.N, 0)
+		sp, ok := probe.(statePersistent)
+		if !ok {
+			return nil, fmt.Errorf("live: algorithm %T cannot restore persisted votes", probe)
+		}
+		if err := sp.RestoreState(st.Vote); err != nil {
+			return nil, fmt.Errorf("live: recovered vote: %w", err)
+		}
+		c.restoredVote = append([]byte(nil), st.Vote...)
+		c.restoredVoteSlot = st.VoteSlot
+		// The slot was mid-consensus: restart it even with nothing else
+		// queued, so the locked vote re-enters the group's next attempt.
+		c.poked = true
+	}
+	return c, nil
+}
+
+// PersistState projects the core's durable state — what a Persister
+// that saw every Save* since birth would recover. Used for snapshots
+// (with the shell adding the application state) and as the model
+// checker's crash-recovery image. The application fields (AppSlots,
+// AppState, Tail) are the shell's to fill.
+func (c *ReplicaCore[C]) PersistState() *wal.State {
+	st := &wal.State{
+		Log:       append([]int64(nil), c.log...),
+		Committed: c.stats.Committed,
+		HWM:       make(map[uint64]uint64, len(c.hwm)),
+		BatchSeq:  c.batchSeq,
+		Batches:   make(map[int64][]byte, len(c.batches)),
+		Decided:   make(map[uint64]int64, len(c.decided)),
+	}
+	for client, seq := range c.hwm {
+		st.HWM[client] = seq
+	}
+	for bid, entries := range c.batches {
+		st.Batches[bid] = c.cfg.Batch.AppendEntries(nil, entries)
+	}
+	for slot, bid := range c.decided {
+		st.Decided[slot] = bid
+	}
+	if c.cur != nil {
+		if sa, ok := c.cur.inst.(stateAppender); ok {
+			st.VoteSlot, st.Vote = c.cur.slot, sa.AppendState(nil)
+		}
+	} else if c.restoredVoteSlot > uint64(len(c.log)) {
+		st.VoteSlot = c.restoredVoteSlot
+		st.Vote = append([]byte(nil), c.restoredVote...)
+	}
+	return st
+}
+
+// Recover returns the replica this core would restart as after a
+// crash: its durable state reloaded, its volatile state lost. Because
+// it is literally PersistState piped through RestoreReplicaCore, the
+// model checker's crash-RECOVERY transition explores the same recovery
+// code the production shell runs from disk.
+func (c *ReplicaCore[C]) Recover() *ReplicaCore[C] {
+	d, err := RestoreReplicaCore(c.cfg, c.PersistState())
+	if err != nil {
+		panic(fmt.Sprintf("live: self-recovery failed: %v", err))
+	}
+	return d
+}
+
+// EntriesOf returns a retained batch's entries (the shell's recovery
+// path re-applies the log tail through them). The slice is shared;
+// callers must not mutate it.
+func (c *ReplicaCore[C]) EntriesOf(bid int64) ([]Entry[C], bool) {
+	entries, ok := c.batches[bid]
+	return entries, ok
+}
+
+// persistVote saves the running instance's state after a transition.
+func (c *ReplicaCore[C]) persistVote() {
+	if c.cfg.Persist == nil || c.cur == nil {
+		return
+	}
+	if sa, ok := c.cur.inst.(stateAppender); ok {
+		c.cfg.Persist.SaveVote(c.cur.slot, sa.AppendState(nil))
+	}
+}
+
+// persistFresh extracts the fresh (client,seq) advancements of a
+// step's applied entries, nil when no persister is configured.
+func (c *ReplicaCore[C]) persistFresh(applied []AppliedEntry[C], from int) []wal.ClientSeq {
+	if c.cfg.Persist == nil {
+		return nil
+	}
+	var fresh []wal.ClientSeq
+	for _, ae := range applied[from:] {
+		if ae.Fresh {
+			fresh = append(fresh, wal.ClientSeq{Client: ae.Entry.Client, Seq: ae.Entry.Seq})
+		}
+	}
+	return fresh
+}

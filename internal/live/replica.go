@@ -39,26 +39,35 @@
 // waiters. Time, goroutines, and channels stop at this boundary.
 //
 // Fault envelope: transmission faults of any rate and crash-RECOVERY
-// (pause/rejoin — the paper's model, where {r_p, s_p} survive) are
-// fully handled. Permanent crash-STOP of a proposer in the window
-// after its batch id was decided but before its contents reached any
-// other replica loses the only copy of those contents, and apply for
+// are fully handled — with a Persister configured, kill -9 included:
+// the wal package is the paper's stable storage, the sync-before-send
+// barrier in dispatch makes every externally visible fact durable
+// first, and a restarted replica reloads snapshot+log (locked votes,
+// decisions, dedup high-water marks, batch contents) and rejoins via
+// the ordinary sync path. The PR-5 dissemination-window stall is
+// closed for that model: a proposer's batch body is on its own disk
+// before the id is proposed, so a recovered proposer always serves the
+// pull (the model checker's CheckStallRecovery probe proves it).
+// Permanent crash-STOP of a proposer — machine gone, disk gone — in
+// the window after its batch id was decided but before its contents
+// reached any other replica still loses the only copy, and apply for
 // that slot waits (pulling) until a holder returns — the same way any
-// log-based system stalls on losing committed-but-unreplicated data.
-// Closing that window (quorum-acked dissemination before proposing, or
-// carrying contents in the consensus payload) is an open ROADMAP item;
-// the model checker reproduces the stall as a scripted availability
-// probe (CheckStall) so the limitation stays documented and tested.
+// log-based system stalls on losing committed-but-unreplicated data;
+// the CheckStall probe keeps that residual limitation documented and
+// tested. Volatile (Persister-less) replicas keep the pre-durability
+// envelope: pause/rejoin recovers, restart is data loss.
 
 package live
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"heardof/internal/core"
+	"heardof/internal/wal"
 )
 
 // Entry is one replicated command with its client-session identity.
@@ -145,6 +154,24 @@ type ReplicaConfig[C any] struct {
 	MaxBatch int
 	// SyncEvery paces the idle anti-entropy heartbeat (default 250ms).
 	SyncEvery time.Duration
+
+	// Persist, when non-nil, is the durability layer (typically a
+	// wal.Store): every protocol fact a core step saves is made durable
+	// by one Sync before the step's envelopes are transmitted or its
+	// waiters acknowledged. Nil keeps the replica volatile.
+	Persist Persister
+	// Recovered is the state to restart from (the wal.Open result for
+	// Persist's directory). Nil or zero-valued means a fresh replica.
+	// The log tail beyond its application snapshot is re-applied through
+	// Apply before the event loop starts.
+	Recovered *wal.State
+	// SnapshotState captures the application state machine's snapshot
+	// encoding, called under the replica's lock right after Apply ran
+	// for every entry the snapshot covers.
+	SnapshotState func() []byte
+	// SnapshotEvery takes a snapshot (truncating the log) every that
+	// many applied slots (default 1024; negative disables).
+	SnapshotEvery int
 }
 
 // syncRateLimit is the minimum interval between targeted sync messages
@@ -169,6 +196,9 @@ type Replica[C any] struct {
 	core    *ReplicaCore[C]
 	waiters map[waiterKey]chan ApplyResult
 
+	snapLast   uint64 // applied-slot count at the last snapshot
+	persistErr error  // first durability failure; the replica halts on it
+
 	lastPush map[core.ProcessID]time.Time // targeted sync-push rate limiter
 	lastPull map[core.ProcessID]time.Time // targeted sync-pull rate limiter
 
@@ -181,14 +211,22 @@ func NewReplica[C any](cfg ReplicaConfig[C]) (*Replica[C], error) {
 	if cfg.Transport == nil {
 		return nil, errors.New("live: nil transport")
 	}
-	rc, err := NewReplicaCore(CoreConfig[C]{
+	ccfg := CoreConfig[C]{
 		Self:      cfg.Self,
 		N:         cfg.N,
 		Algorithm: cfg.Algorithm,
 		Msg:       cfg.Msg,
 		Batch:     cfg.Batch,
 		MaxBatch:  cfg.MaxBatch,
-	})
+		Persist:   cfg.Persist,
+	}
+	var rc *ReplicaCore[C]
+	var err error
+	if cfg.Recovered != nil {
+		rc, err = RestoreReplicaCore(ccfg, cfg.Recovered)
+	} else {
+		rc, err = NewReplicaCore(ccfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -198,15 +236,44 @@ func NewReplica[C any](cfg ReplicaConfig[C]) (*Replica[C], error) {
 	if cfg.SyncEvery <= 0 {
 		cfg.SyncEvery = 250 * time.Millisecond
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 1024
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Replica[C]{
+	r := &Replica[C]{
 		cfg: cfg, ctx: ctx, cancel: cancel,
 		core:     rc,
 		waiters:  make(map[waiterKey]chan ApplyResult),
 		lastPush: make(map[core.ProcessID]time.Time),
 		lastPull: make(map[core.ProcessID]time.Time),
 		workCh:   make(chan struct{}, 1),
-	}, nil
+	}
+	if cfg.Recovered != nil {
+		// Catch the application up with the protocol log: re-apply the
+		// fresh entries of every slot past the recovered app snapshot. The
+		// batches are present by construction — a batch is durable before
+		// (or with) the apply record that references it.
+		r.snapLast = cfg.Recovered.AppSlots
+		for _, ap := range cfg.Recovered.Tail {
+			if ap.Bid == 0 || cfg.Apply == nil {
+				continue
+			}
+			entries, ok := rc.EntriesOf(ap.Bid)
+			if !ok && len(ap.Fresh) > 0 {
+				cancel()
+				return nil, fmt.Errorf("live: recovery: batch %#x of applied slot %d missing", ap.Bid, ap.Slot)
+			}
+			for _, e := range entries {
+				for _, cs := range ap.Fresh {
+					if e.Client == cs.Client && e.Seq == cs.Seq {
+						cfg.Apply(ap.Slot, e)
+						break
+					}
+				}
+			}
+		}
+	}
+	return r, nil
 }
 
 // Start launches the event loop.
@@ -307,6 +374,44 @@ func (r *Replica[C]) DecisionLog() []int64 {
 	return r.core.DecisionLogCopy()
 }
 
+// Checkpoint takes a durability snapshot now — protocol state plus the
+// SnapshotState application capture — and truncates the log, so the
+// next restart replays from here instead of from the log's start. The
+// graceful-shutdown path (hoserve's SIGTERM handler) calls this; it is
+// a no-op without a persister.
+func (r *Replica[C]) Checkpoint() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cfg.Persist == nil {
+		return nil
+	}
+	if r.persistErr != nil {
+		return r.persistErr
+	}
+	return r.checkpointLocked()
+}
+
+// checkpointLocked snapshots under mu.
+func (r *Replica[C]) checkpointLocked() error {
+	st := r.core.PersistState()
+	st.AppSlots = uint64(len(st.Log))
+	if r.cfg.SnapshotState != nil {
+		st.AppState = r.cfg.SnapshotState()
+	}
+	if err := r.cfg.Persist.Snapshot(st); err != nil {
+		return err
+	}
+	r.snapLast = st.AppSlots
+	return nil
+}
+
+// Err reports the durability failure that halted the replica, if any.
+func (r *Replica[C]) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.persistErr
+}
+
 // signalWork nudges the event loop without blocking.
 func (r *Replica[C]) signalWork() {
 	select {
@@ -381,13 +486,28 @@ func (r *Replica[C]) run() {
 	}
 }
 
-// dispatch runs one core step and executes its effects: the Apply hook
-// and waiter resolution for committed entries (under mu, in commit
-// order), then transmission of the step's envelopes with targeted sync
-// traffic rate-limited per peer.
+// dispatch runs one core step and executes its effects: the durability
+// barrier FIRST (everything the step saved is synced before any of its
+// output becomes visible), then the Apply hook and waiter resolution
+// for committed entries (under mu, in commit order), then transmission
+// of the step's envelopes with targeted sync traffic rate-limited per
+// peer. A durability failure halts the replica — acknowledging or
+// gossiping state the disk refused would turn the next crash into the
+// split-brain the log exists to prevent, so the replica goes silent
+// (crash-stop) instead.
 func (r *Replica[C]) dispatch(ev Event[C]) {
 	r.mu.Lock()
 	res := r.core.Step(ev)
+	if r.cfg.Persist != nil {
+		if err := r.cfg.Persist.Sync(); err != nil {
+			if r.persistErr == nil {
+				r.persistErr = err
+			}
+			r.mu.Unlock()
+			r.cancel()
+			return
+		}
+	}
 	for _, ae := range res.Applied {
 		out := ApplyResult{Slot: ae.Slot, Dup: !ae.Fresh}
 		if ae.Fresh && r.cfg.Apply != nil {
@@ -397,6 +517,20 @@ func (r *Replica[C]) dispatch(ev Event[C]) {
 		if ch, ok := r.waiters[key]; ok {
 			ch <- out // buffered(1), sole send
 			delete(r.waiters, key)
+		}
+	}
+	if r.cfg.Persist != nil && r.cfg.SnapshotEvery > 0 {
+		if n, _ := r.core.LogFingerprint(); n >= r.snapLast+uint64(r.cfg.SnapshotEvery) {
+			// The Apply hook just ran for everything in the log, so the
+			// app snapshot lines up with the protocol snapshot.
+			if err := r.checkpointLocked(); err != nil {
+				if r.persistErr == nil {
+					r.persistErr = err
+				}
+				r.mu.Unlock()
+				r.cancel()
+				return
+			}
 		}
 	}
 	var send []Outbound

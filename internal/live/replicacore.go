@@ -51,6 +51,12 @@ const (
 	// of a larger group can then drift a constant number of rounds apart
 	// forever — the livelock the jump rule was introduced to fix.
 	MutNoJump
+	// MutForgetVote makes crash-RECOVERY drop the persisted locked vote
+	// (RestoreReplicaCore skips re-installing it): the recovered replica
+	// restarts its slot from scratch and can help decide a value a
+	// pre-crash quorum that included its vote already contradicts — the
+	// split decision durability exists to prevent.
+	MutForgetVote
 )
 
 // CoreConfig parameterizes one process's protocol core. It is the
@@ -67,6 +73,11 @@ type CoreConfig[C any] struct {
 	Batch BatchCodec[C]
 	// MaxBatch caps commands per proposal (default 64).
 	MaxBatch int
+
+	// Persist, when non-nil, receives every protocol fact that must be
+	// durable (see persist.go). The core only buffers saves; the shell
+	// owns the Sync barrier. Nil means volatile operation.
+	Persist Persister
 
 	// Mutation re-enables a seeded protocol bug (model checker only).
 	Mutation Mutation
@@ -165,6 +176,11 @@ type ReplicaCore[C any] struct {
 	blockedOn int64  // decided batch id whose contents are being pulled
 	eagerPush uint64 // own-decided slot to push once applied
 
+	// restoredVote holds a crash-recovered instance encoding until
+	// consensus for its slot restarts and re-installs it (persist.go).
+	restoredVote     []byte
+	restoredVoteSlot uint64
+
 	// peerApplied tracks each peer's last observed commit index (their
 	// round messages carry their current slot; their sync pulls carry
 	// applied+1). Batches of slots every replica has applied are pruned
@@ -197,6 +213,11 @@ func NewReplicaCore[C any](cfg CoreConfig[C]) (*ReplicaCore[C], error) {
 	}
 	if cfg.Mutation&MutFreshRetry != 0 && cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = 5
+	}
+	if cfg.Persist != nil {
+		if _, ok := cfg.Algorithm.NewInstance(cfg.Self, cfg.N, 0).(statePersistent); !ok {
+			return nil, fmt.Errorf("live: algorithm %T cannot persist instance state", cfg.Algorithm)
+		}
 	}
 	return &ReplicaCore[C]{
 		cfg:         cfg,
@@ -362,6 +383,9 @@ func (c *ReplicaCore[C]) handleBatch(env Envelope, res *StepResult[C]) {
 	}
 	if _, ok := c.batches[bid]; !ok {
 		c.batches[bid] = entries
+		if c.cfg.Persist != nil {
+			c.cfg.Persist.SaveBatch(bid, b[n:])
+		}
 		if !c.batchApplied(bid) {
 			c.offered[bid] = struct{}{}
 		}
@@ -416,6 +440,9 @@ func (c *ReplicaCore[C]) transitionRound(res *StepResult[C]) {
 		c.recordDecision(slot, int64(v), false)
 		return
 	}
+	// The transition may have adopted or locked a vote: persist the
+	// instance state before the next round's send can reveal it.
+	c.persistVote()
 	if c.cfg.Mutation&MutFreshRetry != 0 && r >= c.cfg.RetryAfter {
 		// SEEDED BUG: discard the instance — and with it any locked
 		// algorithm state — and let advance start a fresh attempt.
@@ -529,6 +556,18 @@ func (c *ReplicaCore[C]) startSlot(res *StepResult[C]) bool {
 	c.poked = false
 	proposal := c.propose(res)
 	inst := c.cfg.Algorithm.NewInstance(c.cfg.Self, c.cfg.N, core.Value(proposal))
+	if c.restoredVoteSlot != 0 {
+		if c.restoredVoteSlot == slot {
+			// Crash recovery: re-install the persisted instance state —
+			// the locked vote — over the fresh proposal. The encoding was
+			// validated at restore time; the round position restarts at 1
+			// and the jump rule re-aligns us with the group.
+			if sp, ok := inst.(statePersistent); ok {
+				_ = sp.RestoreState(c.restoredVote)
+			}
+		}
+		c.restoredVote, c.restoredVoteSlot = nil, 0
+	}
 	c.cur = newSlotRun(slot, inst)
 	c.nextRound(res)
 	c.closeRounds(res)
@@ -548,7 +587,14 @@ func (c *ReplicaCore[C]) propose(res *StepResult[C]) int64 {
 		c.batchSeq++
 		bid := (int64(c.cfg.Self)+1)<<40 | c.batchSeq
 		c.batches[bid] = entries
-		payload := c.cfg.Batch.AppendEntries(appendVarint(nil, bid), entries)
+		enc := c.cfg.Batch.AppendEntries(nil, entries)
+		if c.cfg.Persist != nil {
+			// Quorum-durable dissemination: the batch body is on our own
+			// disk (after the shell's sync barrier) before any peer can see
+			// — let alone vote for — its id.
+			c.cfg.Persist.SaveBatch(bid, enc)
+		}
+		payload := append(appendVarint(nil, bid), enc...)
 		res.Out = append(res.Out, Outbound{To: AllPeers, Env: Envelope{
 			Kind: KindBatch, From: c.cfg.Self, Payload: payload}})
 		return bid
@@ -584,6 +630,9 @@ func (c *ReplicaCore[C]) recordDecision(slot uint64, bid int64, viaSync bool) {
 		return
 	}
 	c.decided[slot] = bid
+	if c.cfg.Persist != nil {
+		c.cfg.Persist.SaveDecision(slot, bid)
+	}
 	if viaSync {
 		c.stats.SyncDecisions++
 	}
@@ -602,6 +651,7 @@ func (c *ReplicaCore[C]) applySlot(slot uint64, bid int64, res *StepResult[C]) {
 	if bid != 0 {
 		entries = c.batches[bid]
 	}
+	appliedFrom := len(res.Applied)
 	for _, e := range entries {
 		ae := AppliedEntry[C]{Slot: slot, Entry: e}
 		if e.Seq > c.hwm[e.Client] {
@@ -626,6 +676,9 @@ func (c *ReplicaCore[C]) applySlot(slot uint64, bid int64, res *StepResult[C]) {
 				delete(c.offered, id)
 			}
 		}
+	}
+	if c.cfg.Persist != nil {
+		c.cfg.Persist.SaveApplied(slot, bid, c.persistFresh(res.Applied, appliedFrom))
 	}
 	delete(c.decided, slot)
 	c.log = append(c.log, bid)

@@ -27,23 +27,26 @@ type stateAppender interface {
 // shared — they are immutable after creation.
 func (c *ReplicaCore[C]) Clone() *ReplicaCore[C] {
 	d := &ReplicaCore[C]{
-		cfg:         c.cfg,
-		pending:     append([]Entry[C](nil), c.pending...),
-		batches:     make(map[int64][]Entry[C], len(c.batches)),
-		inLog:       make(map[int64]bool, len(c.inLog)),
-		offered:     make(map[int64]struct{}, len(c.offered)),
-		decided:     make(map[uint64]int64, len(c.decided)),
-		maxSeen:     make(map[uint64]uint64, len(c.maxSeen)),
-		log:         append([]int64(nil), c.log...),
-		logHash:     c.logHash,
-		hwm:         make(map[uint64]uint64, len(c.hwm)),
-		batchSeq:    c.batchSeq,
-		poked:       c.poked,
-		blockedOn:   c.blockedOn,
-		eagerPush:   c.eagerPush,
-		peerApplied: make(map[core.ProcessID]uint64, len(c.peerApplied)),
-		prunedTo:    c.prunedTo,
-		stats:       c.stats,
+		cfg:       c.cfg,
+		pending:   append([]Entry[C](nil), c.pending...),
+		batches:   make(map[int64][]Entry[C], len(c.batches)),
+		inLog:     make(map[int64]bool, len(c.inLog)),
+		offered:   make(map[int64]struct{}, len(c.offered)),
+		decided:   make(map[uint64]int64, len(c.decided)),
+		maxSeen:   make(map[uint64]uint64, len(c.maxSeen)),
+		log:       append([]int64(nil), c.log...),
+		logHash:   c.logHash,
+		hwm:       make(map[uint64]uint64, len(c.hwm)),
+		batchSeq:  c.batchSeq,
+		poked:     c.poked,
+		blockedOn: c.blockedOn,
+		eagerPush: c.eagerPush,
+
+		restoredVote:     append([]byte(nil), c.restoredVote...),
+		restoredVoteSlot: c.restoredVoteSlot,
+		peerApplied:      make(map[core.ProcessID]uint64, len(c.peerApplied)),
+		prunedTo:         c.prunedTo,
+		stats:            c.stats,
 	}
 	for k, v := range c.batches {
 		d.batches[k] = v
@@ -119,6 +122,9 @@ func (c *ReplicaCore[C]) AppendFingerprint(dst []byte) []byte {
 	} else {
 		dst = append(dst, 0)
 	}
+	dst = appendUvarint(dst, c.restoredVoteSlot)
+	dst = appendUvarint(dst, uint64(len(c.restoredVote)))
+	dst = append(dst, c.restoredVote...)
 
 	dst = appendUvarint(dst, uint64(len(c.log)))
 	for _, bid := range c.log {

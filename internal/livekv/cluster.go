@@ -7,6 +7,7 @@ package livekv
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"heardof/internal/core"
@@ -42,7 +43,14 @@ func NewCluster(cfg Config, faultSeed uint64) (*Cluster, error) {
 	for p := 0; p < cfg.Replicas; p++ {
 		c.faults[p] = live.NewFaults(faultSeed + uint64(p)*0x9e3779b9)
 		tr := live.WithFaults(net.Transport(core.ProcessID(p)), c.faults[p])
-		nd, err := NewNode(cfg, core.ProcessID(p), tr)
+		// DataDir names a deployment root here; every in-process node
+		// gets its own subdirectory (real deployments pass one directory
+		// per server process instead).
+		ncfg := cfg
+		if ncfg.DataDir != "" {
+			ncfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%d", p))
+		}
+		nd, err := NewNode(ncfg, core.ProcessID(p), tr)
 		if err != nil {
 			return nil, fmt.Errorf("livekv: node %d: %w", p, err)
 		}

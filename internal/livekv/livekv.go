@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"heardof/internal/lastvoting"
 	"heardof/internal/live"
 	"heardof/internal/shard"
+	"heardof/internal/wal"
 )
 
 // Config parameterizes every node of one deployment (all nodes must
@@ -57,6 +59,18 @@ type Config struct {
 	// OpTimeout bounds one Put/Get when the caller's context has no
 	// earlier deadline (default 10s).
 	OpTimeout time.Duration
+	// DataDir, when non-empty, makes THIS node durable: each group gets
+	// a write-ahead log + snapshot store under DataDir/group-<g>, and a
+	// node restarted with the same directory recovers its logs, state
+	// machines, and session dedup before rejoining. DataDir is per-node
+	// local state — it does not have to agree across the deployment.
+	DataDir string
+	// NoFsync skips the per-dispatch fsync (durable against process
+	// crashes only, not machine crashes). SnapshotEvery is the snapshot
+	// cadence in applied slots per group (0 = the live default, negative
+	// = never).
+	NoFsync       bool
+	SnapshotEvery int
 }
 
 // withDefaults fills the zero values.
@@ -83,9 +97,11 @@ func (cfg Config) withDefaults() (Config, error) {
 	return cfg, nil
 }
 
-// groupReplica pairs one group's live replica with its state machine.
+// groupReplica pairs one group's live replica with its state machine
+// and, on durable nodes, its write-ahead store.
 type groupReplica struct {
-	rep *live.Replica[kvstore.Command]
+	rep   *live.Replica[kvstore.Command]
+	store *wal.Store
 
 	mu sync.Mutex
 	sm *kvstore.StateMachine
@@ -127,7 +143,7 @@ func NewNode(cfg Config, self core.ProcessID, tr live.Transport) (*Node, error) 
 	}
 	for g := range nd.groups {
 		gr := &groupReplica{sm: kvstore.NewStateMachine()}
-		rep, err := live.NewReplica(live.ReplicaConfig[kvstore.Command]{
+		rcfg := live.ReplicaConfig[kvstore.Command]{
 			Self:      self,
 			N:         cfg.Replicas,
 			Algorithm: cfg.Algorithm,
@@ -147,14 +163,52 @@ func NewNode(cfg Config, self core.ProcessID, tr live.Transport) (*Node, error) 
 			RoundTimeout: cfg.RoundTimeout,
 			MaxBatch:     cfg.MaxBatch,
 			SyncEvery:    cfg.SyncEvery,
-		})
+		}
+		if cfg.DataDir != "" {
+			store, st, err := wal.Open(
+				filepath.Join(cfg.DataDir, fmt.Sprintf("group-%d", g)),
+				wal.Options{NoSync: cfg.NoFsync})
+			if err != nil {
+				nd.closeStores()
+				return nil, fmt.Errorf("livekv: group %d store: %w", g, err)
+			}
+			if err := gr.sm.RestoreSnapshot(st.AppState); err != nil {
+				store.Close()
+				nd.closeStores()
+				return nil, fmt.Errorf("livekv: group %d snapshot: %w", g, err)
+			}
+			gr.store = store
+			rcfg.Persist = store
+			rcfg.Recovered = st
+			rcfg.SnapshotEvery = cfg.SnapshotEvery
+			rcfg.SnapshotState = func() []byte {
+				gr.mu.Lock()
+				defer gr.mu.Unlock()
+				return gr.sm.AppendSnapshot(nil)
+			}
+		}
+		rep, err := live.NewReplica(rcfg)
 		if err != nil {
+			if gr.store != nil {
+				gr.store.Close()
+			}
+			nd.closeStores()
 			return nil, err
 		}
 		gr.rep = rep
 		nd.groups[g] = gr
 	}
 	return nd, nil
+}
+
+// closeStores releases the stores of already-built groups after a
+// constructor failure.
+func (nd *Node) closeStores() {
+	for _, gr := range nd.groups {
+		if gr != nil && gr.store != nil {
+			gr.store.Close()
+		}
+	}
 }
 
 // Start begins participating in every group.
@@ -164,12 +218,34 @@ func (nd *Node) Start() {
 	}
 }
 
-// Close stops every replica and closes the transport.
+// Checkpoint snapshots every durable group (state machine included)
+// and truncates its log — the graceful-shutdown path, so the next start
+// replays nothing. A no-op on volatile nodes.
+func (nd *Node) Checkpoint() error {
+	var first error
+	for g, gr := range nd.groups {
+		if err := gr.rep.Checkpoint(); err != nil && first == nil {
+			first = fmt.Errorf("livekv: group %d checkpoint: %w", g, err)
+		}
+	}
+	return first
+}
+
+// Close stops every replica, closes the transport, and releases any
+// write-ahead stores.
 func (nd *Node) Close() error {
 	for _, g := range nd.groups {
 		g.rep.Stop()
 	}
-	return nd.tr.Close()
+	err := nd.tr.Close()
+	for _, g := range nd.groups {
+		if g.store != nil {
+			if cerr := g.store.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
 }
 
 // GroupFor returns the group owning a key — identical routing to

@@ -18,6 +18,16 @@
 // a replica permanently — strictly harsher than the paper's benign
 // crash-recovery model, where a paused process rejoins (a pause is
 // already subsumed here by schedules that simply never pick a process).
+// Crash-RECOVERY of up to RecoveryBudget processes is a separate,
+// atomic transition: the replica is replaced by ReplicaCore.Recover(),
+// which pipes PersistState through RestoreReplicaCore — the REAL
+// production recovery path, so what the model proves is that rebooting
+// from exactly the write-ahead state (stable storage kept, round
+// position, pending submissions, and peer bookkeeping lost) preserves
+// every safety invariant. The crash and the restart are collapsed into
+// one step because the downtime in between is subsumed by schedules
+// that deliver nothing to the process — the soup model gives the
+// adversary that for free.
 //
 // Scope bounds that keep the state space finite: MaxSlots stops new
 // consensus attempts past a slot budget, MaxRound freezes a slot's
@@ -102,6 +112,13 @@ type ReplicaModel struct {
 	// CrashBudget is the number of crash-STOP events the adversary may
 	// spend (0 = none).
 	CrashBudget int
+	// RecoveryBudget is the number of crash-RECOVERY events the
+	// adversary may spend (0 = none): a live replica is atomically
+	// replaced by its ReplicaCore.Recover() image — the production
+	// restore-from-write-ahead-state path — losing round position,
+	// pending submissions, and peer bookkeeping but keeping the log,
+	// dedup state, held batches, and any mid-slot locked vote.
+	RecoveryBudget int
 	// Algorithm and Msg pick the consensus layer (OTR or LastVoting with
 	// their wire codecs).
 	Algorithm core.Algorithm
@@ -174,13 +191,14 @@ type ReplicaResult struct {
 // are shared between states until a step actually adds a message
 // (owns tracks copy-on-write).
 type rcState struct {
-	cores   []*live.ReplicaCore[byte]
-	coreFP  [][]byte
-	soup    map[string]soupMsg
-	keys    []string
-	owns    bool
-	crashed uint8
-	crashes int
+	cores      []*live.ReplicaCore[byte]
+	coreFP     [][]byte
+	soup       map[string]soupMsg
+	keys       []string
+	owns       bool
+	crashed    uint8
+	crashes    int
+	recoveries int
 }
 
 // soupMsg is one in-flight envelope with its destination. batchID is
@@ -218,7 +236,7 @@ func (s *rcState) fingerprint() uint64 {
 		h.Write([]byte(k))
 		h.Write([]byte{0xFE})
 	}
-	h.Write([]byte{s.crashed, byte(s.crashes)})
+	h.Write([]byte{s.crashed, byte(s.crashes), byte(s.recoveries)})
 	return h.Sum64()
 }
 
@@ -273,12 +291,13 @@ func (s *rcState) put(to core.ProcessID, env live.Envelope) {
 // The caller must refresh coreFP[p] after stepping the clone.
 func (s *rcState) forkForStep(p core.ProcessID) *rcState {
 	next := &rcState{
-		cores:   append([]*live.ReplicaCore[byte](nil), s.cores...),
-		coreFP:  append([][]byte(nil), s.coreFP...),
-		soup:    s.soup,
-		keys:    s.keys,
-		crashed: s.crashed,
-		crashes: s.crashes,
+		cores:      append([]*live.ReplicaCore[byte](nil), s.cores...),
+		coreFP:     append([][]byte(nil), s.coreFP...),
+		soup:       s.soup,
+		keys:       s.keys,
+		crashed:    s.crashed,
+		crashes:    s.crashes,
+		recoveries: s.recoveries,
 	}
 	next.cores[p] = s.cores[p].Clone()
 	return next
@@ -389,7 +408,7 @@ func (m *ReplicaModel) Explore() (ReplicaResult, error) {
 	}
 	covered := map[string][][]uint64{}
 	coreKey := func(st *rcState) string {
-		n := 2
+		n := 3
 		for _, fp := range st.coreFP {
 			n += len(fp) + 1
 		}
@@ -398,7 +417,7 @@ func (m *ReplicaModel) Explore() (ReplicaResult, error) {
 			b = append(b, fp...)
 			b = append(b, 0xFF)
 		}
-		b = append(b, st.crashed, byte(st.crashes))
+		b = append(b, st.crashed, byte(st.crashes), byte(st.recoveries))
 		return string(b)
 	}
 	enqueue := func(st *rcState) {
@@ -493,7 +512,29 @@ func (m *ReplicaModel) Explore() (ReplicaResult, error) {
 			// Crash-stop, within budget.
 			if st.crashes < m.CrashBudget {
 				next := &rcState{cores: st.cores, coreFP: st.coreFP, soup: st.soup, keys: st.keys,
-					crashed: st.crashed | 1<<uint(p), crashes: st.crashes + 1}
+					crashed: st.crashed | 1<<uint(p), crashes: st.crashes + 1, recoveries: st.recoveries}
+				visit(next, nil)
+			}
+			if halt {
+				break
+			}
+			// Crash-RECOVERY, within budget: the replica reboots from its
+			// write-ahead state via the production recovery path. Soup
+			// messages sent to it before the crash stay deliverable —
+			// exactly the duplicate-delivery-after-restart hazard the
+			// invariants must survive.
+			if st.recoveries < m.RecoveryBudget {
+				next := &rcState{
+					cores:      append([]*live.ReplicaCore[byte](nil), st.cores...),
+					coreFP:     append([][]byte(nil), st.coreFP...),
+					soup:       st.soup,
+					keys:       st.keys,
+					crashed:    st.crashed,
+					crashes:    st.crashes,
+					recoveries: st.recoveries + 1,
+				}
+				next.cores[p] = st.cores[p].Recover()
+				next.coreFP[p] = next.cores[p].AppendFingerprint(nil)
 				visit(next, nil)
 			}
 		}

@@ -213,3 +213,87 @@ func TestReplicaExploreLastVoting(t *testing.T) {
 	t.Logf("explored %d states, %d transitions, maxApplied=%d, findings: %+v",
 		res.States, res.Transitions, res.MaxApplied, res.Findings)
 }
+
+// TestCheckForgetVote is the recovery-mutant kill: a restart that
+// discards the persisted locked vote must produce a split decision,
+// while the real recovery path — identical schedule — restores the
+// lock, steers the surviving pair back to the decided batch, and stays
+// clean.
+func TestCheckForgetVote(t *testing.T) {
+	mutated := CheckForgetVote(true)
+	if mutated.Violation == nil {
+		t.Fatalf("mutant not flagged: %+v", mutated)
+	}
+	if mutated.Violation.Kind != "agreement" {
+		t.Fatalf("expected agreement violation, got %q: %s",
+			mutated.Violation.Kind, mutated.Violation.Message)
+	}
+
+	control := CheckForgetVote(false)
+	if control.Flagged() {
+		t.Fatalf("control run flagged: violation=%+v findings=%+v",
+			control.Violation, control.Findings)
+	}
+	for p, applied := range control.Applied {
+		if applied != 1 {
+			t.Fatalf("control: replica %d applied %d slots, want 1 (all: %v)",
+				p, applied, control.Applied)
+		}
+	}
+}
+
+// TestCheckStallRecovery proves the PR-5 dissemination-window stall is
+// closed under crash-RECOVERY: the schedule that strands a decided
+// batch forever when its proposer crash-STOPS (TestCheckStall) ends
+// with every replica applied when the proposer instead reboots from
+// its write-ahead state.
+func TestCheckStallRecovery(t *testing.T) {
+	res := CheckStallRecovery()
+	if res.Flagged() {
+		t.Fatalf("recovery run flagged: violation=%+v findings=%+v",
+			res.Violation, res.Findings)
+	}
+	for p, applied := range res.Applied {
+		if applied != 1 {
+			t.Fatalf("replica %d applied %d slots, want 1 (all: %v)", p, applied, res.Applied)
+		}
+	}
+}
+
+// TestReplicaExploreOTRRecoveryClosure exhausts the reachable space
+// with one crash-RECOVERY in the adversary's budget (alongside the
+// usual message soup): any replica may, at any point, be atomically
+// replaced by its production recovery image. Complete=true makes this
+// a proof, within the n=3 / one-slot scope, that rebooting from the
+// write-ahead state preserves agreement, integrity, apply-once, and
+// commit monotonicity no matter where the crash lands.
+func TestReplicaExploreOTRRecoveryClosure(t *testing.T) {
+	m, err := NewReplicaModel(ReplicaModel{
+		N:              3,
+		Slots:          1,
+		MaxRound:       2,
+		RecoveryBudget: 1,
+		Algorithm:      otr.Algorithm{},
+		Msg:            otr.WireCodec{},
+		Workload:       []Submission{{Replica: 0, Client: 1, Seq: 1, Cmd: 'a'}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Explore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("safety violation under crash-recovery: %s: %s",
+			res.Violation.Kind, res.Violation.Message)
+	}
+	if !res.Complete {
+		t.Fatalf("expected full closure at this scope, stopped after %d states", res.States)
+	}
+	if res.MaxApplied == 0 {
+		t.Fatal("vacuous exploration: no reachable state ever applied a slot")
+	}
+	t.Logf("recovery closure: %d states, %d transitions, maxApplied=%d, findings: %+v",
+		res.States, res.Transitions, res.MaxApplied, res.Findings)
+}

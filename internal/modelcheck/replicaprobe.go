@@ -36,6 +36,26 @@
 //     batch's only copy dies with its proposer and the survivors block
 //     pulling forever: the availability stall PR 5 documented, surfaced
 //     as a finding. The control run (no crash) recovers via pulls.
+//
+// Two further probes cover the crash-RECOVERY fault (a kill -9 with
+// stable storage intact, modeled by ReplicaCore.Recover — the
+// production restore path):
+//
+//   - CheckForgetVote: live.MutForgetVote makes recovery discard the
+//     persisted locked vote. Schedule: phase 1 decides at the
+//     coordinator alone with p1 holding the (x=A, ts=1) lock, p1
+//     crash-recovers, then p1 and p2 run freely. Real core: the
+//     restored lock steers the next phase back to A. Mutant: recovery
+//     comes back lockless, adopt-newest-offered re-proposes B, and the
+//     pair decides B against p0's applied A — the split the paper's
+//     stable-storage requirement exists to prevent.
+//   - CheckStallRecovery: CheckStall's exact window, but the proposer
+//     crash-RECOVERS instead of crash-stopping. Its batch hit its own
+//     disk in the same step that proposed the id (quorum-durable
+//     dissemination), so the rebooted proposer answers the survivors'
+//     pulls and everyone applies: the PR-5 stall window is closed for
+//     replicas running with a Persister. Contrast with CheckStall(true),
+//     where the same schedule minus the disk strands the batch forever.
 
 package modelcheck
 
@@ -121,6 +141,17 @@ func (s *scen) submit(p core.ProcessID, client, seq uint64, cmd byte) {
 func (s *scen) timeout(p core.ProcessID) { s.stepOn(p, live.Event[byte]{Kind: live.EvRoundTimeout}) }
 func (s *scen) tick(p core.ProcessID)    { s.stepOn(p, live.Event[byte]{Kind: live.EvTick}) }
 func (s *scen) crash(p core.ProcessID)   { s.dead |= 1 << uint(p) }
+
+// recover models a kill -9 followed by a restart from stable storage:
+// the core is replaced by its production recovery image (volatile round
+// position, pending submissions, and peer bookkeeping lost; log, dedup
+// state, held batches, and any persisted locked vote kept). Anything a
+// preceding crash(p) swallowed stays lost — exactly the messages a down
+// process never receives.
+func (s *scen) recover(p core.ProcessID) {
+	s.dead &^= 1 << uint(p)
+	s.cores[p] = s.cores[p].Recover()
+}
 
 // deliverWhere removes every CURRENTLY queued message matching pred, in
 // order, and delivers each to its destination (messages a delivery
@@ -367,5 +398,102 @@ func CheckStall(crash bool) ProbeResult {
 		s.deliverWhere(kindIs(live.KindBatchPull))
 		s.deliverWhere(kindIs(live.KindBatch))
 	}
+	return s.finish()
+}
+
+// CheckForgetVote runs the recovery-forgets-the-lock schedule. With
+// mutated (live.MutForgetVote) the result must contain an agreement
+// violation; without, the restored vote steers the surviving pair back
+// to the decided batch and the run is clean with every replica applying
+// slot 1.
+func CheckForgetVote(mutated bool) ProbeResult {
+	var mut live.Mutation
+	if mutated {
+		mut = live.MutForgetVote
+	}
+	s := newScen(3, mut, 0)
+
+	// Workload as in CheckFreshRetry: p0 proposes batch A = (1<<40)|1,
+	// p2 batch B = (3<<40)|1. B > A, so a lockless recovery re-proposing
+	// by adopt-newest-offered picks B — the bait.
+	s.submit(0, 1, 1, 'a')
+	s.submit(2, 3, 1, 'c')
+	s.deliverWhere(kindIs(live.KindBatch))
+
+	// Phase 1 (rounds 1–4, coordinator p0), driven to a decision at p0
+	// ALONE, with p1 adopting the vote: x=A, ts=1 — THE LOCK.
+	s.deliverWhere(roundTo(0))
+	s.dropWhere(roundAt(1))
+	s.deliverWhere(roundAtTo(2, 1))
+	s.dropWhere(roundAt(2))
+	s.timeout(0)
+	s.timeout(1)
+	s.deliverWhere(roundAtTo(3, 0))
+	s.dropWhere(roundAt(3))
+	s.timeout(0)
+	s.dropWhere(roundAt(4))
+	s.timeout(0) // p0 decides alone and applies A
+	s.dropWhere(kindIs(live.KindSync))
+
+	// kill -9 p1, restart from stable storage. The persisted instance
+	// state is the only memory of the lock; the mutant drops it.
+	s.recover(1)
+
+	// Free run: p1 and p2 exchange round traffic (p0 stays silent — it
+	// is done). The recovered p1 restarts slot 1 from round 1 and jumps
+	// level on p2's future-round traffic. Real pair: a p1-coordinated
+	// phase sees p1's ts=1 estimate and votes A — agreement with p0.
+	// Mutated pair: both estimates carry ts=0 and value B; B decides,
+	// splitting from p0's applied A.
+	for i := 0; i < 60; i++ {
+		s.deliverWhere(func(to core.ProcessID, env live.Envelope) bool {
+			return env.Kind == live.KindRound && to != 0 && env.From != 0
+		})
+		s.timeout(1)
+		s.timeout(2)
+		s.dropWhere(func(to core.ProcessID, env live.Envelope) bool {
+			return env.Kind != live.KindRound || to == 0 || env.From == 0
+		})
+	}
+	return s.finish()
+}
+
+// CheckStallRecovery reruns CheckStall's dissemination-window schedule
+// with a crash-RECOVERING proposer: same window, same total batch loss
+// on the wire, but the proposer's disk holds the contents (they were
+// persisted in the step that proposed the id), so after the reboot the
+// survivors' pulls are answered and every replica applies slot 1 — no
+// stall finding, no violation. This is the closure proof the
+// live/replica.go fault-envelope note points at.
+func CheckStallRecovery() ProbeResult {
+	s := newScen(3, 0, 0)
+	s.submit(0, 1, 1, 'a')
+	// THE WINDOW: batch A's contents never reach anyone over the wire.
+	s.dropWhere(kindIs(live.KindBatch))
+
+	// Phase 1 runs to a decision at all three replicas (id only).
+	s.deliverWhere(kindIs(live.KindRound))
+	s.deliverWhere(kindIs(live.KindRound))
+	s.deliverWhere(kindIs(live.KindRound))
+	s.timeout(1)
+	s.timeout(2)
+	s.deliverWhere(kindIs(live.KindRound))
+	s.deliverWhere(kindIs(live.KindRound))
+	s.timeout(1)
+	s.timeout(2)
+	s.timeout(0)
+	s.dropWhere(anyMsg)
+
+	// kill -9 the only holder inside the window — then reboot it from
+	// its write-ahead state. The batch came back with it.
+	s.crash(0)
+	s.recover(0)
+
+	// The survivors' re-pulls now land on a live proposer that still
+	// holds the contents; its replies let both apply.
+	s.tick(1)
+	s.tick(2)
+	s.deliverWhere(kindIs(live.KindBatchPull))
+	s.deliverWhere(kindIs(live.KindBatch))
 	return s.finish()
 }

@@ -15,6 +15,7 @@ package otr
 
 import (
 	"encoding/binary"
+	"errors"
 
 	"heardof/internal/core"
 	"heardof/internal/quorum"
@@ -155,4 +156,23 @@ func (i *Instance) AppendState(dst []byte) []byte {
 		dst = append(dst, 0)
 	}
 	return binary.AppendVarint(dst, int64(i.decision))
+}
+
+// RestoreState is AppendState's inverse: it loads an instance from its
+// canonical encoding, for crash recovery from the durability layer.
+func (i *Instance) RestoreState(b []byte) error {
+	x, n1 := binary.Varint(b)
+	if n1 <= 0 {
+		return errors.New("otr: corrupt state: x")
+	}
+	b = b[n1:]
+	if len(b) == 0 || b[0] > 1 {
+		return errors.New("otr: corrupt state: decided flag")
+	}
+	decision, n2 := binary.Varint(b[1:])
+	if n2 <= 0 || len(b) != 1+n2 {
+		return errors.New("otr: corrupt state: decision")
+	}
+	i.x, i.decided, i.decision = core.Value(x), b[0] == 1, core.Value(decision)
+	return nil
 }

@@ -326,3 +326,38 @@ func TestUniformRoundForcesConvergence(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRestoreStateRoundTrip(t *testing.T) {
+	// OTR has no phase bookkeeping: the whole instance is stable state
+	// and must round-trip through AppendState/RestoreState exactly.
+	inst := Algorithm{}.NewInstance(0, 4, 9).(*Instance)
+	inst.ForceStateForTest(42, true, 42)
+	rec := Algorithm{}.NewInstance(0, 4, 0).(*Instance)
+	if err := rec.RestoreState(inst.AppendState(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if rec.x != 42 {
+		t.Errorf("x = %d, want 42", rec.x)
+	}
+	if v, ok := rec.Decided(); !ok || v != 42 {
+		t.Errorf("decision = (%d, %v), want (42, true)", v, ok)
+	}
+
+	undecided := Algorithm{}.NewInstance(1, 4, 7).(*Instance)
+	rec2 := Algorithm{}.NewInstance(1, 4, 0).(*Instance)
+	if err := rec2.RestoreState(undecided.AppendState(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if rec2.x != 7 {
+		t.Errorf("x = %d, want 7", rec2.x)
+	}
+	if _, ok := rec2.Decided(); ok {
+		t.Error("undecided instance recovered as decided")
+	}
+
+	for _, b := range [][]byte{nil, {0x80}, inst.AppendState(nil)[:2], append(inst.AppendState(nil), 0)} {
+		if err := rec2.RestoreState(b); err == nil {
+			t.Errorf("RestoreState(%x) accepted corrupt state", b)
+		}
+	}
+}

@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suites and emit the repo's perf-trajectory
-# points (see DESIGN.md "Performance"): BENCH_sim.json for the event core
-# and BENCH_kv.json for the replication service layer.
+# points (see DESIGN.md "Performance"): BENCH_sim.json for the event
+# core, BENCH_kv.json for the replication service layer, and
+# BENCH_live.json for the live runtime's durability layer.
 #
 # Usage:
-#   scripts/bench.sh                # full run, writes both JSON files
+#   scripts/bench.sh                # full run, writes all three JSON files
 #   BENCHTIME=0.2s scripts/bench.sh # reduced iterations (CI smoke job)
-#   OUT=/tmp/b.json KVOUT=/tmp/kv.json scripts/bench.sh
+#   OUT=/tmp/b.json KVOUT=/tmp/kv.json LIVEOUT=/tmp/l.json scripts/bench.sh
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 1s)
 #   COUNT      go test -count value (default 1)
 #   OUT        event-core output path (default BENCH_sim.json)
 #   KVOUT      service-layer output path (default BENCH_kv.json)
+#   LIVEOUT    durability-layer output path (default BENCH_live.json)
 #
 # BENCH_sim.json (bench_sim/v1) records ns/op, B/op and allocs/op for
 # every BenchmarkSim_* and BenchmarkRunner_* benchmark, plus the wall
@@ -24,6 +26,11 @@
 # v2 over v1: the shards / cmds_per_round fields and the BenchmarkShard_*
 # rows (the cmds/round curve across shards=1..8 is the weak-scaling
 # measurement of the sharded layer).
+# BENCH_live.json (bench_live/v1) records the durability tax: WAL append
+# throughput with and without fsync (BenchmarkWAL_*, ops/sec), recovery
+# replay time per 10k log records (BenchmarkWAL_Replay10k, ns/op), and
+# end-to-end committed slots/sec through a replica for the volatile /
+# buffered / fsync persistence variants (BenchmarkReplica_*).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,9 +39,10 @@ BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
 OUT="${OUT:-BENCH_sim.json}"
 KVOUT="${KVOUT:-BENCH_kv.json}"
+LIVEOUT="${LIVEOUT:-BENCH_live.json}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw" "$raw.kv" "$raw.hobench"' EXIT
+trap 'rm -f "$raw" "$raw.kv" "$raw.live" "$raw.hobench"' EXIT
 
 echo "bench.sh: go test -bench 'BenchmarkSim_|BenchmarkRunner_' -benchtime $BENCHTIME -count $COUNT" >&2
 go test -run '^$' -bench 'BenchmarkSim_|BenchmarkRunner_' -benchmem \
@@ -131,3 +139,39 @@ END {
 }' "$raw.kv" >"$KVOUT"
 
 echo "bench.sh: wrote $KVOUT" >&2
+
+echo "bench.sh: go test -bench 'BenchmarkWAL_|BenchmarkReplica_' -benchtime $BENCHTIME ./internal/wal ./internal/live" >&2
+go test -run '^$' -bench 'BenchmarkWAL_|BenchmarkReplica_' -benchmem \
+	-benchtime "$BENCHTIME" -count "$COUNT" ./internal/wal ./internal/live | tee /dev/stderr >"$raw.live"
+
+awk -v benchtime="$BENCHTIME" -v goversion="$go_version" -v date="$date_utc" \
+	-v commit="$commit" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^Benchmark/, "", name)
+	iters = $2
+	ns = ""; ops = ""; slots = ""; allocs = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op")     ns = $i
+		if ($(i+1) == "ops/sec")   ops = $i
+		if ($(i+1) == "slots/sec") slots = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"ops_per_sec\": %s, \"slots_per_sec\": %s, \"allocs_per_op\": %s}",
+		name, iters, ns, ops == "" ? "null" : ops, slots == "" ? "null" : slots, allocs == "" ? "null" : allocs)
+	rows[n++] = line
+}
+END {
+	printf "{\n"
+	printf "  \"schema\": \"bench_live/v1\",\n"
+	printf "  \"date\": \"%s\",\n", date
+	printf "  \"commit\": \"%s\",\n", commit
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"benchmarks\": [\n"
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], i < n-1 ? "," : ""
+	printf "  ]\n}\n"
+}' "$raw.live" >"$LIVEOUT"
+
+echo "bench.sh: wrote $LIVEOUT" >&2

@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
 # Live-deployment smoke: start a 3-node hoserve cluster over real TCP
-# with 10% injected message loss, drive 1k mixed PUT/GET operations over
-# HTTP with hoload's linearizability checker, then require every node to
-# converge to the same decision log and state with zero divergent
-# decisions. Binaries are built with -race, so the whole live runtime
-# runs under the race detector while serving.
+# with 10% injected message loss and per-node write-ahead logs, drive 1k
+# mixed PUT/GET operations over HTTP with hoload's linearizability
+# checker, then require every node to converge to the same decision log
+# and state with zero divergent decisions.
+#
+# A second chaos phase then kill -9s one node MID-LOAD, finishes the
+# load on the survivors, restarts the victim with the same -data-dir,
+# and requires it to rejoin and re-converge — the crash-RECOVERY fault
+# the durability layer exists for, exercised against real processes,
+# real sockets, and a real kill.
+#
+# Binaries are built with -race, so the whole live runtime (including
+# recovery) runs under the race detector while serving.
 #
 # Usage: scripts/live_smoke.sh [ops]
 set -euo pipefail
@@ -30,53 +38,86 @@ go build -race -o "$WORK/hoload" ./cmd/hoload
 NODES="127.0.0.1:7301,127.0.0.1:7302,127.0.0.1:7303"
 HTTP=(127.0.0.1:8301 127.0.0.1:8302 127.0.0.1:8303)
 
-echo "== start 3 nodes (loss=$LOSS, groups=$NGROUPS)"
-for i in 0 1 2; do
+# start_node i suffix — launch node i (its data dir persists across
+# restarts; the log file gets a suffix so the pre-crash log survives).
+start_node() {
+  local i="$1" suffix="${2:-}"
   "$WORK/hoserve" -id "$i" -nodes "$NODES" -http "${HTTP[$i]}" \
-    -groups "$NGROUPS" -loss "$LOSS" 2>"$WORK/node$i.log" &
+    -groups "$NGROUPS" -loss "$LOSS" -data-dir "$WORK/data/node$i" \
+    2>"$WORK/node$i$suffix.log" &
   PIDS+=($!)
-done
+}
 
-for i in 0 1 2; do
+wait_healthy() {
+  local i="$1"
   for _ in $(seq 1 50); do
     if curl -sf -m 2 "http://${HTTP[$i]}/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    sleep 0.2
+  done
+  echo "node $i never became healthy"; cat "$WORK/node$i"*.log; exit 1
+}
+
+# wait_converged — poll /stats until the group-indexed (slots, log,
+# state, applied, committed) fields agree across all three nodes; then
+# assert zero divergent decisions against the RAW stats (the projection
+# used for the convergence cmp drops the node-local fields).
+wait_converged() {
+  local converged=0
+  for _ in $(seq 1 100); do
+    for i in 0 1 2; do
+      curl -sf -m 2 "http://${HTTP[$i]}/stats" >"$WORK/raw$i.txt" || true
+      awk '{print $4, $5, $6, $7, $8, $9}' "$WORK/raw$i.txt" | sort >"$WORK/stats$i.txt"
+    done
+    if [ -s "$WORK/stats0.txt" ] \
+       && cmp -s "$WORK/stats0.txt" "$WORK/stats1.txt" \
+       && cmp -s "$WORK/stats0.txt" "$WORK/stats2.txt"; then
+      converged=1
       break
     fi
     sleep 0.2
   done
-  curl -sf -m 2 "http://${HTTP[$i]}/healthz" >/dev/null \
-    || { echo "node $i never became healthy"; cat "$WORK/node$i.log"; exit 1; }
-done
+  if [ "$converged" != 1 ]; then
+    echo "nodes never converged:"; head -v "$WORK"/stats*.txt; exit 1
+  fi
+  grep -q 'divergent=' "$WORK/raw0.txt" \
+    || { echo "stats output missing the divergent field?"; cat "$WORK/raw0.txt"; exit 1; }
+  if grep -q 'divergent=[^0]' "$WORK"/raw*.txt; then
+    echo "DIVERGENT DECISIONS OBSERVED:"; grep divergent "$WORK"/raw*.txt; exit 1
+  fi
+}
+
+echo "== start 3 nodes (loss=$LOSS, groups=$NGROUPS, write-ahead logs on)"
+for i in 0 1 2; do start_node "$i"; done
+for i in 0 1 2; do wait_healthy "$i"; done
 
 echo "== drive $OPS mixed ops over HTTP (linearizable-read check inside hoload)"
 "$WORK/hoload" -http "$(IFS=,; echo "${HTTP[*]}")" -clients 8 -ops "$OPS" -writes 0.6
 
 echo "== verify convergence and zero divergence across nodes"
-# Compare the group-indexed (slots, log, state, applied, committed)
-# fields across all three nodes; retry while decided slots propagate.
-# The divergence check runs against the RAW stats (the projection used
-# for the convergence cmp drops the node-local fields).
-converged=0
-for _ in $(seq 1 100); do
-  for i in 0 1 2; do
-    curl -sf -m 2 "http://${HTTP[$i]}/stats" >"$WORK/raw$i.txt" || true
-    awk '{print $4, $5, $6, $7, $8, $9}' "$WORK/raw$i.txt" | sort >"$WORK/stats$i.txt"
-  done
-  if [ -s "$WORK/stats0.txt" ] \
-     && cmp -s "$WORK/stats0.txt" "$WORK/stats1.txt" \
-     && cmp -s "$WORK/stats0.txt" "$WORK/stats2.txt"; then
-    converged=1
-    break
-  fi
-  sleep 0.2
-done
-if [ "$converged" != 1 ]; then
-  echo "nodes never converged:"; head -v "$WORK"/stats*.txt; exit 1
-fi
-grep -q 'divergent=' "$WORK/raw0.txt" \
-  || { echo "stats output missing the divergent field?"; cat "$WORK/raw0.txt"; exit 1; }
-if grep -q 'divergent=[^0]' "$WORK"/raw*.txt; then
-  echo "DIVERGENT DECISIONS OBSERVED:"; grep divergent "$WORK"/raw*.txt; exit 1
-fi
+wait_converged
 cat "$WORK/stats0.txt"
-echo "== live smoke OK: $OPS ops, linearizable reads, zero divergence, converged logs"
+
+echo "== chaos: kill -9 node 2 mid-load, finish load on survivors"
+# The chaos load targets the survivors only: hoload fails the whole run
+# on any request error, and node 2 is about to die mid-flight.
+CHAOS_OPS=$(( OPS / 2 ))
+"$WORK/hoload" -http "${HTTP[0]},${HTTP[1]}" -clients 8 -ops "$CHAOS_OPS" -writes 0.6 \
+  >"$WORK/chaos_load.log" 2>&1 &
+LOAD_PID=$!
+sleep 1
+VICTIM_PID="${PIDS[2]}"
+kill -9 "$VICTIM_PID"
+echo "   killed node 2 (pid $VICTIM_PID) with SIGKILL"
+wait "$LOAD_PID" \
+  || { echo "survivor load failed after kill -9:"; cat "$WORK/chaos_load.log"; exit 1; }
+cat "$WORK/chaos_load.log"
+
+echo "== restart node 2 from its data dir and require rejoin"
+start_node 2 "-restarted"
+wait_healthy 2
+wait_converged
+cat "$WORK/stats0.txt"
+
+echo "== live smoke OK: $OPS ops, linearizable reads, kill -9 recovery, zero divergence, converged logs"
