@@ -1,0 +1,75 @@
+// Command holint runs the repository's custom static-analysis suite
+// (internal/analysis): five analyzers that enforce the codebase's
+// load-bearing correctness contracts at compile time — determinism
+// (nodeterminism), the pure model-checked step function (purestep),
+// allocate-after-validate on wire decode paths (allocbound), errors.Is
+// sentinel matching (errcmp), and the live layer's write-ahead barrier
+// (syncbarrier). CI gates on `holint ./...`; a justified finding is
+// suppressed in place with `//holint:allow <analyzer> <reason>`.
+//
+// Usage:
+//
+//	holint [-only name,name] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit
+// status 1 means findings (printed one per line, file:line:col:
+// analyzer: message), 2 means the load itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heardof/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, az := range all {
+			fmt.Printf("%-15s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, az := range all {
+			byName[az.Name] = az
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			az, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "holint: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, az)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := analysis.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "holint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(prog, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "holint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,205 @@
+// allocbound enforces the allocate-after-validate contract on wire
+// decode paths (documented on live.BatchCodec): a length or count read
+// off the network must be bounded before it sizes an allocation,
+// otherwise a few hostile header bytes buy a giant make() — the exact
+// bug class the PR-6 fuzz targets caught in a test codec.
+//
+// The check is deliberately syntactic about "bounded": any comparison
+// mentioning the size variable earlier in the function (a guard like
+// `if n > maxEntries { return err }`, a clamp, a == length check)
+// counts as the dominating bound. That keeps false positives near zero
+// on real decoders while still catching the bug's signature, which is
+// the complete absence of a check.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocBound is the decode-path allocation analyzer.
+var AllocBound = &Analyzer{
+	Name: "allocbound",
+	Doc: "flags make() sized by decoded wire input without a dominating bound " +
+		"check in decode-path functions (allocate-after-validate)",
+	AppliesTo: inModule,
+	Run:       runAllocBound,
+}
+
+func runAllocBound(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !isDecodeContext(pass.Pkg.Info, fd) {
+				continue
+			}
+			checkDecodeAllocs(pass, fd)
+		}
+	}
+}
+
+// isDecodeContext reports whether a function is a wire-decode path:
+// its name says so, or its body reads raw bytes through
+// encoding/binary.
+func isDecodeContext(info *types.Info, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	for _, marker := range []string{"Decode", "decode", "Unmarshal", "unmarshal"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	if name == "RestoreState" { // crash-recovery instance decode (persist.go)
+		return true
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(info, call)
+		if fn != nil && funcPkgPath(fn) == "encoding/binary" && isBinaryRead(fn.Name()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkDecodeAllocs flags unbounded variable-sized make() calls in fd.
+func checkDecodeAllocs(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || info.Uses[id] != types.Universe.Lookup("make") {
+			return true
+		}
+		// Check every size argument (len, and cap if present).
+		for _, size := range call.Args[1:] {
+			if bounded, vars := sizeBounded(info, fd, call.Pos(), size); !bounded {
+				what := "expression"
+				if len(vars) > 0 {
+					what = vars[0].Name()
+				}
+				pass.Reportf(call.Pos(), "make() sized by %s in a decode path without a dominating bound check: validate the decoded size before allocating (allocate-after-validate, see live.BatchCodec)", what)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// isBinaryRead distinguishes encoding/binary's wire-reading functions
+// (decode evidence) from its writers (Put*/Append*/Write encode, they
+// prove nothing about inputs).
+func isBinaryRead(name string) bool {
+	return !strings.HasPrefix(name, "Put") && !strings.HasPrefix(name, "Append") && name != "Write"
+}
+
+// sizeBounded decides whether a make() size expression is safe:
+// constant, derived from len/cap of data already in hand, arithmetic
+// over bounded parts, clamped via the min builtin, or a variable some
+// comparison earlier in the function bounds.
+func sizeBounded(info *types.Info, fd *ast.FuncDecl, allocPos token.Pos, size ast.Expr) (bool, []*types.Var) {
+	size = ast.Unparen(size)
+	if tv, ok := info.Types[size]; ok && tv.Value != nil {
+		return true, nil // constant
+	}
+	switch e := size.(type) {
+	case *ast.BinaryExpr:
+		// Arithmetic is bounded iff both operands are.
+		lok, lvars := sizeBounded(info, fd, allocPos, e.X)
+		rok, rvars := sizeBounded(info, fd, allocPos, e.Y)
+		return lok && rok, append(lvars, rvars...)
+	case *ast.CallExpr:
+		// Unwrap conversions (int(n), uint32(n), ...) and len/cap/min.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return sizeBounded(info, fd, allocPos, e.Args[0])
+		}
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			switch info.Uses[id] {
+			case types.Universe.Lookup("len"), types.Universe.Lookup("cap"):
+				return true, nil // sized by data already in memory
+			case types.Universe.Lookup("min"):
+				// min(n, bound) is a clamp if any argument is bounded.
+				for _, a := range e.Args {
+					if ok, _ := sizeBounded(info, fd, allocPos, a); ok {
+						return true, nil
+					}
+				}
+			}
+		}
+	}
+	vars := sizeVars(info, size)
+	if len(vars) == 0 {
+		return false, nil // opaque expression: cannot argue a bound
+	}
+	for _, v := range vars {
+		if !varBoundedBefore(info, fd, allocPos, v) {
+			return false, vars
+		}
+	}
+	return true, vars
+}
+
+// sizeVars collects the variables a size expression reads.
+func sizeVars(info *types.Info, e ast.Expr) []*types.Var {
+	var vars []*types.Var
+	seen := map[*types.Var]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && !seen[v] {
+			seen[v] = true
+			vars = append(vars, v)
+		}
+		return true
+	})
+	return vars
+}
+
+// varBoundedBefore reports whether any comparison earlier in the
+// function mentions v — the syntactic stand-in for a dominating bound
+// check.
+func varBoundedBefore(info *types.Info, fd *ast.FuncDecl, allocPos token.Pos, v *types.Var) bool {
+	bounded := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Pos() >= allocPos {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			for _, sv := range sizeVars(info, side) {
+				if sv == v {
+					bounded = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return bounded
+}

@@ -1,0 +1,206 @@
+// Package analysis is holint: a suite of custom static analyzers that
+// turn the repository's prose correctness contracts into
+// compile-time-checked invariants. Each analyzer guards a contract a
+// real bug motivated (DESIGN.md §12 maps them):
+//
+//   - nodeterminism: no unordered map iteration in the
+//     determinism-contract packages, no wall clocks or entropy outside
+//     the live layer (the PR-1 acr retransmission-map bug class).
+//   - purestep: ReplicaCore, the core.Instance implementations, and
+//     everything they statically reach stay free of goroutines,
+//     channels, clocks, and I/O, so the model checker's coverage of the
+//     production step function stays sound (PR 6).
+//   - allocbound: decode paths never size an allocation from wire input
+//     without a dominating bound check (the PR-6 fuzz-caught unbounded
+//     preallocation).
+//   - errcmp: sentinel errors are matched with errors.Is, never ==
+//     (wrapped errors silently break ==).
+//   - syncbarrier: in internal/live, no envelope or ack leaves a
+//     dispatch path before Persister.Sync (the PR-7 write-ahead
+//     barrier).
+//
+// The suite is built directly on go/ast and go/types rather than
+// golang.org/x/tools/go/analysis so the repository keeps its
+// zero-dependency property; the Analyzer/Pass/Diagnostic shapes mirror
+// that package deliberately, and cmd/holint is the multichecker.
+//
+// A true positive that is justified can be suppressed with a directive
+// on, or on the line above, the flagged line:
+//
+//	//holint:allow <analyzer> <reason>
+//
+// The reason is mandatory: a suppression without one is itself a
+// diagnostic. Fixtures under testdata/ prove every analyzer kills its
+// seeded violations (the model checker's mutant discipline, applied to
+// the linter).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in diagnostics and in
+	// //holint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced contract.
+	Doc string
+	// AppliesTo reports whether the analyzer inspects a package. Nil
+	// means every loaded package.
+	AppliesTo func(pkgPath string) bool
+	// ProgramWide analyzers run once over the whole program (Pass.Pkg is
+	// nil); others run once per applicable package.
+	ProgramWide bool
+	// Run performs the check, reporting findings through the pass.
+	Run func(pass *Pass)
+}
+
+// A Pass carries one analyzer execution's inputs and collects its
+// diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	// Pkg is the package under analysis (nil for program-wide runs).
+	Pkg *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// All returns the holint suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoDeterminism,
+		PureStep,
+		AllocBound,
+		ErrCmp,
+		SyncBarrier,
+	}
+}
+
+// Run executes the analyzers over the program and returns the surviving
+// diagnostics, position-sorted: suppressed findings are dropped,
+// malformed suppression directives are themselves findings.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, az := range analyzers {
+		if az.ProgramWide {
+			az.Run(&Pass{Analyzer: az, Prog: prog, diags: &diags})
+			continue
+		}
+		for _, pkg := range prog.Pkgs {
+			if az.AppliesTo != nil && !az.AppliesTo(pkg.Path) {
+				continue
+			}
+			az.Run(&Pass{Analyzer: az, Prog: prog, Pkg: pkg, diags: &diags})
+		}
+	}
+	diags = applySuppressions(prog, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// allowDirective is the suppression marker. The full form is
+// `//holint:allow <analyzer> <reason>`; it silences that analyzer's
+// findings on its own line and on the line directly below (so it can
+// trail the flagged statement or sit above it).
+const allowDirective = "//holint:allow"
+
+var directiveRe = regexp.MustCompile(`^//holint:allow\s+([A-Za-z0-9_-]+)[ \t]*(.*)$`)
+
+// applySuppressions filters diags through the //holint:allow directives
+// found in the program's files and appends a diagnostic for every
+// malformed directive (missing analyzer or missing reason).
+func applySuppressions(prog *Program, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := make(map[key]bool)
+	known := make(map[string]bool)
+	for _, az := range All() {
+		known[az.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowDirective) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					m := directiveRe.FindStringSubmatch(c.Text)
+					switch {
+					case m == nil:
+						out = append(out, Diagnostic{Pos: pos, Analyzer: "holint",
+							Message: "malformed //holint:allow directive: want `//holint:allow <analyzer> <reason>`"})
+					case !known[m[1]]:
+						out = append(out, Diagnostic{Pos: pos, Analyzer: "holint",
+							Message: fmt.Sprintf("//holint:allow names unknown analyzer %q", m[1])})
+					case strings.TrimSpace(m[2]) == "":
+						out = append(out, Diagnostic{Pos: pos, Analyzer: "holint",
+							Message: fmt.Sprintf("//holint:allow %s needs a justification: a suppression without a reason is a contract hole", m[1])})
+					default:
+						allowed[key{pos.Filename, pos.Line, m[1]}] = true
+						allowed[key{pos.Filename, pos.Line + 1, m[1]}] = true
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// inspect walks every file of the pass's package, calling fn for each
+// node; fn returning false prunes the subtree.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

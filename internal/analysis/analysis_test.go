@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureCases runs an analyzer over its violating / clean / suppress
+// fixture trio: seeded violations must be killed exactly, clean
+// controls must stay silent, justified suppressions must hold and
+// reasonless ones must themselves be findings.
+func fixtureCases(t *testing.T, az *Analyzer) {
+	t.Helper()
+	for _, c := range []string{"violating", "clean", "suppress"} {
+		t.Run(c, func(t *testing.T) {
+			RunFixture(t, filepath.Join("testdata", az.Name, c), az)
+		})
+	}
+}
+
+func TestNoDeterminismFixtures(t *testing.T) { fixtureCases(t, NoDeterminism) }
+func TestPureStepFixtures(t *testing.T)      { fixtureCases(t, PureStep) }
+func TestAllocBoundFixtures(t *testing.T)    { fixtureCases(t, AllocBound) }
+func TestErrCmpFixtures(t *testing.T)        { fixtureCases(t, ErrCmp) }
+func TestSyncBarrierFixtures(t *testing.T)   { fixtureCases(t, SyncBarrier) }
+
+// TestDirectiveHygiene pins that malformed and unknown-analyzer
+// directives are findings regardless of which analyzers run.
+func TestDirectiveHygiene(t *testing.T) {
+	RunFixture(t, filepath.Join("testdata", "directives"))
+}
+
+// recordingTB captures harness failures so the harness itself can be
+// tested (the repository's mutant discipline, applied to the linter's
+// own test driver).
+type recordingTB struct {
+	errors []string
+	fatals []string
+}
+
+func (r *recordingTB) Helper() {}
+func (r *recordingTB) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+func (r *recordingTB) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+
+// TestHarnessReportsMismatches proves RunFixture fails loudly in both
+// directions: a diagnostic no want claims, and a want no diagnostic
+// matches. Without this, a broken analyzer and a broken fixture would
+// both pass silently.
+func TestHarnessReportsMismatches(t *testing.T) {
+	rec := &recordingTB{}
+	RunFixture(rec, filepath.Join("testdata", "harness", "mismatch"), ErrCmp)
+	if len(rec.fatals) > 0 {
+		t.Fatalf("fixture failed to load: %v", rec.fatals)
+	}
+	if len(rec.errors) != 2 {
+		t.Fatalf("got %d harness errors, want 2: %v", len(rec.errors), rec.errors)
+	}
+	if !strings.Contains(rec.errors[0], "unexpected diagnostic") {
+		t.Errorf("first error should report the unclaimed diagnostic: %s", rec.errors[0])
+	}
+	if !strings.Contains(rec.errors[1], "no diagnostic matched") {
+		t.Errorf("second error should report the unmatched want: %s", rec.errors[1])
+	}
+}
+
+// TestAllRegistersEveryAnalyzer pins the registry: an analyzer missing
+// from All() never runs under cmd/holint and its directives would be
+// rejected as unknown.
+func TestAllRegistersEveryAnalyzer(t *testing.T) {
+	names := map[string]bool{}
+	for _, az := range All() {
+		if az.Name == "" || az.Doc == "" || az.Run == nil {
+			t.Errorf("analyzer %q is missing a name, doc, or run function", az.Name)
+		}
+		if names[az.Name] {
+			t.Errorf("duplicate analyzer name %q", az.Name)
+		}
+		names[az.Name] = true
+	}
+	for _, want := range []string{"nodeterminism", "purestep", "allocbound", "errcmp", "syncbarrier"} {
+		if !names[want] {
+			t.Errorf("All() is missing %q", want)
+		}
+	}
+}
+
+// TestRepositoryIsClean runs the whole suite over the repository — the
+// same gate CI's lint job applies through cmd/holint.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check")
+	}
+	prog, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(prog, All()) {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,307 @@
+// The fixture harness behind the holint test suite, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+// A fixture is a GOPATH-shaped tree — testdata/<case>/src/<import
+// path>/*.go — whose files carry expectations as trailing comments:
+//
+//	for k := range m { // want `nodeterminism: map iteration`
+//
+// Each `// want` holds one or more quoted regular expressions; every
+// expectation must be matched by a diagnostic on its line, and every
+// diagnostic must be claimed by an expectation, so a fixture pins the
+// analyzer's findings exactly — seeded violations must be killed and
+// clean controls must stay silent. Expectations are matched against
+// "analyzer: message" so a fixture can pin which analyzer fired.
+//
+// Fixture import paths may (and for path-scoped analyzers must) shadow
+// real module paths like heardof/internal/live: fixture packages
+// resolve against each other first and the standard library's export
+// data second, never against the real repository, so a fixture can
+// seed violations into a miniature copy of a contract package.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TB is the subset of testing.TB the harness reports through (an
+// interface so the package itself does not import testing).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// expectation is one parsed `// want` regexp, anchored to a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunFixture loads the fixture tree rooted at dir (dir/src/<import
+// path>/*.go), runs the analyzers over it, and compares the resulting
+// diagnostics against the fixture's `// want` expectations.
+func RunFixture(tb TB, dir string, analyzers ...*Analyzer) {
+	tb.Helper()
+	prog, wants, err := loadFixture(dir)
+	if err != nil {
+		tb.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := Run(prog, analyzers)
+
+	for _, d := range diags {
+		got := d.Analyzer + ": " + d.Message
+		claimed := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(got) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			tb.Errorf("%s: unexpected diagnostic: %s", posLabel(d.Pos.Filename, d.Pos.Line, dir), got)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			tb.Errorf("%s: no diagnostic matched `%s`", posLabel(w.file, w.line, dir), w.re)
+		}
+	}
+}
+
+// posLabel renders a fixture-relative file:line for failure messages.
+func posLabel(file string, line int, dir string) string {
+	if rel, err := filepath.Rel(dir, file); err == nil {
+		file = rel
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// wantRe splits a source line into code and its `// want` suffix;
+// wantArgRe tokenizes the suffix's quoted regexps (backquoted or
+// double-quoted).
+var (
+	wantRe    = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantArgRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+)
+
+// extractWants parses a fixture file's expectations and blanks them
+// out of the returned source (preserving byte offsets), so that a
+// `// want` trailing a //holint:allow directive never becomes part of
+// the directive's reason text.
+func extractWants(filename string, src []byte) ([]byte, []*expectation, error) {
+	var wants []*expectation
+	out := append([]byte(nil), src...)
+	for lineNo, line := 1, 0; line < len(out); lineNo++ {
+		end := line
+		for end < len(out) && out[end] != '\n' {
+			end++
+		}
+		if loc := wantRe.FindSubmatchIndex(out[line:end]); loc != nil {
+			args := string(out[line+loc[2] : line+loc[3]])
+			matches := wantArgRe.FindAllStringSubmatch(args, -1)
+			if len(matches) == 0 {
+				return nil, nil, fmt.Errorf("%s:%d: `// want` with no quoted regexp", filename, lineNo)
+			}
+			for _, m := range matches {
+				text := m[1]
+				if m[2] != "" || (text == "" && strings.HasPrefix(m[0], `"`)) {
+					unq, err := strconv.Unquote(m[0])
+					if err != nil {
+						return nil, nil, fmt.Errorf("%s:%d: bad want string %s: %v", filename, lineNo, m[0], err)
+					}
+					text = unq
+				}
+				re, err := regexp.Compile(text)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s:%d: bad want regexp: %v", filename, lineNo, err)
+				}
+				wants = append(wants, &expectation{file: filename, line: lineNo, re: re})
+			}
+			for i := line + loc[0]; i < end; i++ {
+				out[i] = ' '
+			}
+		}
+		line = end + 1
+	}
+	return out, wants, nil
+}
+
+// loadFixture parses and type-checks every package under dir/src,
+// returning the analyzable program and the fixture's expectations.
+func loadFixture(dir string) (*Program, []*expectation, error) {
+	srcRoot := filepath.Join(dir, "src")
+	fset := token.NewFileSet()
+	files := make(map[string][]*ast.File) // import path -> parsed files
+	var wants []*expectation
+	var paths []string
+
+	err := filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		rel, err := filepath.Rel(srcRoot, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		pkgPath := filepath.ToSlash(rel)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		blanked, w, err := extractWants(path, src)
+		if err != nil {
+			return err
+		}
+		wants = append(wants, w...)
+		f, err := parser.ParseFile(fset, path, blanked, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if len(files[pkgPath]) == 0 {
+			paths = append(paths, pkgPath)
+		}
+		files[pkgPath] = append(files[pkgPath], f)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("no .go files under %s", srcRoot)
+	}
+	sort.Strings(paths)
+
+	std, err := stdImporter(fset, files)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := &Program{Fset: fset, funcs: make(map[*types.Func]*FuncSource)}
+	fl := &fixtureLoader{
+		prog:    prog,
+		files:   files,
+		checked: make(map[string]*types.Package),
+		std:     std,
+	}
+	for _, path := range paths {
+		if _, err := fl.check(path, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	prog.indexFuncs()
+	return prog, wants, nil
+}
+
+// stdImporter builds the export-data importer covering every
+// non-fixture import the fixture files mention (one `go list` call).
+func stdImporter(fset *token.FileSet, files map[string][]*ast.File) (types.Importer, error) {
+	external := make(map[string]bool)
+	for _, fs := range files {
+		for _, f := range fs {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if _, fixture := files[path]; !fixture {
+					external[path] = true
+				}
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(external) > 0 {
+		patterns := make([]string, 0, len(external))
+		for path := range external {
+			patterns = append(patterns, path)
+		}
+		sort.Strings(patterns)
+		listed, err := goList("", patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		p, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("fixture: no export data for %q", path)
+		}
+		return os.Open(p)
+	}
+	return importer.ForCompiler(fset, "gc", lookup), nil
+}
+
+// fixtureLoader type-checks fixture packages in dependency order,
+// resolving imports fixture-first, export-data second.
+type fixtureLoader struct {
+	prog    *Program
+	files   map[string][]*ast.File
+	checked map[string]*types.Package
+	std     types.Importer
+}
+
+// Import implements types.Importer.
+func (fl *fixtureLoader) Import(path string) (*types.Package, error) {
+	if _, ok := fl.files[path]; ok {
+		return fl.check(path, nil)
+	}
+	return fl.std.Import(path)
+}
+
+// check type-checks one fixture package (memoized).
+func (fl *fixtureLoader) check(path string, stack []string) (*types.Package, error) {
+	if tp, ok := fl.checked[path]; ok {
+		return tp, nil
+	}
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("fixture import cycle through %s", path)
+		}
+	}
+	for _, f := range fl.files[path] {
+		for _, imp := range f.Imports {
+			dep, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, fixture := fl.files[dep]; fixture {
+				if _, err := fl.check(dep, append(stack, path)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: fl}
+	tp, err := conf.Check(path, fl.prog.Fset, fl.files[path], info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	fl.checked[path] = tp
+	fl.prog.Pkgs = append(fl.prog.Pkgs, &Package{Path: path, Files: fl.files[path], Types: tp, Info: info})
+	return tp, nil
+}

@@ -1,0 +1,116 @@
+// AST/type-resolution helpers shared by the holint analyzers.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// modulePrefix scopes path-based checks to this repository's packages.
+const modulePrefix = "heardof"
+
+// calleeOf resolves a call expression's static callee to its (generic
+// origin) function object. Dynamic calls through function values return
+// nil; interface-method calls return the interface method.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = x
+		} else if s, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = s.Sel
+		}
+	case *ast.IndexListExpr:
+		if x, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = x
+		} else if s, ok := ast.Unparen(fun.X).(*ast.SelectorExpr); ok {
+			id = s.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	if fn, ok := info.Uses[id].(*types.Func); ok {
+		return fn.Origin()
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring fn
+// ("" for builtins).
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface (so
+// a call through it is dynamic).
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// recvNamed returns the named type of fn's receiver, dereferencing one
+// pointer, or nil for non-methods.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t satisfies the error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// pkgLevelVar resolves an expression to the package-level variable it
+// names (an ident or a pkg.Name selector), or nil.
+func pkgLevelVar(info *types.Info, e ast.Expr) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return nil
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	return v
+}
+
+// inModule reports whether an import path belongs to this repository.
+func inModule(path string) bool {
+	return path == modulePrefix || strings.HasPrefix(path, modulePrefix+"/")
+}

@@ -1,0 +1,259 @@
+// The package loader behind holint: an offline, dependency-free stand-in
+// for golang.org/x/tools/go/packages. It shells out to `go list -export
+// -deps` once for the package graph, type-checks the module's own
+// packages from source (the analyzers need ASTs with full type
+// information), and resolves every out-of-module import — the standard
+// library — through the compiler's export data, so a run needs neither
+// network access nor a populated module cache.
+
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked module package under analysis.
+type Package struct {
+	// Path is the package's import path (e.g. heardof/internal/live).
+	Path string
+	// Files are the package's parsed non-test sources, with comments.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a load result: every module package matched by the load
+// patterns, type-checked, plus the indexes program-wide analyzers need.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs holds the module packages in a deterministic (path) order.
+	Pkgs []*Package
+
+	funcs map[*types.Func]*FuncSource
+}
+
+// FuncSource locates a function declaration in the program.
+type FuncSource struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// FuncDecl resolves a function object (its generic origin) to its
+// declaration, if the function is declared in a loaded module package.
+func (p *Program) FuncDecl(fn *types.Func) (*FuncSource, bool) {
+	fs, ok := p.funcs[fn.Origin()]
+	return fs, ok
+}
+
+// PackageByPath returns the loaded package with the given import path.
+func (p *Program) PackageByPath(path string) (*Package, bool) {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg, true
+		}
+	}
+	return nil, false
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the module packages matched by patterns (run from
+// dir; empty dir means the current directory). Standard-library imports
+// resolve through export data, so loading works fully offline.
+func Load(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listedPackage, len(listed))
+	var modulePaths []string
+	for _, lp := range listed {
+		byPath[lp.ImportPath] = lp
+		if !lp.Standard && lp.Name != "" {
+			modulePaths = append(modulePaths, lp.ImportPath)
+		}
+	}
+	sort.Strings(modulePaths)
+
+	prog := &Program{
+		Fset:  token.NewFileSet(),
+		funcs: make(map[*types.Func]*FuncSource),
+	}
+	ld := &loader{
+		prog:    prog,
+		byPath:  byPath,
+		checked: make(map[string]*types.Package),
+	}
+	ld.exportImporter = importer.ForCompiler(prog.Fset, "gc", ld.lookupExport)
+
+	for _, path := range modulePaths {
+		if _, err := ld.check(path, nil); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
+	prog.indexFuncs()
+	return prog, nil
+}
+
+// goList runs `go list -e -export -deps -json` and decodes the stream.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkgs = append(pkgs, &lp)
+	}
+	return pkgs, nil
+}
+
+// loader resolves imports while type-checking module packages in
+// dependency order.
+type loader struct {
+	prog           *Program
+	byPath         map[string]*listedPackage
+	checked        map[string]*types.Package // module packages checked from source
+	exportImporter types.Importer            // everything else, via export data
+}
+
+// lookupExport serves a package's compiler export data to the gc
+// importer (which resolves transitive references through this same
+// lookup, so the -deps closure covers everything it will ask for).
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	lp, ok := ld.byPath[path]
+	if !ok || lp.Export == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(lp.Export)
+}
+
+// Import implements types.Importer for module-internal imports first,
+// falling back to export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := ld.byPath[path]; ok && !lp.Standard {
+		return ld.check(path, nil)
+	}
+	return ld.exportImporter.Import(path)
+}
+
+// check type-checks one module package from source (memoized).
+func (ld *loader) check(path string, stack []string) (*types.Package, error) {
+	if tp, ok := ld.checked[path]; ok {
+		return tp, nil
+	}
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+	}
+	lp := ld.byPath[path]
+	if lp == nil {
+		return nil, fmt.Errorf("package %q not in load graph", path)
+	}
+	// Check dependencies first so type identities are shared.
+	for _, imp := range lp.Imports {
+		if real, ok := lp.ImportMap[imp]; ok {
+			imp = real
+		}
+		if dep, ok := ld.byPath[imp]; ok && !dep.Standard && imp != "unsafe" {
+			if _, err := ld.check(imp, append(stack, path)); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(ld.prog.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: ld}
+	tp, err := conf.Check(path, ld.prog.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	ld.checked[path] = tp
+	ld.prog.Pkgs = append(ld.prog.Pkgs, &Package{Path: path, Files: files, Types: tp, Info: info})
+	return tp, nil
+}
+
+// newTypesInfo allocates the go/types fact maps the analyzers consume.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// indexFuncs maps every declared function object to its declaration.
+func (p *Program) indexFuncs() {
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					p.funcs[fn.Origin()] = &FuncSource{Pkg: pkg, Decl: fd}
+				}
+			}
+		}
+	}
+}

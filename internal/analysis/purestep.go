@@ -1,0 +1,220 @@
+// purestep enforces the pure step-function contract from PR 6: the
+// exhaustive model checker (internal/modelcheck) explores the
+// PRODUCTION protocol code — ReplicaCore and the core.Instance
+// algorithm implementations — so that code must stay a pure function
+// of its inputs: no goroutines, no channel operations, no wall clocks,
+// no ambient entropy, no direct I/O. Anything impure would exist only
+// on the production path, exactly the gap between model and deployment
+// the shared-core architecture exists to close.
+//
+// The check walks the static call graph from the contract roots (every
+// function of the algorithm packages, every ReplicaCore method, every
+// method of a core.Instance implementation) through the module's own
+// functions. Calls through interfaces (Persister, BatchCodec, Codec,
+// Instance itself) are the declared soundness boundary — the same
+// boundary the model checker assumes, documented on those interfaces —
+// and are not chased.
+
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pureStepAlgorithmPkgs are packages whose entire contents are pure-step
+// roots (the live algorithm implementations and their wire codecs).
+var pureStepAlgorithmPkgs = map[string]bool{
+	"heardof/internal/otr":        true,
+	"heardof/internal/lastvoting": true,
+}
+
+// pureStepCorePkg/pureStepCoreType name the shared protocol core whose
+// methods are roots.
+const (
+	pureStepCorePkg      = "heardof/internal/live"
+	pureStepCoreType     = "ReplicaCore"
+	pureStepInstancePkg  = "heardof/internal/core"
+	pureStepInstanceName = "Instance"
+)
+
+// pureStepDenyPkgs are packages whose functions a pure step must not
+// call directly. (Interface dispatch is the declared boundary and is
+// not chased; these catch hard-wired impurity.)
+var pureStepDenyPkgs = map[string]string{
+	"os":           "file and system I/O",
+	"os/exec":      "process execution",
+	"os/signal":    "signal handling",
+	"net":          "network I/O",
+	"net/http":     "network I/O",
+	"syscall":      "raw system calls",
+	"math/rand":    "ambient entropy",
+	"math/rand/v2": "ambient entropy",
+	"crypto/rand":  "ambient entropy",
+	"sync":         "goroutine coordination",
+	"sync/atomic":  "goroutine coordination",
+	"runtime":      "runtime manipulation",
+}
+
+// PureStep is the pure step-function analyzer.
+var PureStep = &Analyzer{
+	Name: "purestep",
+	Doc: "enforces that ReplicaCore, the core.Instance implementations, and " +
+		"everything they statically reach spawn no goroutines and touch no " +
+		"channels, clocks, entropy, or I/O (the model checker's soundness contract)",
+	ProgramWide: true,
+	Run:         runPureStep,
+}
+
+func runPureStep(pass *Pass) {
+	roots := pureStepRoots(pass.Prog)
+
+	type workItem struct {
+		fn   *types.Func
+		root string
+	}
+	var queue []workItem
+	for _, r := range roots {
+		queue = append(queue, workItem{r.fn, r.why})
+	}
+	visited := make(map[*types.Func]bool)
+
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		if visited[item.fn] {
+			continue
+		}
+		visited[item.fn] = true
+		src, ok := pass.Prog.FuncDecl(item.fn)
+		if !ok || src.Decl.Body == nil {
+			continue
+		}
+		info := src.Pkg.Info
+		label := item.fn.FullName()
+		ast.Inspect(src.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "%s (pure-step: %s) spawns a goroutine; the model checker cannot explore concurrency inside a step", label, item.root)
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "%s (pure-step: %s) sends on a channel; steps communicate only through their StepResult", label, item.root)
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "%s (pure-step: %s) receives from a channel; steps take input only through their Event", label, item.root)
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "%s (pure-step: %s) selects on channels; scheduling belongs to the shell, not the core", label, item.root)
+			case *ast.RangeStmt:
+				if tv, ok := info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "%s (pure-step: %s) ranges over a channel", label, item.root)
+					}
+				}
+			case *ast.CallExpr:
+				if diag := pureStepCheckCall(pass, info, n, label, item.root); diag != nil {
+					queue = append(queue, workItem{diag, item.root})
+				}
+			}
+			return true
+		})
+	}
+}
+
+// pureStepCheckCall vets one call site, reporting impurity; it returns
+// a module-internal callee to traverse into, or nil.
+func pureStepCheckCall(pass *Pass, info *types.Info, call *ast.CallExpr, label, root string) *types.Func {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch info.Uses[id] {
+		case types.Universe.Lookup("close"):
+			pass.Reportf(call.Pos(), "%s (pure-step: %s) closes a channel", label, root)
+			return nil
+		case types.Universe.Lookup("make"):
+			if len(call.Args) > 0 {
+				if tv, ok := info.Types[call.Args[0]]; ok && tv.IsType() {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(call.Pos(), "%s (pure-step: %s) makes a channel", label, root)
+					}
+				}
+			}
+			return nil
+		}
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || isInterfaceMethod(fn) {
+		return nil // dynamic or interface-boundary call: not chased
+	}
+	pkgPath := funcPkgPath(fn)
+	switch {
+	case pkgPath == "" || inModule(pkgPath):
+		if _, ok := pass.Prog.FuncDecl(fn); ok {
+			return fn
+		}
+		return nil
+	case pkgPath == "time" && clockFuncs[fn.Name()]:
+		pass.Reportf(call.Pos(), "%s (pure-step: %s) calls time.%s: the step function must not read the wall clock", label, root, fn.Name())
+	default:
+		if why, deny := pureStepDenyPkgs[pkgPath]; deny {
+			pass.Reportf(call.Pos(), "%s (pure-step: %s) calls %s.%s (%s): a pure step performs no I/O or concurrency", label, root, pkgPath, fn.Name(), why)
+		}
+	}
+	return nil
+}
+
+// pureStepRoot is one contract entry point.
+type pureStepRoot struct {
+	fn  *types.Func
+	why string
+}
+
+// pureStepRoots gathers the contract roots present in the program.
+func pureStepRoots(prog *Program) []pureStepRoot {
+	var roots []pureStepRoot
+	add := func(fn *types.Func, why string) {
+		roots = append(roots, pureStepRoot{fn, why})
+	}
+
+	// The core.Instance interface, if its package is loaded, marks every
+	// implementing named type's methods as roots.
+	var instanceIface *types.Interface
+	if corePkg, ok := prog.PackageByPath(pureStepInstancePkg); ok {
+		if tn, ok := corePkg.Types.Scope().Lookup(pureStepInstanceName).(*types.TypeName); ok {
+			instanceIface, _ = tn.Type().Underlying().(*types.Interface)
+		}
+	}
+
+	for _, pkg := range prog.Pkgs {
+		wholePkg := pureStepAlgorithmPkgs[pkg.Path]
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			switch obj := scope.Lookup(name).(type) {
+			case *types.Func:
+				if wholePkg {
+					add(obj, fmt.Sprintf("algorithm package %s", pkg.Path))
+				}
+			case *types.TypeName:
+				named, ok := obj.Type().(*types.Named)
+				if !ok {
+					continue
+				}
+				isCore := pkg.Path == pureStepCorePkg && obj.Name() == pureStepCoreType
+				implementsInstance := instanceIface != nil && named.TypeParams() == nil &&
+					(types.Implements(named, instanceIface) || types.Implements(types.NewPointer(named), instanceIface))
+				if !wholePkg && !isCore && !implementsInstance {
+					continue
+				}
+				why := fmt.Sprintf("algorithm package %s", pkg.Path)
+				if isCore {
+					why = "ReplicaCore, the model-checked protocol core"
+				} else if implementsInstance && !wholePkg {
+					why = fmt.Sprintf("%s implements core.Instance", obj.Name())
+				}
+				for i := 0; i < named.NumMethods(); i++ {
+					add(named.Method(i).Origin(), why)
+				}
+			}
+		}
+	}
+	return roots
+}

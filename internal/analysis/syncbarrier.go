@@ -1,0 +1,232 @@
+// syncbarrier protects the PR-7 write-ahead barrier in internal/live:
+// a dispatch path — any function that runs a ReplicaCore step — must
+// make the step's saved protocol facts durable (one Persister.Sync)
+// BEFORE any of the step's output becomes externally visible: before
+// envelopes reach the transport and before waiter acks are sent. An
+// envelope or ack that leaves first would let a peer or client observe
+// state the disk does not hold, turning the next crash into exactly
+// the split-brain the log exists to prevent.
+//
+// Mechanically: in every function that calls ReplicaCore.Step, each
+// visible effect after the Step call — a Transport.Send (directly or
+// through a helper that reaches one), or a channel send — must come
+// after a Persister.Sync call in that same function. The nil-persister
+// guard (`if cfg.Persist != nil { … Sync() }`) satisfies the check:
+// what the analyzer pins is the ORDER of the barrier relative to the
+// effects, the refactor hazard that reintroduces the bug.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SyncBarrier is the write-ahead-barrier analyzer.
+var SyncBarrier = &Analyzer{
+	Name: "syncbarrier",
+	Doc: "in internal/live, flags dispatch paths where envelopes or acks can " +
+		"leave before Persister.Sync (the write-ahead barrier of DESIGN.md §11)",
+	AppliesTo: func(path string) bool { return path == "heardof/internal/live" },
+	Run:       runSyncBarrier,
+}
+
+func runSyncBarrier(pass *Pass) {
+	pkg := pass.Pkg
+	scope := pkg.Types.Scope()
+	transportIface := namedInterface(scope, "Transport")
+	persisterIface := namedInterface(scope, "Persister")
+	stepMethods := methodsNamed(scope, "ReplicaCore", "Step")
+	if transportIface == nil || len(stepMethods) == 0 {
+		return // the package under this contract always declares both
+	}
+
+	// Pass 1: which package functions can emit an envelope — call
+	// Transport.Send directly, or reach a function that does?
+	emitters := make(map[*types.Func]bool)
+	decls := packageFuncs(pkg)
+	for fn, fd := range decls {
+		if bodyCallsTransportSend(pkg.Info, fd, transportIface) {
+			emitters[fn] = true
+		}
+	}
+	for changed := true; changed; { // transitive closure over static calls
+		changed = false
+		for fn, fd := range decls {
+			if emitters[fn] {
+				continue
+			}
+			callsEmitter := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if callee := calleeOf(pkg.Info, call); callee != nil && emitters[callee] {
+						callsEmitter = true
+					}
+				}
+				return !callsEmitter
+			})
+			if callsEmitter {
+				emitters[fn] = true
+				changed = true
+			}
+		}
+	}
+
+	// Pass 2: vet every dispatch path (function calling ReplicaCore.Step).
+	for _, fd := range decls {
+		checkDispatchPath(pass, fd, stepMethods, persisterIface, transportIface, emitters)
+	}
+}
+
+// checkDispatchPath enforces Step ≺ Sync ≺ {sends, acks} positionally
+// within one function.
+func checkDispatchPath(pass *Pass, fd *ast.FuncDecl, stepMethods map[*types.Func]bool, persisterIface, transportIface *types.Interface, emitters map[*types.Func]bool) {
+	info := pass.Pkg.Info
+	stepPos := ast.Node(nil)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if stepPos != nil {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := calleeOf(info, call); callee != nil && stepMethods[callee] {
+				stepPos = call
+			}
+		}
+		return true
+	})
+	if stepPos == nil {
+		return // not a dispatch path
+	}
+
+	// Locate the barrier: the first Persister.Sync after the step.
+	syncPos := token.NoPos
+	if persisterIface != nil {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if syncPos.IsValid() {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || call.Pos() < stepPos.Pos() {
+				return true
+			}
+			if isIfaceMethodCall(info, call, persisterIface, "Sync") {
+				syncPos = call.Pos()
+			}
+			return true
+		})
+	}
+
+	report := func(n ast.Node, what string) {
+		pass.Reportf(n.Pos(), "%s in %s before the Persister.Sync barrier: a peer or client could observe state the log does not hold (write-ahead barrier, DESIGN.md §11)", what, fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || !n.Pos().IsValid() || n.Pos() <= stepPos.Pos() {
+			return true
+		}
+		early := !syncPos.IsValid() || n.Pos() < syncPos
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if early {
+				report(n, "ack leaves (channel send)")
+			}
+		case *ast.CallExpr:
+			if !early {
+				return true
+			}
+			if isIfaceMethodCall(info, n, transportIface, "Send") {
+				report(n, "envelope leaves (Transport.Send)")
+			} else if callee := calleeOf(info, n); callee != nil && emitters[callee] {
+				report(n, "envelope leaves (via "+callee.Name()+")")
+			}
+		}
+		return true
+	})
+}
+
+// namedInterface resolves a package-scope interface type by name.
+func namedInterface(scope *types.Scope, name string) *types.Interface {
+	tn, ok := scope.Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, _ := tn.Type().Underlying().(*types.Interface)
+	return iface
+}
+
+// methodsNamed collects a named type's methods with the given name
+// (generic origin), keyed for call-site matching.
+func methodsNamed(scope *types.Scope, typeName, method string) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	tn, ok := scope.Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return out
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return out
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			out[m.Origin()] = true
+		}
+	}
+	return out
+}
+
+// packageFuncs indexes the package's function declarations by object.
+func packageFuncs(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn.Origin()] = fd
+			}
+		}
+	}
+	return out
+}
+
+// bodyCallsTransportSend reports whether fd directly calls Send on a
+// value whose type is (or implements) the Transport interface.
+func bodyCallsTransportSend(info *types.Info, fd *ast.FuncDecl, transport *types.Interface) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isIfaceMethodCall(info, call, transport, "Send") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isIfaceMethodCall reports whether call invokes a method with the
+// given name on a receiver that is — or implements — iface.
+func isIfaceMethodCall(info *types.Info, call *ast.CallExpr, iface *types.Interface, name string) bool {
+	if iface == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	return types.Implements(recv, iface) ||
+		types.Implements(types.NewPointer(recv), iface) ||
+		types.Identical(recv.Underlying(), iface)
+}

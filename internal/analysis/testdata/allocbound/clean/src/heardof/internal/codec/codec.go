@@ -1,0 +1,44 @@
+// Package codec is a fixture: the clean control for allocbound —
+// validated, clamped, len-derived, and encode-side allocations all
+// stay legal.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// ErrFrame reports an oversized frame.
+var ErrFrame = errors.New("codec: frame length exceeds payload")
+
+// DecodeFrame validates the decoded length before allocating.
+func DecodeFrame(b []byte) ([]byte, error) {
+	n := binary.BigEndian.Uint32(b)
+	if int(n) > len(b)-4 {
+		return nil, ErrFrame
+	}
+	buf := make([]byte, int(n))
+	copy(buf, b[4:])
+	return buf, nil
+}
+
+// decodeAll sizes from data already in hand (len/cap arithmetic).
+func decodeAll(b []byte) []byte {
+	out := make([]byte, len(b), len(b)+8)
+	copy(out, b)
+	return out
+}
+
+// decodeClamped bounds the count with the min builtin.
+func decodeClamped(b []byte) []uint64 {
+	count, _ := binary.Uvarint(b)
+	return make([]uint64, min(int(count), 1024))
+}
+
+// Encode is a writer: Put* calls are not decode evidence, so its
+// length-derived allocation needs no guard.
+func Encode(v uint32, payload []byte) []byte {
+	buf := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, v)
+	return append(buf, payload...)
+}

@@ -1,0 +1,19 @@
+// Package codec is a fixture: suppression discipline for allocbound.
+package codec
+
+import "encoding/binary"
+
+// DecodeTrusted carries a justified suppression.
+func DecodeTrusted(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	//holint:allow allocbound fixture: b is a local file this process wrote, not wire input
+	return make([]byte, int(n))
+}
+
+// DecodeBare carries a reasonless suppression: the hole and the
+// unsuppressed finding both surface.
+func DecodeBare(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	//holint:allow allocbound // want `holint: //holint:allow allocbound needs a justification`
+	return make([]byte, int(n)) // want `allocbound: make\(\) sized by n in a decode path`
+}

@@ -1,0 +1,19 @@
+// Package codec is a fixture: decode paths sizing allocations from
+// wire input with no dominating bound check.
+package codec
+
+import "encoding/binary"
+
+// DecodeFrame reads a length prefix and allocates without a bound.
+func DecodeFrame(b []byte) []byte {
+	n := binary.BigEndian.Uint32(b)
+	buf := make([]byte, int(n)) // want `allocbound: make\(\) sized by n in a decode path`
+	copy(buf, b[4:])
+	return buf
+}
+
+// unmarshalEntries sizes a map from a decoded count.
+func unmarshalEntries(b []byte) map[uint64]uint64 {
+	count, _ := binary.Uvarint(b)
+	return make(map[uint64]uint64, count) // want `allocbound: make\(\) sized by count in a decode path`
+}

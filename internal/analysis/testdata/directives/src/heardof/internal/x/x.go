@@ -1,0 +1,9 @@
+// Package x is a fixture: directive hygiene the framework itself
+// enforces, independent of which analyzers run.
+package x
+
+//holint:allow // want `holint: malformed //holint:allow directive`
+func A() {}
+
+//holint:allow nosuchanalyzer because reasons // want `holint: //holint:allow names unknown analyzer "nosuchanalyzer"`
+func B() {}

@@ -1,0 +1,21 @@
+// Package wire is a fixture: the clean control for errcmp —
+// errors.Is, nil checks, and non-sentinel comparisons all stay legal.
+package wire
+
+import "errors"
+
+// ErrClosed is the package sentinel.
+var ErrClosed = errors.New("wire: closed")
+
+// IsClosed matches through errors.Is.
+func IsClosed(err error) bool { return errors.Is(err, ErrClosed) }
+
+// Done treats nil specially; == nil is not a sentinel comparison.
+func Done(err error) bool { return err == nil }
+
+// SameCode compares non-error values.
+func SameCode(a, b int) bool { return a == b }
+
+// matches compares two locals: neither side is a package-level
+// sentinel, so identity comparison is the caller's business.
+func matches(err, target error) bool { return err == target }

@@ -1,0 +1,20 @@
+// Package wire is a fixture: suppression discipline for errcmp.
+package wire
+
+import "errors"
+
+// ErrMarker is a sentinel never wrapped by construction.
+var ErrMarker = errors.New("wire: marker")
+
+// IsMarker carries a justified suppression.
+func IsMarker(err error) bool {
+	//holint:allow errcmp fixture: identity marker, never wrapped by construction
+	return err == ErrMarker
+}
+
+// HasMarker carries a reasonless suppression: the hole and the
+// unsuppressed finding both surface.
+func HasMarker(err error) bool {
+	//holint:allow errcmp // want `holint: //holint:allow errcmp needs a justification`
+	return err == ErrMarker // want `errcmp: == comparison against sentinel ErrMarker`
+}

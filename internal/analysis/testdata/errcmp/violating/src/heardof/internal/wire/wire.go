@@ -1,0 +1,32 @@
+// Package wire is a fixture: sentinel errors matched with == / != /
+// switch, the comparisons that silently break once a call site wraps.
+package wire
+
+import "errors"
+
+// ErrClosed is the package sentinel.
+var ErrClosed = errors.New("wire: closed")
+
+// IsClosed matches the sentinel the fragile way.
+func IsClosed(err error) bool {
+	return err == ErrClosed // want `errcmp: == comparison against sentinel ErrClosed`
+}
+
+// Open reports non-closed errors.
+func Open(err error) bool {
+	if ErrClosed != err { // want `errcmp: != comparison against sentinel ErrClosed`
+		return true
+	}
+	return false
+}
+
+// Classify switches on the error value.
+func Classify(err error) string {
+	switch err {
+	case ErrClosed: // want `errcmp: switch case matches sentinel ErrClosed`
+		return "closed"
+	case nil:
+		return "ok"
+	}
+	return "other"
+}

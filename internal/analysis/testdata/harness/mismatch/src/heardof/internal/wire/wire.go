@@ -1,0 +1,19 @@
+// Package wire is a fixture driven through a recording TB by the
+// harness's own test: one diagnostic no want claims, and one want no
+// diagnostic ever matches, so RunFixture must fail in both directions.
+package wire
+
+import "errors"
+
+// ErrGone is the sentinel.
+var ErrGone = errors.New("wire: gone")
+
+// IsGone compares with == and deliberately carries no want.
+func IsGone(err error) bool {
+	return err == ErrGone
+}
+
+// Fine is clean but wants a diagnostic anyway.
+func Fine() int {
+	return 1 // want `errcmp: impossible`
+}

@@ -1,0 +1,8 @@
+// Package live is a fixture: the live layer's clocks are exempt — its
+// whole point is real time.
+package live
+
+import "time"
+
+// Uptime reads the wall clock legally.
+func Uptime(start time.Time) time.Duration { return time.Since(start) }

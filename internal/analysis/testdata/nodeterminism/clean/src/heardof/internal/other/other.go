@@ -1,0 +1,13 @@
+// Package other is a fixture: map iteration outside the
+// determinism-contract packages stays legal.
+package other
+
+// Count folds a map; this package is not under the byte-identical
+// output contract, so the unordered range is fine.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,19 @@
+// Package sweep is a fixture: the clean control for a
+// determinism-contract package — ordered folds, duration arithmetic
+// without clock reads.
+package sweep
+
+import "time"
+
+// Sum folds a slice in index order.
+func Sum(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}
+
+// Stretch does duration arithmetic: time TYPES are legal, clock READS
+// are not.
+func Stretch(d time.Duration) time.Duration { return 2 * d }

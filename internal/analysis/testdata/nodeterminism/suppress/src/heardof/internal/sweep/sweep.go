@@ -1,0 +1,27 @@
+// Package sweep is a fixture: suppression discipline for
+// nodeterminism — a justified //holint:allow silences a finding, a
+// reasonless one is itself a finding and suppresses nothing.
+package sweep
+
+// MaxKey is an order-insensitive fold, justified.
+func MaxKey(m map[int]int) int {
+	best := 0
+	//holint:allow nodeterminism commutative max fold; iteration order cannot change the result
+	for k := range m {
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+// Sum carries a suppression with no justification: both the hole and
+// the unsuppressed finding surface.
+func Sum(m map[int]int) int {
+	total := 0
+	//holint:allow nodeterminism // want `holint: //holint:allow nodeterminism needs a justification`
+	for k := range m { // want `nodeterminism: map iteration order is nondeterministic`
+		total += k
+	}
+	return total
+}

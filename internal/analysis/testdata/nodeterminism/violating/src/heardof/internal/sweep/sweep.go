@@ -1,0 +1,25 @@
+// Package sweep is a fixture: a determinism-contract package with
+// seeded violations (unordered map fold, wall clock, ambient entropy).
+package sweep
+
+import (
+	"math/rand" // want `nodeterminism: import of math/rand`
+	"time"
+)
+
+// Sum folds a map in iteration order.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `nodeterminism: map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `nodeterminism: time.Now reads the wall clock`
+}
+
+// Draw uses ambient entropy (flagged at the import, not per call).
+func Draw() int { return rand.Intn(10) }

@@ -1,0 +1,14 @@
+// Package live is a fixture: a pure protocol core (clean control).
+package live
+
+// StepResult is a step's output.
+type StepResult struct{ Outbound []int }
+
+// ReplicaCore is the fixture protocol core.
+type ReplicaCore struct{ round int }
+
+// Step is a pure function of the event.
+func (rc *ReplicaCore) Step(event int) StepResult {
+	rc.round++
+	return StepResult{Outbound: []int{rc.round + event}}
+}

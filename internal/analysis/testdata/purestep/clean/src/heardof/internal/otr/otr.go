@@ -1,0 +1,26 @@
+// Package otr is a fixture: a pure algorithm package (clean control).
+package otr
+
+// Inst is the fixture instance; every method is a pure fold.
+type Inst struct {
+	est     string
+	decided bool
+}
+
+// Send emits the current estimate.
+func (i *Inst) Send(round int) string { return i.est }
+
+// Transition folds the inbox deterministically.
+func (i *Inst) Transition(round int, inbox []string) {
+	for _, m := range inbox {
+		if m > i.est {
+			i.est = m
+		}
+	}
+	if len(inbox) > 2 {
+		i.decided = true
+	}
+}
+
+// Decided reports the decision.
+func (i *Inst) Decided() (string, bool) { return i.est, i.decided }

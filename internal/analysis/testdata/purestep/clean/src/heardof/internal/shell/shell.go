@@ -1,0 +1,17 @@
+// Package shell is a fixture: impure code OUTSIDE the pure-step roots
+// stays legal — the shell's whole job is goroutines and clocks.
+package shell
+
+import "time"
+
+// Shell pumps events; it is not a root and nothing roots reach it.
+type Shell struct{ events chan int }
+
+// Run spawns the pump.
+func (s *Shell) Run() {
+	go func() {
+		for range s.events {
+			_ = time.Now()
+		}
+	}()
+}

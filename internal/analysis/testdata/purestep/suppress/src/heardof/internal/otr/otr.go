@@ -1,0 +1,19 @@
+// Package otr is a fixture: suppression discipline on the pure-step
+// contract (package-level functions of an algorithm package are
+// roots).
+package otr
+
+import "time"
+
+// Boot carries a justified suppression.
+func Boot() int64 {
+	//holint:allow purestep fixture: startup-only timestamp, outside the replayed step path
+	return time.Now().UnixNano()
+}
+
+// Tick carries a suppression with no justification: the hole itself
+// and the unsuppressed finding both surface.
+func Tick() int64 {
+	//holint:allow purestep // want `holint: //holint:allow purestep needs a justification`
+	return time.Now().UnixNano() // want `purestep: .*calls time\.Now`
+}

@@ -1,0 +1,10 @@
+// Package core is a fixture: the Instance contract interface whose
+// implementations are pure-step roots.
+package core
+
+// Instance is the fixture HO instance interface.
+type Instance interface {
+	Send(round int) string
+	Transition(round int, inbox []string)
+	Decided() (string, bool)
+}

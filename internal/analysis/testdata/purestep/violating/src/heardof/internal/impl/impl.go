@@ -1,0 +1,32 @@
+// Package impl is a fixture: a core.Instance implementation OUTSIDE
+// the algorithm packages, rooted purely through the Implements check.
+package impl
+
+// Impl implements core.Instance structurally.
+type Impl struct{ ch chan int }
+
+// Send pushes onto a channel.
+func (m *Impl) Send(round int) string {
+	m.ch <- round // want `purestep: .*sends on a channel`
+	return ""
+}
+
+// Transition receives from a channel and reaches a select through a
+// helper method.
+func (m *Impl) Transition(round int, inbox []string) {
+	<-m.ch // want `purestep: .*receives from a channel`
+	m.wait()
+}
+
+// Decided closes the channel.
+func (m *Impl) Decided() (string, bool) {
+	close(m.ch) // want `purestep: .*closes a channel`
+	return "", false
+}
+
+// wait is reached from Transition, not itself a root.
+func (m *Impl) wait() {
+	select { // want `purestep: .*selects on channels`
+	default:
+	}
+}

@@ -1,0 +1,17 @@
+// Package live is a fixture: a ReplicaCore whose Step method touches
+// channels.
+package live
+
+// ReplicaCore is the fixture protocol core; its methods are roots.
+type ReplicaCore struct{ n int }
+
+// Step makes and drains a channel.
+func (rc *ReplicaCore) Step(events chan int) int {
+	acks := make(chan int, rc.n) // want `purestep: .*makes a channel`
+	total := 0
+	for v := range events { // want `purestep: .*ranges over a channel`
+		total += v
+	}
+	_ = acks
+	return total
+}

@@ -1,0 +1,34 @@
+// Package otr is a fixture: an algorithm package with seeded
+// impurity, including I/O reached two static hops from a root.
+package otr
+
+import (
+	"os"
+	"time"
+)
+
+// Inst is the fixture instance.
+type Inst struct{ decided bool }
+
+// Send is a root; it reads the wall clock.
+func (i *Inst) Send(round int) string {
+	_ = time.Now() // want `purestep: .*calls time\.Now`
+	return "m"
+}
+
+// Transition is a root; it spawns a goroutine and reaches file I/O
+// through a helper chain.
+func (i *Inst) Transition(round int, inbox []string) {
+	go audit(inbox) // want `purestep: .*spawns a goroutine`
+	audit(inbox)
+}
+
+// Decided is pure.
+func (i *Inst) Decided() (string, bool) { return "", i.decided }
+
+// audit reaches os.WriteFile transitively.
+func audit(inbox []string) { persist(inbox) }
+
+func persist(inbox []string) {
+	os.WriteFile("audit", []byte("x"), 0o644) // want `purestep: .*calls os\.WriteFile`
+}

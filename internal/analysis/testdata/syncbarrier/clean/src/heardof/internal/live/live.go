@@ -1,0 +1,60 @@
+// Package live is a fixture: the clean control for syncbarrier — the
+// barrier lands between the step and every visible effect.
+package live
+
+// Envelope is a wire message.
+type Envelope struct{ To int }
+
+// Transport carries envelopes.
+type Transport interface {
+	Send(e Envelope)
+}
+
+// Persister is the durability interface.
+type Persister interface {
+	Sync() error
+}
+
+// StepResult is a step's output.
+type StepResult struct {
+	Outbound []Envelope
+	Acked    bool
+}
+
+// ReplicaCore is the fixture protocol core.
+type ReplicaCore struct{ round int }
+
+// Step advances the core.
+func (rc *ReplicaCore) Step() StepResult {
+	rc.round++
+	return StepResult{Outbound: []Envelope{{To: rc.round}}}
+}
+
+// Replica is the shell.
+type Replica struct {
+	core ReplicaCore
+	tr   Transport
+	disk Persister
+	acks chan bool
+}
+
+// dispatch applies the barrier (nil-guarded, as production does)
+// before any envelope or ack leaves.
+func (r *Replica) dispatch() {
+	res := r.core.Step()
+	if r.disk != nil {
+		r.disk.Sync()
+	}
+	for _, e := range res.Outbound {
+		r.tr.Send(e)
+	}
+	r.acks <- res.Acked
+}
+
+// broadcastOnly never steps the core: not a dispatch path, sends are
+// unconstrained.
+func (r *Replica) broadcastOnly(out []Envelope) {
+	for _, e := range out {
+		r.tr.Send(e)
+	}
+}

@@ -1,0 +1,48 @@
+// Package live is a fixture: suppression discipline for syncbarrier.
+package live
+
+// Envelope is a wire message.
+type Envelope struct{ To int }
+
+// Transport carries envelopes.
+type Transport interface {
+	Send(e Envelope)
+}
+
+// Persister is the durability interface.
+type Persister interface {
+	Sync() error
+}
+
+// ReplicaCore is the fixture protocol core.
+type ReplicaCore struct{ round int }
+
+// Step advances the core.
+func (rc *ReplicaCore) Step() int {
+	rc.round++
+	return rc.round
+}
+
+// Replica is the shell.
+type Replica struct {
+	core ReplicaCore
+	tr   Transport
+	disk Persister
+}
+
+// dispatchMetrics carries a justified suppression.
+func (r *Replica) dispatchMetrics() {
+	r.core.Step()
+	//holint:allow syncbarrier fixture: metrics envelope, carries no protocol state
+	r.tr.Send(Envelope{})
+	r.disk.Sync()
+}
+
+// dispatchBare carries a reasonless suppression: the hole and the
+// unsuppressed finding both surface.
+func (r *Replica) dispatchBare() {
+	r.core.Step()
+	//holint:allow syncbarrier // want `holint: //holint:allow syncbarrier needs a justification`
+	r.tr.Send(Envelope{}) // want `syncbarrier: envelope leaves \(Transport\.Send\)`
+	r.disk.Sync()
+}

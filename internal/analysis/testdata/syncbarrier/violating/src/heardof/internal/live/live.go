@@ -1,0 +1,75 @@
+// Package live is a fixture: dispatch paths that let a step's output
+// escape before the Persister.Sync write-ahead barrier.
+package live
+
+// Envelope is a wire message.
+type Envelope struct{ To int }
+
+// Transport carries envelopes.
+type Transport interface {
+	Send(e Envelope)
+}
+
+// Persister is the durability interface.
+type Persister interface {
+	Sync() error
+}
+
+// StepResult is a step's output.
+type StepResult struct {
+	Outbound []Envelope
+	Acked    bool
+}
+
+// ReplicaCore is the fixture protocol core.
+type ReplicaCore struct{ round int }
+
+// Step advances the core.
+func (rc *ReplicaCore) Step() StepResult {
+	rc.round++
+	return StepResult{Outbound: []Envelope{{To: rc.round}}}
+}
+
+// Replica is the shell.
+type Replica struct {
+	core ReplicaCore
+	tr   Transport
+	disk Persister
+	acks chan bool
+}
+
+// dispatchLeaky sends before the barrier.
+func (r *Replica) dispatchLeaky() {
+	res := r.core.Step()
+	for _, e := range res.Outbound {
+		r.tr.Send(e) // want `syncbarrier: envelope leaves \(Transport\.Send\)`
+	}
+	r.disk.Sync()
+}
+
+// dispatchAckLeak acks before the barrier.
+func (r *Replica) dispatchAckLeak() {
+	res := r.core.Step()
+	r.acks <- res.Acked // want `syncbarrier: ack leaves \(channel send\)`
+	r.disk.Sync()
+}
+
+// dispatchViaHelper reaches the transport through a helper.
+func (r *Replica) dispatchViaHelper() {
+	res := r.core.Step()
+	r.broadcast(res.Outbound) // want `syncbarrier: envelope leaves \(via broadcast\)`
+	r.disk.Sync()
+}
+
+// dispatchNoBarrier never syncs at all.
+func (r *Replica) dispatchNoBarrier() {
+	res := r.core.Step()
+	r.broadcast(res.Outbound) // want `syncbarrier: envelope leaves \(via broadcast\)`
+}
+
+// broadcast hands envelopes to the transport.
+func (r *Replica) broadcast(out []Envelope) {
+	for _, e := range out {
+		r.tr.Send(e)
+	}
+}

@@ -82,6 +82,7 @@ func e12Simulated(t *Table, env string, loss float64, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	//holint:allow nodeterminism E12 measures live host wall time; it is excluded from IDs() and the determinism byte-cmp
 	start := time.Now()
 	res, err := shard.RunWorkload(cluster.Sharded(), rsm.WorkloadConfig{
 		Clients: e12Clients, Rate: 0.7, WriteRatio: 0.6, Keys: 32,
@@ -98,6 +99,7 @@ func e12Simulated(t *Table, env string, loss float64, seed uint64) error {
 	t.AddRow("simulated", env, agg.Completed, agg.Slots,
 		fmt.Sprintf("%.3f", agg.SlotsPerCmd),
 		fmt.Sprintf("%.2f cmds/round", agg.CmdsPerRound),
+		//holint:allow nodeterminism E12 measures live host wall time; it is excluded from IDs() and the determinism byte-cmp
 		fmt.Sprintf("%d rounds (%.0fms host)", agg.WallRounds, float64(time.Since(start))/float64(time.Millisecond)),
 		safety)
 	return nil
@@ -122,6 +124,7 @@ func e12LiveArm(ctx context.Context, t *Table, env string, loss float64, seed ui
 	ctx, cancel := context.WithTimeout(ctx, 2*time.Minute)
 	defer cancel()
 	perClient := e12Ops / e12Clients
+	//holint:allow nodeterminism E12 measures live host wall time; it is excluded from IDs() and the determinism byte-cmp
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, e12Clients)
@@ -154,6 +157,7 @@ func e12LiveArm(ctx context.Context, t *Table, env string, loss float64, seed ui
 		}(cl)
 	}
 	wg.Wait()
+	//holint:allow nodeterminism E12 measures live host wall time; it is excluded from IDs() and the determinism byte-cmp
 	elapsed := time.Since(start)
 	close(errCh)
 	for err := range errCh {

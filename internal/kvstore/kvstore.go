@@ -136,6 +136,13 @@ func (sm *StateMachine) RestoreSnapshot(b []byte) error {
 		return errors.New("kvstore: corrupt snapshot: key count")
 	}
 	b = b[n:]
+	// Allocate-after-validate (holint:allocbound): every entry costs at
+	// least two bytes (two uvarint length prefixes), so a count beyond
+	// the remaining bytes is corruption — sizing the map from it would
+	// let a torn or hostile snapshot buy an arbitrary allocation.
+	if count > uint64(len(b)) {
+		return errors.New("kvstore: corrupt snapshot: key count exceeds payload")
+	}
 	data := make(map[string]string, count)
 	take := func() (string, bool) {
 		l, n := binary.Uvarint(b)

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"errors"
 	"testing"
 
@@ -327,5 +328,28 @@ func TestStateMachineSnapshotRoundTrip(t *testing.T) {
 		if err := NewStateMachine().RestoreSnapshot(b); err == nil {
 			t.Errorf("RestoreSnapshot(%x) accepted corrupt snapshot", b)
 		}
+	}
+}
+
+// A hostile or torn snapshot header must not buy an allocation: a key
+// count far beyond the remaining payload has to be rejected BEFORE the
+// map is sized from it (allocate-after-validate; found by holint's
+// allocbound analyzer, the PR-6 fuzz bug class on the snapshot path).
+func TestRestoreSnapshotRejectsOversizedKeyCount(t *testing.T) {
+	hostile := binary.AppendUvarint(nil, 7)        // plausible applied count
+	hostile = binary.AppendUvarint(hostile, 1<<40) // key count with no bytes behind it
+	if err := NewStateMachine().RestoreSnapshot(hostile); err == nil {
+		t.Fatal("RestoreSnapshot accepted a 2^40 key count with an empty payload")
+	}
+	// The bound must not reject legitimate snapshots whose entries are
+	// minimal (empty keys and values: two bytes per entry).
+	sm := NewStateMachine()
+	sm.Apply(Command{Op: OpPut, Key: "", Value: ""})
+	rec := NewStateMachine()
+	if err := rec.RestoreSnapshot(sm.AppendSnapshot(nil)); err != nil {
+		t.Fatalf("minimal-entry snapshot rejected: %v", err)
+	}
+	if rec.Fingerprint() != sm.Fingerprint() {
+		t.Fatalf("fingerprint %q != %q", rec.Fingerprint(), sm.Fingerprint())
 	}
 }

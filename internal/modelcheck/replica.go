@@ -266,6 +266,7 @@ func (s *rcState) put(to core.ProcessID, env live.Envelope) {
 	}
 	if !s.owns {
 		cp := make(map[string]soupMsg, len(s.soup)+4)
+		//holint:allow nodeterminism map-to-map copy; insertion order cannot affect the result
 		for k, v := range s.soup {
 			cp[k] = v
 		}
@@ -541,11 +542,24 @@ func (m *ReplicaModel) Explore() (ReplicaResult, error) {
 	}
 
 	res.States = len(seen)
-	for _, f := range findings {
-		res.Findings = append(res.Findings, *f)
-	}
-	sort.Slice(res.Findings, func(i, j int) bool { return res.Findings[i].Kind < res.Findings[j].Kind })
+	res.Findings = sortedFindings(findings)
 	return res, nil
+}
+
+// sortedFindings flattens a findings map in deterministic (key) order —
+// ranging the map directly would make the report order depend on map
+// iteration, the exact bug class the determinism contract bans.
+func sortedFindings(findings map[string]*ReplicaFinding) []ReplicaFinding {
+	keys := make([]string, 0, len(findings))
+	for k := range findings { //holint:allow nodeterminism key collection is sorted on the next line
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]ReplicaFinding, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *findings[k])
+	}
+	return out
 }
 
 // step forks the state, applies one event to one core, and runs the
@@ -585,6 +599,7 @@ func (m *ReplicaModel) step(st *rcState, p core.ProcessID, ev live.Event[byte]) 
 // availability findings (which are not violations) on the side.
 func (m *ReplicaModel) check(st *rcState, findings map[string]*ReplicaFinding) *ReplicaViolation {
 	return checkReplicaInvariants(m.N, st.cores, st.live, func(bid int64) bool {
+		//holint:allow nodeterminism existential scan; the boolean result is order-insensitive
 		for _, msg := range st.soup {
 			if msg.batchID == bid && st.live(msg.to) {
 				return true
@@ -643,8 +658,17 @@ func checkReplicaInvariants(n int, cores []*live.ReplicaCore[byte], isLive func(
 				return v
 			}
 		}
-		for s, bid := range c.DecidedUnapplied() {
-			if v := record(p, s, bid); v != nil {
+		// Walk the decided-unapplied slots in sorted order: WHICH
+		// conflicting pair a violation reports must not depend on map
+		// iteration, or the checker's counterexamples vary run to run.
+		decided := c.DecidedUnapplied()
+		slots := make([]uint64, 0, len(decided))
+		for s := range decided { //holint:allow nodeterminism key collection is sorted on the next line
+			slots = append(slots, s)
+		}
+		sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+		for _, s := range slots {
+			if v := record(p, s, decided[s]); v != nil {
 				return v
 			}
 		}

@@ -228,9 +228,7 @@ func (s *scen) finish() ProbeResult {
 	res := ProbeResult{
 		Violation: checkReplicaInvariants(s.n, s.cores, isLive, inFlight, crashes, findings),
 	}
-	for _, f := range findings {
-		res.Findings = append(res.Findings, *f)
-	}
+	res.Findings = sortedFindings(findings)
 	for _, c := range s.cores {
 		logLen, _ := c.LogFingerprint()
 		res.Applied = append(res.Applied, logLen)

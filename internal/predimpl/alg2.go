@@ -165,6 +165,7 @@ func (a *Alg2) finishRounds(now simtime.Time) {
 
 	// Discard messages for rounds below the new round (the space
 	// optimization the paper notes is safe).
+	//holint:allow nodeterminism conditional delete-all; each key is judged independently
 	for rd := range a.msgsRcv {
 		if rd < a.nextR {
 			delete(a.msgsRcv, rd)
@@ -223,6 +224,7 @@ func collectInbox(byFrom map[core.ProcessID]core.Message) ([]core.IncomingMessag
 		return nil, core.EmptySet
 	}
 	var ho core.PIDSet
+	//holint:allow nodeterminism commutative set fold; the inbox below is built in PIDSet order
 	for from := range byFrom {
 		ho = ho.Add(from)
 	}

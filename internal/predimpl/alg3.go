@@ -232,11 +232,13 @@ func (a *Alg3) finishRounds(now simtime.Time) {
 		a.observe(rd, core.EmptySet, now)
 	}
 
+	//holint:allow nodeterminism conditional delete-all; each key is judged independently
 	for rd := range a.msgsRcv {
 		if rd < a.nextR {
 			delete(a.msgsRcv, rd)
 		}
 	}
+	//holint:allow nodeterminism conditional delete-all; each key is judged independently
 	for rd := range a.initFrom {
 		if rd <= a.nextR {
 			delete(a.initFrom, rd)

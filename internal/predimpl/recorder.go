@@ -176,6 +176,7 @@ func (r *Recorder) Transition(p core.ProcessID, rd core.Round) (TransitionRec, b
 // sends before tG (an initial good period), ρ0 = 1.
 func (r *Recorder) Rho0(tG simtime.Time) core.Round {
 	maxSent := core.Round(0)
+	//holint:allow nodeterminism max fold; commutative and order-insensitive
 	for rd, t := range r.firstSend {
 		if t <= tG && rd > maxSent {
 			maxSent = rd
@@ -300,6 +301,7 @@ func (r *Recorder) ToTrace(initial []core.Value) *core.Trace {
 // RoundsExecuted returns the sorted rounds process p transitioned through.
 func (r *Recorder) RoundsExecuted(p core.ProcessID) []core.Round {
 	out := make([]core.Round, 0, len(r.transitions[p]))
+	//holint:allow nodeterminism key collection is sorted on the next line
 	for rd := range r.transitions[p] {
 		out = append(out, rd)
 	}

@@ -188,6 +188,7 @@ func (e *Engine) runCell(ctx context.Context, index int, c Cell) Result {
 		err   error
 	}
 	ch := make(chan outcome, 1)
+	//holint:allow nodeterminism Elapsed is a host-wall-time measurement, excluded from the byte-identical output contract
 	start := time.Now()
 	go func() {
 		defer func() {
@@ -211,6 +212,7 @@ func (e *Engine) runCell(ctx context.Context, index int, c Cell) Result {
 			res.TimedOut = true
 		}
 	}
+	//holint:allow nodeterminism Elapsed is a host-wall-time measurement, excluded from the byte-identical output contract
 	res.Elapsed = time.Since(start)
 	return res
 }

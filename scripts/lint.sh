@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Static contract gate: exactly what CI's lint job runs. holint is the
+# in-repo analyzer suite (internal/analysis, DESIGN.md §12) that turns
+# the correctness contracts — determinism, pure step functions,
+# allocate-after-validate, errors.Is discipline, the write-ahead
+# barrier — into merge blockers. Runs fully offline.
+set -eu
+cd "$(dirname "$0")/.."
+go vet ./...
+go run ./cmd/holint ./...
+echo "lint OK: go vet and holint are clean"
