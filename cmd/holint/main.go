@@ -1,19 +1,27 @@
 // Command holint runs the repository's custom static-analysis suite
-// (internal/analysis): five analyzers that enforce the codebase's
+// (internal/analysis): nine analyzers that enforce the codebase's
 // load-bearing correctness contracts at compile time — determinism
 // (nodeterminism), the pure model-checked step function (purestep),
 // allocate-after-validate on wire decode paths (allocbound), errors.Is
-// sentinel matching (errcmp), and the live layer's write-ahead barrier
-// (syncbarrier). CI gates on `holint ./...`; a justified finding is
-// suppressed in place with `//holint:allow <analyzer> <reason>`.
+// sentinel matching (errcmp), the live layer's write-ahead barrier
+// (syncbarrier), mixed atomic/plain access (atomicmix), goroutine
+// termination (goleak), mutexes held across blocking operations and
+// lock-order cycles (lockorder), and //holint:hotpath zero-alloc
+// annotations (hotpath). CI gates on `holint ./...` and on the
+// compiler-backed escape half of the hotpath gate, `holint -escape
+// ./...`; a justified finding is suppressed in place with
+// `//holint:allow <analyzer> <reason>`.
 //
 // Usage:
 //
-//	holint [-only name,name] [packages]
+//	holint [-only name,name] [-escape] [packages]
 //
 // Packages default to ./... relative to the current directory. Exit
 // status 1 means findings (printed one per line, file:line:col:
-// analyzer: message), 2 means the load itself failed.
+// analyzer: message, with a per-analyzer count summary on stderr), 2
+// means the load itself failed. Packages the loader had to skip (a
+// type error in the package or a dependency) are reported on stderr
+// and count as findings: a skipped package is an unanalyzed one.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	escape := flag.Bool("escape", false, "run the compiler-backed hotpath escape gate (go build -gcflags=-m) instead of the analyzers")
 	flag.Parse()
 
 	all := analysis.All()
@@ -59,17 +68,65 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	prog, err := analysis.Load("", patterns...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "holint: %v\n", err)
-		os.Exit(2)
+
+	var diags []analysis.Diagnostic
+	skipped := 0
+	if *escape {
+		var err error
+		diags, err = analysis.CheckEscapes("", patterns...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "holint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		prog, err := analysis.Load("", patterns...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "holint: %v\n", err)
+			os.Exit(2)
+		}
+		for _, s := range prog.Skipped {
+			fmt.Fprintf(os.Stderr, "holint: skipped %s: %s\n", s.Path, s.Note)
+		}
+		skipped = len(prog.Skipped)
+		diags = analysis.Run(prog, analyzers)
 	}
-	diags := analysis.Run(prog, analyzers)
+
 	for _, d := range diags {
 		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "holint: %d finding(s)\n", len(diags))
+	if len(diags) > 0 || skipped > 0 {
+		fmt.Fprintf(os.Stderr, "holint: %d finding(s)%s%s\n", len(diags), countSummary(diags), skipSummary(skipped))
 		os.Exit(1)
 	}
+}
+
+// countSummary renders per-analyzer finding counts, deterministically
+// ordered by the registry.
+func countSummary(diags []analysis.Diagnostic) string {
+	if len(diags) == 0 {
+		return ""
+	}
+	counts := make(map[string]int)
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	var parts []string
+	for _, az := range analysis.All() {
+		if n := counts[az.Name]; n > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", az.Name, n))
+			delete(counts, az.Name)
+		}
+	}
+	if n := counts["holint"]; n > 0 { // directive-hygiene findings
+		parts = append(parts, fmt.Sprintf("holint=%d", n))
+	}
+	return " (" + strings.Join(parts, " ") + ")"
+}
+
+// skipSummary notes unanalyzed packages in the failure line.
+func skipSummary(n int) string {
+	if n == 0 {
+		return ""
+	}
+	return fmt.Sprintf(", %d package(s) skipped", n)
 }

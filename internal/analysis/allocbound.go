@@ -40,6 +40,7 @@ func runAllocBound(pass *Pass) {
 				continue
 			}
 			checkDecodeAllocs(pass, fd)
+			checkDecodeLoopAppends(pass, fd)
 		}
 	}
 }
@@ -100,6 +101,129 @@ func checkDecodeAllocs(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkDecodeLoopAppends flags the incremental twin of the make() bug:
+// a loop that appends to a slice while iterating up to a decoded
+// count. `for i := 0; i < n; i++ { out = append(out, e) }` allocates
+// just as much memory as `make([]T, n)` — it only does it a page at a
+// time, so the unbounded-preallocation check never sees it. The
+// loop's own `i < n` condition is the iteration count, not a
+// validation of it, so the dominating bound must sit before the loop.
+func checkDecodeLoopAppends(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond == nil {
+			return true
+		}
+		limit := loopLimitExpr(info, loop)
+		if limit == nil || !growsSlice(info, loop.Body) {
+			return true
+		}
+		if bounded, vars := sizeBounded(info, fd, loop.Pos(), limit); !bounded {
+			what := "a decoded count"
+			if len(vars) > 0 {
+				what = vars[0].Name()
+			}
+			pass.Reportf(loop.Pos(), "loop appends up to %s without a dominating bound check: the loop condition only counts iterations, it does not validate the decoded size — check it before the loop (allocate-after-validate, see live.BatchCodec)", what)
+		}
+		return true
+	})
+}
+
+// loopLimitExpr extracts the non-induction side of a counted loop's
+// condition — the expression that decides how many iterations run.
+// Returns nil for loops that are not a recognizable `i OP limit` shape.
+func loopLimitExpr(info *types.Info, loop *ast.ForStmt) ast.Expr {
+	be, ok := ast.Unparen(loop.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch be.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return nil
+	}
+	ind := inductionVars(info, loop)
+	if len(ind) == 0 {
+		return nil
+	}
+	xInd, yInd := usesAnyVar(info, be.X, ind), usesAnyVar(info, be.Y, ind)
+	switch {
+	case xInd && !yInd:
+		return be.Y
+	case yInd && !xInd:
+		return be.X
+	}
+	return nil
+}
+
+// inductionVars collects the loop's counter variables: anything
+// defined or assigned in the init statement, or stepped in the post
+// statement.
+func inductionVars(info *types.Info, loop *ast.ForStmt) map[*types.Var]bool {
+	ind := make(map[*types.Var]bool)
+	record := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				ind[v] = true
+			} else if v, ok := info.Uses[id].(*types.Var); ok {
+				ind[v] = true
+			}
+		}
+	}
+	if as, ok := loop.Init.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			record(lhs)
+		}
+	}
+	switch post := loop.Post.(type) {
+	case *ast.IncDecStmt:
+		record(post.X)
+	case *ast.AssignStmt:
+		for _, lhs := range post.Lhs {
+			record(lhs)
+		}
+	}
+	return ind
+}
+
+// usesAnyVar reports whether e reads any of the given variables.
+func usesAnyVar(info *types.Info, e ast.Expr, vars map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && vars[v] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// growsSlice reports whether a statement block calls the append
+// builtin — the signature of incremental slice growth.
+func growsSlice(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && info.Uses[id] == types.Universe.Lookup("append") {
+			found = true
+		}
+		return true
+	})
+	return found
 }
 
 // isBinaryRead distinguishes encoding/binary's wire-reading functions

@@ -18,6 +18,19 @@
 //   - syncbarrier: in internal/live, no envelope or ack leaves a
 //     dispatch path before Persister.Sync (the PR-7 write-ahead
 //     barrier).
+//   - atomicmix: a variable whose address ever feeds sync/atomic is
+//     accessed atomically everywhere — one plain access elsewhere is a
+//     data race the race detector only sees under the right schedule.
+//   - goleak: every go statement in non-test code terminates visibly —
+//     unconditional loops need an exit path, long-running goroutines
+//     need a sync.WaitGroup.Done a Close can await.
+//   - lockorder: in the live layer no mutex is held across
+//     Transport.Send, Persister.Sync, or a blocking channel op, and the
+//     static lock-acquisition graph is cycle-free.
+//   - hotpath: //holint:hotpath-annotated functions stay off fmt and
+//     errors.New; the compiler-backed half (CheckEscapes, `holint
+//     -escape`) parses go build -gcflags=-m output and fails on any
+//     heap escape inside an annotated function.
 //
 // The suite is built directly on go/ast and go/types rather than
 // golang.org/x/tools/go/analysis so the repository keeps its
@@ -100,6 +113,10 @@ func All() []*Analyzer {
 		AllocBound,
 		ErrCmp,
 		SyncBarrier,
+		AtomicMix,
+		GoLeak,
+		LockOrder,
+		HotPath,
 	}
 }
 
@@ -121,6 +138,12 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 	}
 	diags = applySuppressions(prog, diags)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by position then analyzer.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -134,7 +157,6 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // allowDirective is the suppression marker. The full form is

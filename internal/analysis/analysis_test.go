@@ -25,6 +25,10 @@ func TestPureStepFixtures(t *testing.T)      { fixtureCases(t, PureStep) }
 func TestAllocBoundFixtures(t *testing.T)    { fixtureCases(t, AllocBound) }
 func TestErrCmpFixtures(t *testing.T)        { fixtureCases(t, ErrCmp) }
 func TestSyncBarrierFixtures(t *testing.T)   { fixtureCases(t, SyncBarrier) }
+func TestAtomicMixFixtures(t *testing.T)     { fixtureCases(t, AtomicMix) }
+func TestGoLeakFixtures(t *testing.T)        { fixtureCases(t, GoLeak) }
+func TestLockOrderFixtures(t *testing.T)     { fixtureCases(t, LockOrder) }
+func TestHotPathFixtures(t *testing.T)       { fixtureCases(t, HotPath) }
 
 // TestDirectiveHygiene pins that malformed and unknown-analyzer
 // directives are findings regardless of which analyzers run.
@@ -83,7 +87,8 @@ func TestAllRegistersEveryAnalyzer(t *testing.T) {
 		}
 		names[az.Name] = true
 	}
-	for _, want := range []string{"nodeterminism", "purestep", "allocbound", "errcmp", "syncbarrier"} {
+	for _, want := range []string{"nodeterminism", "purestep", "allocbound", "errcmp", "syncbarrier",
+		"atomicmix", "goleak", "lockorder", "hotpath"} {
 		if !names[want] {
 			t.Errorf("All() is missing %q", want)
 		}
@@ -99,6 +104,12 @@ func TestRepositoryIsClean(t *testing.T) {
 	prog, err := Load("../..", "./...")
 	if err != nil {
 		t.Fatal(err)
+	}
+	// Full coverage: a skipped package is an unanalyzed one, so the
+	// degradation path (TestLoadDegradesOnBrokenDependency) must never
+	// trigger on the repository itself.
+	for _, s := range prog.Skipped {
+		t.Errorf("loader skipped %s: %s", s.Path, s.Note)
 	}
 	for _, d := range Run(prog, All()) {
 		t.Errorf("%s", d)

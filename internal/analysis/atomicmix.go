@@ -1,0 +1,136 @@
+// atomicmix enforces the all-or-nothing rule of the sync/atomic memory
+// model: once any code path accesses a variable through sync/atomic,
+// every access must go through sync/atomic. A plain load racing an
+// atomic store is undefined behavior the race detector only catches if
+// a test happens to interleave it; the mix is also a reliable sign
+// that the variable's synchronization story was never written down.
+// The pipelining work will lean on atomic counters (in-flight slot
+// windows, coalesced-write highwater marks), so the mix becomes a
+// merge blocker rather than a review convention.
+//
+// The analyzer is program-wide: pass 1 collects every variable (field
+// or package/local var) whose address is taken by a sync/atomic call
+// anywhere in the module; pass 2 flags every other syntactic use of
+// those variables. Taking the address to hand it to a helper counts as
+// a plain use — deliberately so: the helper's discipline is invisible
+// here, and the fix (migrate to atomic.Int64 & friends, which make the
+// mix unrepresentable) is always available. Typed atomics are ignored:
+// they cannot be mixed.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix is the atomic-vs-plain access analyzer.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "flags plain reads/writes of variables that are accessed via " +
+		"sync/atomic elsewhere (mixed access is a data race by construction)",
+	ProgramWide: true,
+	Run:         runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Pass 1: variables whose address feeds a sync/atomic call, plus
+	// the identifier occurrences that belong to those calls (they are
+	// the sanctioned accesses).
+	atomicVars := make(map[*types.Var]string) // var -> atomic func name seen
+	sanctioned := make(map[*ast.Ident]bool)
+	for _, pkg := range pass.Prog.Pkgs {
+		if !inModule(pkg.Path) {
+			continue
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				fn := calleeOf(info, call)
+				if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				v := addressedVar(info, addr.X)
+				if v == nil {
+					return true
+				}
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = fn.Name()
+				}
+				// Every ident inside the &x / &s.f operand is sanctioned.
+				ast.Inspect(addr, func(m ast.Node) bool {
+					if mid, ok := m.(*ast.Ident); ok {
+						sanctioned[mid] = true
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of an atomic-accessed variable is a mix.
+	var diags []struct {
+		id *ast.Ident
+		v  *types.Var
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		if !inModule(pkg.Path) {
+			continue
+		}
+		info := pkg.Info
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || sanctioned[id] {
+					return true
+				}
+				v, ok := info.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				if _, tracked := atomicVars[v]; tracked {
+					diags = append(diags, struct {
+						id *ast.Ident
+						v  *types.Var
+					}{id, v})
+				}
+				return true
+			})
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].id.Pos() < diags[j].id.Pos() })
+	for _, d := range diags {
+		pass.Reportf(d.id.Pos(), "%s is accessed via sync/atomic (%s) elsewhere but read/written plainly here: mixed access is a data race; use sync/atomic everywhere or a typed atomic (atomic.Int64 & friends)", d.v.Name(), atomicVars[d.v])
+	}
+}
+
+// addressedVar resolves the operand of a unary & to the variable it
+// addresses: a plain identifier or the field of a selector chain.
+// Index expressions and other lvalues return nil (per-element atomics
+// cannot be tracked variable-wise).
+func addressedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// escapeModule is a throwaway module exercising the compiler-backed
+// hotpath gate: one clean annotated function, one annotated function
+// that forces a heap escape, one suppressed escape, and one
+// unannotated function whose escapes must not be flagged.
+var escapeModule = map[string]string{
+	"go.mod": "module escgate\n\ngo 1.24\n",
+	"hot/hot.go": `// Package hot pins functions for the escape gate test.
+package hot
+
+// Sum stays on the stack: the gate must pass it.
+//
+//holint:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Leak forces the classic escape: returning the address of a local
+// moves it to the heap. The gate must fail on it.
+//
+//holint:hotpath
+func Leak() *int {
+	x := 42
+	return &x
+}
+
+// Quiet carries a justified suppression for the same shape.
+//
+//holint:hotpath
+func Quiet() *int {
+	//holint:allow hotpath escape-gate fixture: one-shot init path, measured cold
+	y := 7
+	return &y
+}
+
+// Cold is unannotated: its escape is nobody's business.
+func Cold() *int {
+	z := 9
+	return &z
+}
+`,
+}
+
+// TestEscapeGateFlagsForcedEscape proves both acceptance directions of
+// `holint -escape`: a deliberate escape inside a //holint:hotpath
+// function fails the gate, while clean, suppressed, and unannotated
+// functions pass.
+func TestEscapeGateFlagsForcedEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the compiler")
+	}
+	dir := t.TempDir()
+	writeTree(t, dir, escapeModule)
+
+	diags, err := CheckEscapes(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the Leak escape: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "hotpath" {
+		t.Errorf("analyzer = %q, want hotpath", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "Leak") || !strings.Contains(d.Message, "moved to heap") {
+		t.Errorf("message = %q, want it to name Leak and the compiler's moved-to-heap diagnostic", d.Message)
+	}
+}
+
+// TestRepositoryEscapeClean runs the compiler gate over the repository
+// — the same check CI's lint job applies through `holint -escape` —
+// so every committed //holint:hotpath annotation is verified
+// allocation-free (or carries a reasoned suppression).
+func TestRepositoryEscapeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module compile")
+	}
+	diags, err := CheckEscapes("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

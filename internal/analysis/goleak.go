@@ -1,0 +1,208 @@
+// goleak enforces statically visible termination for every goroutine
+// the module launches. The live layer's shutdown story (Replica.Stop,
+// TCPTransport.Close, the live-smoke kill -9 scenario) depends on every
+// background goroutine both HAVING an exit path and being AWAITED by
+// whoever tears it down; the pipelining work multiplies the launch
+// sites. Two rules, checked over the static call graph reachable from
+// each `go` statement:
+//
+//  1. Exit path: every unconditional loop (`for {}`, `for ;; {}`)
+//     reachable from the goroutine must contain a way out — a return, or
+//     a break that targets that loop. A `for { select { ... } }` whose
+//     cases never return is the classic leak shape this kills; an
+//     unlabeled break inside a select case exits the select, not the
+//     loop, and deliberately does not count. A range over a channel
+//     needs no exit: it ends when the channel closes.
+//
+//  2. Observability: a long-running goroutine — one whose reachable
+//     body contains an unconditional loop or a range over a channel —
+//     must be tracked by a sync.WaitGroup.Done (usually deferred) so a
+//     Close/Stop can await its exit. Bounded helpers (a goroutine that
+//     sends one value and returns) need no tracking.
+//
+// Calls through interfaces and function values are not chased: the
+// boundary is the same declared one purestep uses. A goroutine whose
+// launch expression cannot be resolved statically is skipped, not
+// flagged.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strconv"
+)
+
+// GoLeak is the goroutine-termination analyzer.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "flags go statements whose goroutine has no statically visible " +
+		"termination path (an unconditional loop with no exit, or a " +
+		"long-running goroutine no WaitGroup.Done makes awaitable)",
+	ProgramWide: true,
+	Run:         runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, pkg := range pass.Prog.Pkgs {
+		if !inModule(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(pass, pkg, gs)
+				return true
+			})
+		}
+	}
+}
+
+// goTarget resolves the body a go statement runs: a literal's body
+// directly, or the declaration of a statically known callee.
+func goTarget(prog *Program, pkg *Package, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeOf(pkg.Info, call); fn != nil && !isInterfaceMethod(fn) {
+		if fs, ok := prog.FuncDecl(fn); ok {
+			return fs.Decl.Body
+		}
+	}
+	return nil
+}
+
+// checkGoStmt applies both goleak rules to one launch site.
+func checkGoStmt(pass *Pass, pkg *Package, gs *ast.GoStmt) {
+	body := goTarget(pass.Prog, pkg, gs.Call)
+	if body == nil {
+		return // dynamic launch: declared boundary
+	}
+	w := &leakWalk{prog: pass.Prog, seen: make(map[*ast.BlockStmt]bool)}
+	w.walk(body, pkg)
+
+	for _, pos := range w.endless {
+		pass.Reportf(pos, "goroutine launched at %s runs an unconditional loop with no exit path: return on a close signal (ctx.Done or a closed channel), or range over the input channel (goroutine leak)", relPosition(pass.Prog.Fset.Position(gs.Pos())))
+	}
+	if len(w.endless) == 0 && w.longRunning && !w.hasDone {
+		pass.Reportf(gs.Pos(), "long-running goroutine is not tracked by a sync.WaitGroup.Done: Close/Stop cannot await its exit (goroutine leak on teardown)")
+	}
+}
+
+// relPosition renders a position basename:line for diagnostics that
+// reference a second location (full paths vary by checkout).
+func relPosition(p token.Position) string {
+	return filepath.Base(p.Filename) + ":" + strconv.Itoa(p.Line)
+}
+
+// leakWalk accumulates facts over the bodies statically reachable from
+// one go statement.
+type leakWalk struct {
+	prog *Program
+	seen map[*ast.BlockStmt]bool
+	// endless are reachable unconditional loops with no exit.
+	endless []token.Pos
+	// longRunning is set by any unconditional loop or channel range.
+	longRunning bool
+	// hasDone is set by a reachable sync.WaitGroup.Done call.
+	hasDone bool
+}
+
+func (w *leakWalk) walk(body *ast.BlockStmt, pkg *Package) {
+	if body == nil || w.seen[body] {
+		return
+	}
+	w.seen[body] = true
+	info := pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested goroutine is its own launch site
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				w.longRunning = true
+				if !loopHasExit(n) {
+					w.endless = append(w.endless, n.Pos())
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					w.longRunning = true // exits when the channel closes, but lives as long as it
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeOf(info, n)
+			if fn == nil {
+				return true
+			}
+			if funcPkgPath(fn) == "sync" && fn.Name() == "Done" {
+				if named := recvNamed(fn); named != nil && named.Obj().Name() == "WaitGroup" {
+					w.hasDone = true
+				}
+			}
+			if inModule(funcPkgPath(fn)) && !isInterfaceMethod(fn) {
+				if fs, ok := w.prog.FuncDecl(fn); ok {
+					w.walk(fs.Decl.Body, fs.Pkg)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// loopHasExit reports whether an unconditional for loop contains a way
+// out: a return, or a break/goto that leaves the loop. Unlabeled breaks
+// bind to the innermost for/switch/select, so one inside a nested
+// select exits the select, not this loop — the classic leak.
+func loopHasExit(loop *ast.ForStmt) bool {
+	found := false
+	var scan func(n ast.Node, breakable bool)
+	scan = func(n ast.Node, breakable bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found || m == nil {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false // its returns do not exit this loop
+			case *ast.ReturnStmt:
+				found = true
+				return false
+			case *ast.BranchStmt:
+				switch m.Tok {
+				case token.BREAK:
+					if breakable || m.Label != nil {
+						found = true
+					}
+				case token.GOTO:
+					found = true // may jump past the loop: benefit of the doubt
+				}
+				return false
+			case *ast.ForStmt:
+				scan(m.Body, false)
+				return false
+			case *ast.RangeStmt:
+				scan(m.Body, false)
+				return false
+			case *ast.SwitchStmt:
+				scan(m.Body, false)
+				return false
+			case *ast.TypeSwitchStmt:
+				scan(m.Body, false)
+				return false
+			case *ast.SelectStmt:
+				scan(m.Body, false)
+				return false
+			}
+			return true
+		})
+	}
+	scan(loop.Body, true)
+	return found
+}

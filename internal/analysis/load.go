@@ -42,8 +42,21 @@ type Program struct {
 	Fset *token.FileSet
 	// Pkgs holds the module packages in a deterministic (path) order.
 	Pkgs []*Package
+	// Skipped lists packages the loader could not analyze — a parse or
+	// type error in the package or one of its dependencies — each with
+	// a note saying why. A broken package degrades to a skip so one
+	// rotten dependency does not silence the analyzers for the whole
+	// module; callers that need full coverage (CI, the repository
+	// cleanliness test) must check this list is empty.
+	Skipped []Skip
 
 	funcs map[*types.Func]*FuncSource
+}
+
+// Skip records one package the loader dropped and why.
+type Skip struct {
+	Path string
+	Note string
 }
 
 // FuncSource locates a function declaration in the program.
@@ -99,7 +112,7 @@ func Load(dir string, patterns ...string) (*Program, error) {
 	var modulePaths []string
 	for _, lp := range listed {
 		byPath[lp.ImportPath] = lp
-		if !lp.Standard && lp.Name != "" {
+		if !lp.Standard && (lp.Name != "" || lp.Error != nil) {
 			modulePaths = append(modulePaths, lp.ImportPath)
 		}
 	}
@@ -113,20 +126,25 @@ func Load(dir string, patterns ...string) (*Program, error) {
 		prog:    prog,
 		byPath:  byPath,
 		checked: make(map[string]*types.Package),
+		failed:  make(map[string]error),
 	}
 	ld.exportImporter = importer.ForCompiler(prog.Fset, "gc", ld.lookupExport)
 
 	for _, path := range modulePaths {
 		if _, err := ld.check(path, nil); err != nil {
-			return nil, err
+			prog.Skipped = append(prog.Skipped, Skip{Path: path, Note: err.Error()})
 		}
 	}
+	sort.Slice(prog.Skipped, func(i, j int) bool { return prog.Skipped[i].Path < prog.Skipped[j].Path })
 	sort.Slice(prog.Pkgs, func(i, j int) bool { return prog.Pkgs[i].Path < prog.Pkgs[j].Path })
 	prog.indexFuncs()
 	return prog, nil
 }
 
 // goList runs `go list -e -export -deps -json` and decodes the stream.
+// Per-package errors (a broken package under -e) stay on the returned
+// entries for the loader to degrade into skips; only a failure of the
+// listing itself is an error.
 func goList(dir string, patterns []string) ([]*listedPackage, error) {
 	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -147,9 +165,6 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 		} else if err != nil {
 			return nil, fmt.Errorf("go list: decoding output: %v", err)
 		}
-		if lp.Error != nil {
-			return nil, fmt.Errorf("go list: package %s: %s", lp.ImportPath, lp.Error.Err)
-		}
 		pkgs = append(pkgs, &lp)
 	}
 	return pkgs, nil
@@ -161,6 +176,7 @@ type loader struct {
 	prog           *Program
 	byPath         map[string]*listedPackage
 	checked        map[string]*types.Package // module packages checked from source
+	failed         map[string]error          // memoized per-package failures (for skip notes)
 	exportImporter types.Importer            // everything else, via export data
 }
 
@@ -184,11 +200,25 @@ func (ld *loader) Import(path string) (*types.Package, error) {
 	return ld.exportImporter.Import(path)
 }
 
-// check type-checks one module package from source (memoized).
+// check type-checks one module package from source (memoized, failures
+// included: a package that failed once reports the same note to every
+// dependent instead of re-failing differently).
 func (ld *loader) check(path string, stack []string) (*types.Package, error) {
 	if tp, ok := ld.checked[path]; ok {
 		return tp, nil
 	}
+	if err, ok := ld.failed[path]; ok {
+		return nil, err
+	}
+	tp, err := ld.checkUncached(path, stack)
+	if err != nil {
+		ld.failed[path] = err
+		return nil, err
+	}
+	return tp, nil
+}
+
+func (ld *loader) checkUncached(path string, stack []string) (*types.Package, error) {
 	for _, s := range stack {
 		if s == path {
 			return nil, fmt.Errorf("import cycle through %s", path)
@@ -198,6 +228,9 @@ func (ld *loader) check(path string, stack []string) (*types.Package, error) {
 	if lp == nil {
 		return nil, fmt.Errorf("package %q not in load graph", path)
 	}
+	if lp.Error != nil {
+		return nil, fmt.Errorf("go list: %s", lp.Error.Err)
+	}
 	// Check dependencies first so type identities are shared.
 	for _, imp := range lp.Imports {
 		if real, ok := lp.ImportMap[imp]; ok {
@@ -205,7 +238,7 @@ func (ld *loader) check(path string, stack []string) (*types.Package, error) {
 		}
 		if dep, ok := ld.byPath[imp]; ok && !dep.Standard && imp != "unsafe" {
 			if _, err := ld.check(imp, append(stack, path)); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("dependency %s is broken: %v", imp, err)
 			}
 		}
 	}

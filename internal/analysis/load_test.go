@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file map under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadDegradesOnBrokenDependency pins the loader's failure
+// containment: a type error in one package skips that package AND its
+// dependents — each with a note saying why — while unrelated packages
+// still load and get analyzed. Without this, one rotten package would
+// hard-fail the whole run and silence every analyzer.
+func TestLoadDegradesOnBrokenDependency(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod": "module brokentest\n\ngo 1.24\n",
+		"ok/ok.go": `// Package ok is healthy and must still be analyzed.
+package ok
+
+// Ok returns a constant.
+func Ok() int { return 1 }
+`,
+		"broken/broken.go": `// Package broken has a type error.
+package broken
+
+// Bad references an undefined symbol.
+func Bad() int { return undefinedSymbol }
+`,
+		"dep/dep.go": `// Package dep imports the broken package.
+package dep
+
+import "brokentest/broken"
+
+// Use calls into the broken dependency.
+func Use() int { return broken.Bad() }
+`,
+	})
+
+	prog, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load must degrade, not fail: %v", err)
+	}
+	var paths []string
+	for _, pkg := range prog.Pkgs {
+		paths = append(paths, pkg.Path)
+	}
+	if len(paths) != 1 || paths[0] != "brokentest/ok" {
+		t.Errorf("loaded packages = %v, want [brokentest/ok]", paths)
+	}
+
+	notes := make(map[string]string)
+	for _, s := range prog.Skipped {
+		notes[s.Path] = s.Note
+	}
+	if len(notes) != 2 {
+		t.Fatalf("skipped = %v, want brokentest/broken and brokentest/dep", prog.Skipped)
+	}
+	if note, ok := notes["brokentest/broken"]; !ok || !strings.Contains(note, "undefinedSymbol") {
+		t.Errorf("broken skip note = %q, want the type error", note)
+	}
+	if note, ok := notes["brokentest/dep"]; !ok || !strings.Contains(note, "dependency brokentest/broken is broken") {
+		t.Errorf("dep skip note = %q, want it to name the broken dependency", note)
+	}
+
+	// The healthy package still gets findings: run an analyzer over the
+	// degraded program to prove the skips did not silence the run.
+	if diags := Run(prog, All()); len(diags) != 0 {
+		t.Errorf("healthy fixture package should be clean, got %v", diags)
+	}
+}

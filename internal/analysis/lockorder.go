@@ -1,0 +1,556 @@
+// lockorder guards the deadlock shapes the live layer can actually
+// hit. The shell around the pure ReplicaCore holds sync.Mutexes for
+// microseconds by design (DESIGN.md §11): a mutex held across a
+// blocking operation — a Transport.Send that can stall on a dead TCP
+// peer, a Persister.Sync that is an fsync, an unbuffered channel op —
+// turns one slow peer into a stalled replica; and two mutexes taken in
+// opposite orders on different paths deadlock the first time the
+// schedules interleave. Both shapes are invisible to the race detector
+// (they are liveness bugs, not races), so they get a static gate.
+//
+// The analyzer runs over internal/live and internal/livekv. Per
+// function it walks the body branch-sensitively, tracking the set of
+// locks held (a conditional unlock-and-return does not end the held
+// region of the fall-through path), and:
+//
+//   - flags any blocking operation — channel send/receive, select
+//     without default, range over a channel, Transport.Send,
+//     Persister.Sync, or a call that statically reaches one — while a
+//     lock is held. Sends and receives inside a select WITH a default
+//     are non-blocking and legal.
+//   - records every acquisition made while another lock is held (the
+//     lock graph), propagating acquisitions through the static call
+//     graph, and flags cycles: lock A taken under B on one path while
+//     B is taken under A on another.
+//   - flags re-acquiring a lock already held (self-deadlock).
+//
+// Calls through interfaces (other than the named blocking methods) and
+// function values are not chased — the same declared soundness
+// boundary as purestep; closures are analyzed as their own bodies.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder is the lock-graph / hold-across-blocking analyzer.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "in internal/live and internal/livekv, flags mutexes held across " +
+		"blocking operations (Transport.Send, Persister.Sync, channel ops) " +
+		"and cyclic lock-acquisition orders",
+	ProgramWide: true,
+	Run:         runLockOrder,
+}
+
+// lockOrderPkgs are the concurrency-shell packages under the contract.
+var lockOrderPkgs = map[string]bool{
+	"heardof/internal/live":   true,
+	"heardof/internal/livekv": true,
+}
+
+// funcFacts is one function's lock summary, propagated through the
+// call graph.
+type funcFacts struct {
+	acquires map[*types.Var]bool
+	// blocks describes the first blocking operation the function can
+	// reach ("" if none).
+	blocks string
+	// calls are the scoped static callees.
+	calls []*types.Func
+}
+
+// lockEdge records "to acquired while from was held" with its site.
+type lockEdge struct {
+	from, to *types.Var
+	pos      token.Pos
+}
+
+func runLockOrder(pass *Pass) {
+	ctx := &lockCtx{
+		facts: make(map[*types.Func]*funcFacts),
+		decls: make(map[*types.Func]*declInPkg),
+	}
+	// The blocking interfaces live in the live package; a program that
+	// does not load it (or a fixture shadowing it) may omit them.
+	if livePkg, ok := pass.Prog.PackageByPath("heardof/internal/live"); ok {
+		ctx.transport = namedInterface(livePkg.Types.Scope(), "Transport")
+		ctx.persister = namedInterface(livePkg.Types.Scope(), "Persister")
+	}
+
+	// Phase A: per-function direct summaries. Register every scoped
+	// function first so call-edge detection (which tests facts
+	// membership) sees the full set regardless of walk order.
+	for _, pkg := range pass.Prog.Pkgs {
+		if !lockOrderPkgs[pkg.Path] {
+			continue
+		}
+		for fn, fd := range packageFuncs(pkg) {
+			ctx.decls[fn] = &declInPkg{pkg: pkg, fd: fd}
+			ctx.facts[fn] = &funcFacts{acquires: make(map[*types.Var]bool)}
+		}
+	}
+	for fn, d := range ctx.decls {
+		facts := ctx.facts[fn]
+		w := &lockWalker{ctx: ctx, pkg: d.pkg,
+			onAcquire: func(v *types.Var, _ token.Pos, _ []*types.Var) { facts.acquires[v] = true },
+			onBlocking: func(desc string, _ token.Pos, _ []*types.Var) {
+				if facts.blocks == "" {
+					facts.blocks = desc
+				}
+			},
+			onCall: func(callee *types.Func, _ token.Pos, _ []*types.Var) { facts.calls = append(facts.calls, callee) },
+		}
+		w.walkStmts(d.fd.Body.List, nil)
+	}
+
+	// Phase B: transitive closure of acquires and blocks.
+	for changed := true; changed; {
+		changed = false
+		for _, facts := range ctx.facts {
+			for _, callee := range facts.calls {
+				cf, ok := ctx.facts[callee]
+				if !ok {
+					continue
+				}
+				for v := range cf.acquires {
+					if !facts.acquires[v] {
+						facts.acquires[v] = true
+						changed = true
+					}
+				}
+				if facts.blocks == "" && cf.blocks != "" {
+					facts.blocks = callee.Name() + ", which reaches " + cf.blocks
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Phase C: report. Walk every declared function and every closure
+	// with live held-set tracking.
+	var edges []lockEdge
+	onBlocking := func(desc string, pos token.Pos, held []*types.Var) {
+		if len(held) == 0 {
+			return
+		}
+		pass.Reportf(pos, "holds %s across %s: a stalled peer or fsync stalls every path that needs the lock (lockorder contract)", lockNames(held), desc)
+	}
+	for _, pkg := range pass.Prog.Pkgs {
+		if !lockOrderPkgs[pkg.Path] {
+			continue
+		}
+		for _, f := range pkg.Files {
+			// Collect the bodies to check: each declared function and
+			// each closure, walked exactly once.
+			var bodies []*ast.BlockStmt
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					bodies = append(bodies, fd.Body)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					bodies = append(bodies, lit.Body)
+				}
+				return true
+			})
+			for _, body := range bodies {
+				w := &lockWalker{ctx: ctx, pkg: pkg,
+					onAcquire: func(v *types.Var, pos token.Pos, held []*types.Var) {
+						for _, h := range held {
+							if h == v {
+								pass.Reportf(pos, "%s is locked while already held: self-deadlock (lockorder contract)", v.Name())
+								return
+							}
+						}
+						for _, h := range held {
+							edges = append(edges, lockEdge{from: h, to: v, pos: pos})
+						}
+					},
+					onBlocking: onBlocking,
+					onCall: func(fn *types.Func, pos token.Pos, held []*types.Var) {
+						if len(held) == 0 {
+							return
+						}
+						cf, ok := ctx.facts[fn]
+						if !ok {
+							return
+						}
+						if cf.blocks != "" {
+							pass.Reportf(pos, "holds %s across a call to %s, which reaches %s: a stalled peer or fsync stalls every path that needs the lock (lockorder contract)", lockNames(held), fn.Name(), cf.blocks)
+						}
+						for v := range cf.acquires {
+							for _, h := range held {
+								if h == v {
+									pass.Reportf(pos, "call to %s re-acquires %s, which is already held: self-deadlock (lockorder contract)", fn.Name(), v.Name())
+								} else {
+									edges = append(edges, lockEdge{from: h, to: v, pos: pos})
+								}
+							}
+						}
+					},
+				}
+				w.walkStmts(body.List, nil)
+			}
+		}
+	}
+
+	reportLockCycles(pass, edges)
+}
+
+// declInPkg pairs a declaration with its package (for cross-package
+// walks between live and livekv).
+type declInPkg struct {
+	pkg *Package
+	fd  *ast.FuncDecl
+}
+
+// lockNames renders a held set for a message.
+func lockNames(held []*types.Var) string {
+	names := make([]string, len(held))
+	for i, v := range held {
+		names[i] = v.Name()
+	}
+	return strings.Join(names, ", ")
+}
+
+// reportLockCycles flags every edge that closes a cycle in the lock
+// graph (to can reach from again), deduplicated per (from, to) pair.
+func reportLockCycles(pass *Pass, edges []lockEdge) {
+	adj := make(map[*types.Var]map[*types.Var]token.Pos)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[*types.Var]token.Pos)
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e.pos
+		}
+	}
+	var reaches func(from, to *types.Var, seen map[*types.Var]bool) bool
+	reaches = func(from, to *types.Var, seen map[*types.Var]bool) bool {
+		if from == to {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for next := range adj[from] {
+			if reaches(next, to, seen) {
+				return true
+			}
+		}
+		return false
+	}
+	type cyc struct {
+		pos      token.Pos
+		from, to *types.Var
+	}
+	var found []cyc
+	for from, outs := range adj {
+		for to, pos := range outs {
+			if reaches(to, from, map[*types.Var]bool{}) {
+				found = append(found, cyc{pos, from, to})
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, c := range found {
+		pass.Reportf(c.pos, "acquiring %s while holding %s closes a lock-order cycle: the opposite order exists on another path, and the first adverse interleaving deadlocks both (lockorder contract)", c.to.Name(), c.from.Name())
+	}
+}
+
+// lockWalker walks one function body branch-sensitively, tracking the
+// held-lock set and emitting acquisition, blocking, and call events.
+type lockWalker struct {
+	ctx *lockCtx
+	pkg *Package
+
+	onAcquire  func(v *types.Var, pos token.Pos, held []*types.Var)
+	onBlocking func(desc string, pos token.Pos, held []*types.Var)
+	onCall     func(fn *types.Func, pos token.Pos, held []*types.Var)
+}
+
+// lockCtx is the shared program-level state.
+type lockCtx struct {
+	transport *types.Interface
+	persister *types.Interface
+	facts     map[*types.Func]*funcFacts
+	decls     map[*types.Func]*declInPkg
+}
+
+// heldSet is an ordered held-lock list (acquisition order).
+type heldSet []*types.Var
+
+func (h heldSet) clone() heldSet { return append(heldSet(nil), h...) }
+
+func (h heldSet) without(v *types.Var) heldSet {
+	out := h[:0:0]
+	for _, x := range h {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func (h heldSet) union(o heldSet) heldSet {
+	out := h.clone()
+	for _, v := range o {
+		dup := false
+		for _, x := range out {
+			if x == v {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// walkStmts walks a statement list; it returns the held set at the
+// fall-through exit, or nil terminated=true when every path returns.
+func (w *lockWalker) walkStmts(list []ast.Stmt, held heldSet) (heldSet, bool) {
+	for _, s := range list {
+		var terminated bool
+		held, terminated = w.walkStmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held heldSet) (heldSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return w.scanExpr(s.X, held, false), false
+	case *ast.SendStmt:
+		held = w.scanExpr(s.Chan, held, false)
+		held = w.scanExpr(s.Value, held, false)
+		w.onBlocking("a blocking channel send", s.Arrow, held)
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scanExpr(e, held, false)
+		}
+		for _, e := range s.Lhs {
+			held = w.scanExpr(e, held, false)
+		}
+		return held, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = w.scanExpr(e, held, false)
+					}
+				}
+			}
+		}
+		return held, false
+	case *ast.IncDecStmt:
+		return w.scanExpr(s.X, held, false), false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.scanExpr(e, held, false)
+		}
+		return held, true
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to the end of the
+		// function, which the held set already models by not removing
+		// it; any other deferred call's effects are out of scope.
+		return held, false
+	case *ast.GoStmt:
+		for _, e := range s.Call.Args {
+			held = w.scanExpr(e, held, false)
+		}
+		return held, false
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		held = w.scanExpr(s.Cond, held, false)
+		thenHeld, thenTerm := w.walkStmts(s.Body.List, held.clone())
+		elseHeld, elseTerm := held, false
+		if s.Else != nil {
+			elseHeld, elseTerm = w.walkStmt(s.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseHeld, false
+		case elseTerm:
+			return thenHeld, false
+		default:
+			return thenHeld.union(elseHeld), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			held = w.scanExpr(s.Cond, held, false)
+		}
+		w.walkStmts(s.Body.List, held.clone())
+		return held, false
+	case *ast.RangeStmt:
+		held = w.scanExpr(s.X, held, false)
+		if tv, ok := w.pkg.Info.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.onBlocking("a range over a channel", s.For, held)
+			}
+		}
+		w.walkStmts(s.Body.List, held.clone())
+		return held, false
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.onBlocking("a blocking select", s.Select, held)
+		}
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseHeld := held.clone()
+			if cc.Comm != nil {
+				// The comm op is the select's, never separately
+				// blocking; calls inside it still count.
+				caseHeld, _ = w.walkCommStmt(cc.Comm, caseHeld)
+			}
+			w.walkStmts(cc.Body, caseHeld)
+		}
+		return held, false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			held = w.scanExpr(s.Tag, held, false)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held, false
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, held.clone())
+			}
+		}
+		return held, false
+	}
+	return held, false
+}
+
+// walkCommStmt walks a select communication statement with its channel
+// operation muted.
+func (w *lockWalker) walkCommStmt(s ast.Stmt, held heldSet) (heldSet, bool) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		held = w.scanExpr(s.Chan, held, true)
+		held = w.scanExpr(s.Value, held, true)
+		return held, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.scanExpr(e, held, true)
+		}
+		return held, false
+	case *ast.ExprStmt:
+		return w.scanExpr(s.X, held, true), false
+	}
+	return held, false
+}
+
+// scanExpr processes an expression's lock, call, and channel events in
+// source order. muteChanOps suppresses receive reporting (used for
+// select comms, whose blocking is the select's).
+func (w *lockWalker) scanExpr(e ast.Expr, held heldSet, muteChanOps bool) heldSet {
+	if e == nil {
+		return held
+	}
+	info := w.pkg.Info
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own body
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !muteChanOps {
+				w.onBlocking("a blocking channel receive", n.OpPos, held)
+			}
+		case *ast.CallExpr:
+			if v, op := w.mutexOp(n); v != nil {
+				if op > 0 {
+					w.onAcquire(v, n.Pos(), held)
+					held = append(held.clone(), v)
+				} else {
+					held = held.without(v)
+				}
+				return false
+			}
+			if isIfaceMethodCall(info, n, w.ctx.transport, "Send") {
+				w.onBlocking("Transport.Send", n.Pos(), held)
+			} else if isIfaceMethodCall(info, n, w.ctx.persister, "Sync") {
+				w.onBlocking("Persister.Sync (an fsync)", n.Pos(), held)
+			} else if fn := calleeOf(info, n); fn != nil && !isInterfaceMethod(fn) {
+				if _, scoped := w.ctx.facts[fn]; scoped {
+					w.onCall(fn, n.Pos(), held)
+				}
+			}
+		}
+		return true
+	})
+	return held
+}
+
+// mutexOp classifies a call as a sync.Mutex/RWMutex acquisition (+1)
+// or release (-1) and resolves the lock's identity (the variable or
+// field holding the mutex). Unresolvable receivers return nil.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (*types.Var, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, 0
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = 1
+	case "Unlock", "RUnlock":
+		op = -1
+	default:
+		return nil, 0
+	}
+	fn, ok := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || funcPkgPath(fn) != "sync" {
+		return nil, 0
+	}
+	named := recvNamed(fn)
+	if named == nil || (named.Obj().Name() != "Mutex" && named.Obj().Name() != "RWMutex") {
+		return nil, 0
+	}
+	if v := addressedVar(w.pkg.Info, sel.X); v != nil {
+		return v, op
+	}
+	return nil, 0
+}

@@ -35,6 +35,32 @@ func decodeClamped(b []byte) []uint64 {
 	return make([]uint64, min(int(count), 1024))
 }
 
+// decodeListChecked validates the decoded count before the loop that
+// grows the slice, so the incremental allocation is bounded.
+func decodeListChecked(b []byte) ([]uint64, error) {
+	count, _ := binary.Uvarint(b)
+	if count > 1024 {
+		return nil, ErrFrame
+	}
+	var out []uint64
+	for i := 0; i < int(count); i++ {
+		out = append(out, uint64(i))
+	}
+	return out, nil
+}
+
+// decodeBytesLoop iterates up to len of data already in hand: the
+// limit cannot exceed memory the caller has already paid for.
+func decodeBytesLoop(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	_ = n
+	var out []byte
+	for i := 0; i < len(b); i++ {
+		out = append(out, b[i]^0xff)
+	}
+	return out
+}
+
 // Encode is a writer: Put* calls are not decode evidence, so its
 // length-derived allocation needs no guard.
 func Encode(v uint32, payload []byte) []byte {

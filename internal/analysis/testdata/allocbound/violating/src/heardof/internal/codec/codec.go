@@ -17,3 +17,14 @@ func unmarshalEntries(b []byte) map[uint64]uint64 {
 	count, _ := binary.Uvarint(b)
 	return make(map[uint64]uint64, count) // want `allocbound: make\(\) sized by count in a decode path`
 }
+
+// decodeList grows a slice one element at a time up to a decoded
+// count: the incremental twin of the unbounded make().
+func decodeList(b []byte) []uint64 {
+	count, _ := binary.Uvarint(b)
+	var out []uint64
+	for i := 0; i < int(count); i++ { // want `allocbound: loop appends up to count without a dominating bound check`
+		out = append(out, uint64(i))
+	}
+	return out
+}

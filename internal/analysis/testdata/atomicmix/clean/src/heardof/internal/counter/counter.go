@@ -1,0 +1,33 @@
+// Package counter is a fixture: the clean control for atomicmix —
+// all-atomic access, typed atomics, and plain variables never touched
+// by sync/atomic all stay legal.
+package counter
+
+import "sync/atomic"
+
+// Stats keeps every access to its counters atomic.
+type Stats struct {
+	ops   uint64
+	total atomic.Uint64 // typed atomic: the mix is unrepresentable
+}
+
+// Record bumps atomically.
+func (s *Stats) Record() {
+	atomic.AddUint64(&s.ops, 1)
+	s.total.Add(1)
+}
+
+// Snapshot reads atomically.
+func (s *Stats) Snapshot() (uint64, uint64) {
+	return atomic.LoadUint64(&s.ops), s.total.Load()
+}
+
+// plainSeq is never accessed through sync/atomic, so plain access is
+// fine (whatever guards it is out of this analyzer's scope).
+var plainSeq uint64
+
+// NextPlain increments under the caller's lock.
+func NextPlain() uint64 {
+	plainSeq++
+	return plainSeq
+}

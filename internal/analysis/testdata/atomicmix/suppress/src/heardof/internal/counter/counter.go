@@ -1,0 +1,29 @@
+// Package counter is a fixture: suppression discipline for atomicmix.
+package counter
+
+import "sync/atomic"
+
+// Stats is written plainly only in the constructor, before the value
+// is shared — a justified suppression.
+type Stats struct {
+	ops uint64
+}
+
+// New seeds the counter before any goroutine can see the value.
+func New(seed uint64) *Stats {
+	s := &Stats{}
+	//holint:allow atomicmix fixture: s is not yet shared, the store cannot race
+	s.ops = seed
+	return s
+}
+
+// Record bumps atomically.
+func (s *Stats) Record() { atomic.AddUint64(&s.ops, 1) }
+
+// Drain resets plainly with a reasonless suppression: the hole and the
+// finding both surface.
+func (s *Stats) Drain() uint64 {
+	//holint:allow atomicmix // want `holint: //holint:allow atomicmix needs a justification`
+	old := s.ops // want `atomicmix: ops is accessed via sync/atomic`
+	return old
+}

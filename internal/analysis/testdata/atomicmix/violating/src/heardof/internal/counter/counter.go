@@ -1,0 +1,40 @@
+// Package counter is a fixture: variables accessed atomically in one
+// place and plainly in another.
+package counter
+
+import "sync/atomic"
+
+// Stats mixes atomic increments with plain reads.
+type Stats struct {
+	ops  uint64
+	errs uint64
+}
+
+// Record bumps the counters atomically.
+func (s *Stats) Record(failed bool) {
+	atomic.AddUint64(&s.ops, 1)
+	if failed {
+		atomic.AddUint64(&s.errs, 1)
+	}
+}
+
+// Snapshot reads them plainly: a data race against Record.
+func (s *Stats) Snapshot() (uint64, uint64) {
+	return s.ops, s.errs // want `atomicmix: ops is accessed via sync/atomic` `atomicmix: errs is accessed via sync/atomic`
+}
+
+// Reset writes plainly: the same race on the store side.
+func (s *Stats) Reset() {
+	s.ops = 0 // want `atomicmix: ops is accessed via sync/atomic`
+}
+
+// seq is a package-level var with the same mix.
+var seq uint64
+
+// Next claims a sequence number atomically.
+func Next() uint64 { return atomic.AddUint64(&seq, 1) }
+
+// Peek reads it plainly.
+func Peek() uint64 {
+	return seq // want `atomicmix: seq is accessed via sync/atomic`
+}

@@ -1,0 +1,73 @@
+// Package pump is a fixture: the clean controls for goleak — every
+// goroutine either terminates visibly and is awaited, or is a bounded
+// helper that needs no tracking.
+package pump
+
+import (
+	"context"
+	"sync"
+)
+
+// Pump tears down cleanly.
+type Pump struct {
+	in   chan int
+	out  chan int
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Start launches a tracked loop that returns on the close signal.
+func (p *Pump) Start(ctx context.Context) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case v := <-p.in:
+				p.out <- v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// StartDrain ranges over the input channel (ends when in closes) and is
+// awaited through the WaitGroup.
+func (p *Pump) StartDrain() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for v := range p.in {
+			p.out <- v
+		}
+	}()
+}
+
+// StartBreak exits its loop with a loop-targeted break.
+func (p *Pump) StartBreak() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			v, ok := <-p.in
+			if !ok {
+				break
+			}
+			p.out <- v
+		}
+	}()
+}
+
+// StartOnce launches a bounded helper: one send, then it returns —
+// no loop, so no WaitGroup needed.
+func (p *Pump) StartOnce(v int) {
+	go func() { p.out <- v }()
+}
+
+// Close stops the pump and awaits every tracked goroutine.
+func (p *Pump) Close() {
+	close(p.done)
+	close(p.in)
+	p.wg.Wait()
+}

@@ -1,0 +1,29 @@
+// Package pump is a fixture: suppression discipline for goleak.
+package pump
+
+// Pump carries one justified and one reasonless suppression.
+type Pump struct {
+	in  chan int
+	out chan int
+}
+
+// StartDaemon runs for the process lifetime by design.
+func (p *Pump) StartDaemon() {
+	//holint:allow goleak fixture: process-lifetime daemon, torn down by exit
+	go func() {
+		for v := range p.in {
+			p.out <- v
+		}
+	}()
+}
+
+// StartBare suppresses without a reason: the hole and the finding both
+// surface.
+func (p *Pump) StartBare() {
+	//holint:allow goleak // want `holint: //holint:allow goleak needs a justification`
+	go func() { // want `goleak: long-running goroutine is not tracked by a sync.WaitGroup.Done`
+		for v := range p.in {
+			p.out <- v
+		}
+	}()
+}

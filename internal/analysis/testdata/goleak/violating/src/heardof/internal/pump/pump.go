@@ -1,0 +1,59 @@
+// Package pump is a fixture: goroutines with no statically visible
+// termination path.
+package pump
+
+import "sync"
+
+// Pump leaks in three distinct shapes.
+type Pump struct {
+	in  chan int
+	out chan int
+	wg  sync.WaitGroup
+}
+
+// Start launches a bare spin loop: no exit at all.
+func (p *Pump) Start() {
+	go func() {
+		for { // want `goleak: goroutine launched at pump.go:16 runs an unconditional loop with no exit path`
+			p.out <- <-p.in
+		}
+	}()
+}
+
+// StartSelect launches the classic select leak: the unlabeled break
+// exits the select, never the loop.
+func (p *Pump) StartSelect() {
+	go func() {
+		for { // want `goleak: .* unconditional loop with no exit path`
+			select {
+			case v := <-p.in:
+				if v < 0 {
+					break
+				}
+				p.out <- v
+			}
+		}
+	}()
+}
+
+// run is the named-function variant of the same leak.
+func (p *Pump) run() {
+	for { // want `goleak: .* unconditional loop with no exit path`
+		p.out <- <-p.in
+	}
+}
+
+// StartNamed reaches run through the static call graph.
+func (p *Pump) StartNamed() {
+	go p.run()
+}
+
+// StartUntracked has an exit path (the range ends when in closes) but
+// nothing a Close can wait on.
+func (p *Pump) StartUntracked() {
+	go func() { // want `goleak: long-running goroutine is not tracked by a sync.WaitGroup.Done`
+		for v := range p.in {
+			p.out <- v
+		}
+	}()
+}

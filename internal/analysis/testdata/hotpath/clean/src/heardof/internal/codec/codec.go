@@ -1,0 +1,38 @@
+// Package codec is a fixture: the clean controls for hotpath —
+// annotated functions using sentinels and outlined cold paths, and an
+// unannotated function free to use fmt.
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRange is the hoisted sentinel the hot path returns.
+var ErrRange = errors.New("codec: value out of range")
+
+// Append frames a value with a package-level sentinel error.
+//
+//holint:hotpath
+func Append(dst []byte, v uint32) ([]byte, error) {
+	if v > 1<<24 {
+		return nil, ErrRange
+	}
+	return append(dst, byte(v>>16), byte(v>>8), byte(v)), nil
+}
+
+// Decode outlines its descriptive error into an unannotated helper.
+//
+//holint:hotpath
+func Decode(b []byte) (uint32, error) {
+	if len(b) < 3 {
+		return 0, shortBuffer(len(b))
+	}
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2]), nil
+}
+
+// shortBuffer is the cold path: unannotated, so it may allocate a
+// descriptive error.
+func shortBuffer(n int) error {
+	return fmt.Errorf("codec: short buffer: %d bytes", n)
+}

@@ -1,0 +1,28 @@
+// Package codec is a fixture: suppression discipline for hotpath.
+package codec
+
+import "fmt"
+
+// Append keeps fmt on a branch measured never to be taken in steady
+// state — a justified suppression.
+//
+//holint:hotpath
+func Append(dst []byte, v uint32) ([]byte, error) {
+	if v > 1<<24 {
+		//holint:allow hotpath fixture: corruption-only branch, never taken in steady state
+		return nil, fmt.Errorf("codec: value %d out of range", v)
+	}
+	return append(dst, byte(v>>16), byte(v>>8), byte(v)), nil
+}
+
+// Decode suppresses without a reason: the hole and the finding both
+// surface.
+//
+//holint:hotpath
+func Decode(b []byte) (uint32, error) {
+	if len(b) < 3 {
+		//holint:allow hotpath // want `holint: //holint:allow hotpath needs a justification`
+		return 0, fmt.Errorf("codec: short buffer") // want `hotpath: fmt.Errorf in //holint:hotpath function Decode allocates on every call`
+	}
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2]), nil
+}

@@ -1,0 +1,32 @@
+// Package codec is a fixture: hotpath annotation misuse — misplaced
+// directives and by-construction allocations in annotated functions.
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+//holint:hotpath // want `hotpath: //holint:hotpath must sit directly above a function declaration`
+var buf [64]byte
+
+// Append frames a value on the pinned zero-alloc path, but builds its
+// error with fmt.
+//
+//holint:hotpath
+func Append(dst []byte, v uint32) ([]byte, error) {
+	if v > 1<<24 {
+		return nil, fmt.Errorf("codec: value %d out of range", v) // want `hotpath: fmt.Errorf in //holint:hotpath function Append allocates on every call`
+	}
+	return append(dst, byte(v>>16), byte(v>>8), byte(v)), nil
+}
+
+// Decode allocates its sentinel on every call.
+//
+//holint:hotpath
+func Decode(b []byte) (uint32, error) {
+	if len(b) < 3 {
+		return 0, errors.New("codec: short buffer") // want `hotpath: errors.New in //holint:hotpath function Decode allocates on every call`
+	}
+	return uint32(b[0])<<16 | uint32(b[1])<<8 | uint32(b[2]), nil
+}

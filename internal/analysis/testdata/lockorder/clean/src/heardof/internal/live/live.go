@@ -1,0 +1,97 @@
+// Package live is a fixture: the clean controls for lockorder — locks
+// released before blocking, non-blocking channel ops under a lock, a
+// consistent two-lock order, and a conditional early unlock whose
+// fall-through path stays correctly locked.
+package live
+
+import "sync"
+
+// Envelope is the wire unit.
+type Envelope struct{ Payload []byte }
+
+// Transport moves envelopes (mirrors the real live.Transport).
+type Transport interface {
+	Send(to int, env Envelope) error
+	Close() error
+}
+
+// Persister makes protocol facts durable (mirrors live.Persister).
+type Persister interface {
+	Sync() error
+}
+
+// Node releases its mutex before every blocking operation.
+type Node struct {
+	mu      sync.Mutex
+	seq     int
+	tr      Transport
+	persist Persister
+	acks    chan int
+}
+
+// Dispatch snapshots under the lock, then blocks unlocked.
+func (n *Node) Dispatch(env Envelope) error {
+	n.mu.Lock()
+	n.seq++
+	to := n.seq
+	n.mu.Unlock()
+	if err := n.tr.Send(to, env); err != nil {
+		return err
+	}
+	return n.persist.Sync()
+}
+
+// TryAck performs a non-blocking send under the lock: select with a
+// default never stalls, so holding the lock is legal.
+func (n *Node) TryAck(id int) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case n.acks <- id:
+		return true
+	default:
+		return false
+	}
+}
+
+// Drop closes the channel under the lock: close never blocks.
+func (n *Node) Drop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	close(n.acks)
+}
+
+// Submit unlocks early on the duplicate path and sends only after the
+// main path's unlock: neither send happens while locked.
+func (n *Node) Submit(id int) {
+	n.mu.Lock()
+	if id == n.seq {
+		n.mu.Unlock()
+		n.acks <- id
+		return
+	}
+	n.seq = id
+	n.mu.Unlock()
+	n.acks <- id
+}
+
+// Pair takes its two locks in one global order on every path.
+type Pair struct {
+	a, b sync.Mutex
+}
+
+// First nests b under a.
+func (p *Pair) First() {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// Second uses the same order: no cycle.
+func (p *Pair) Second() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}

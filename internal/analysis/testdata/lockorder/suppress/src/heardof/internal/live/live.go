@@ -1,0 +1,34 @@
+// Package live is a fixture: suppression discipline for lockorder.
+package live
+
+import "sync"
+
+// Persister makes protocol facts durable (mirrors live.Persister).
+type Persister interface {
+	Sync() error
+}
+
+// Node holds the lock across its write-ahead barrier by design.
+type Node struct {
+	mu      sync.Mutex
+	persist Persister
+	acks    chan int
+}
+
+// Dispatch carries the justified suppression: the barrier must be
+// atomic with the step it persists.
+func (n *Node) Dispatch() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//holint:allow lockorder fixture: the sync barrier is atomic with the step by design
+	return n.persist.Sync()
+}
+
+// Ack suppresses without a reason: the hole and the finding both
+// surface.
+func (n *Node) Ack(id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	//holint:allow lockorder // want `holint: //holint:allow lockorder needs a justification`
+	n.acks <- id // want `lockorder: holds mu across a blocking channel send`
+}

@@ -1,0 +1,96 @@
+// Package live is a fixture: mutexes held across blocking operations
+// and a cyclic acquisition order.
+package live
+
+import "sync"
+
+// Envelope is the wire unit.
+type Envelope struct{ Payload []byte }
+
+// Transport moves envelopes (mirrors the real live.Transport).
+type Transport interface {
+	Send(to int, env Envelope) error
+	Close() error
+}
+
+// Persister makes protocol facts durable (mirrors live.Persister).
+type Persister interface {
+	Sync() error
+}
+
+// Node holds its mutex across every blocking shape.
+type Node struct {
+	mu      sync.Mutex
+	tr      Transport
+	persist Persister
+	acks    chan int
+	stop    chan struct{}
+}
+
+// Dispatch sends and syncs under the lock.
+func (n *Node) Dispatch(env Envelope) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err := n.tr.Send(1, env); err != nil { // want `lockorder: holds mu across Transport.Send`
+		return err
+	}
+	return n.persist.Sync() // want `lockorder: holds mu across Persister.Sync`
+}
+
+// Ack performs a plain channel send while locked.
+func (n *Node) Ack(id int) {
+	n.mu.Lock()
+	n.acks <- id // want `lockorder: holds mu across a blocking channel send`
+	n.mu.Unlock()
+}
+
+// Wait blocks on a receive and a bare select while locked.
+func (n *Node) Wait() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select { // want `lockorder: holds mu across a blocking select`
+	case v := <-n.acks:
+		return v
+	case <-n.stop:
+		return 0
+	}
+}
+
+// emit reaches Transport.Send one call deep.
+func (n *Node) emit(env Envelope) { n.tr.Send(2, env) }
+
+// Flush holds the lock across a call that reaches a blocking op.
+func (n *Node) Flush(env Envelope) {
+	n.mu.Lock()
+	n.emit(env) // want `lockorder: holds mu across a call to emit, which reaches Transport.Send`
+	n.mu.Unlock()
+}
+
+// Pair seeds the two halves of a lock-order cycle.
+type Pair struct {
+	a, b sync.Mutex
+}
+
+// LeftRight takes a then b.
+func (p *Pair) LeftRight() {
+	p.a.Lock()
+	p.b.Lock() // want `lockorder: acquiring b while holding a closes a lock-order cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// RightLeft takes b then a: the opposite order.
+func (p *Pair) RightLeft() {
+	p.b.Lock()
+	p.a.Lock() // want `lockorder: acquiring a while holding b closes a lock-order cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Recurse re-locks a mutex it already holds.
+func (p *Pair) Recurse() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.a.Lock() // want `lockorder: a is locked while already held: self-deadlock`
+	p.a.Unlock()
+}

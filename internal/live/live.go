@@ -118,6 +118,8 @@ const maxFrame = 1 << 20
 
 // AppendEnvelope encodes env after dst: uvarint group, slot, round, from,
 // one kind byte, then the raw payload.
+//
+//holint:hotpath
 func AppendEnvelope(dst []byte, env Envelope) []byte {
 	dst = binary.AppendUvarint(dst, uint64(env.Group))
 	dst = binary.AppendUvarint(dst, env.Slot)
@@ -127,42 +129,57 @@ func AppendEnvelope(dst []byte, env Envelope) []byte {
 	return append(dst, env.Payload...)
 }
 
-// errMalformed reports an undecodable envelope or payload.
-var errMalformed = errors.New("live: malformed message")
+// errMalformed reports an undecodable envelope or payload. The
+// per-field variants below wrap it once, at package level, so the
+// decode path returns a preallocated sentinel instead of formatting a
+// fresh error per rejected frame — a hostile peer spraying garbage
+// must not be able to drive the receiver's allocator. All of them
+// satisfy errors.Is(err, errMalformed).
+var (
+	errMalformed   = errors.New("live: malformed message")
+	errFrameTooBig = fmt.Errorf("%w: frame exceeds %d bytes", errMalformed, maxFrame)
+	errBadGroup    = fmt.Errorf("%w: group", errMalformed)
+	errBadSlot     = fmt.Errorf("%w: slot", errMalformed)
+	errBadRound    = fmt.Errorf("%w: round", errMalformed)
+	errBadSender   = fmt.Errorf("%w: sender", errMalformed)
+	errBadKind     = fmt.Errorf("%w: kind", errMalformed)
+)
 
 // DecodeEnvelope parses one encoded envelope. The returned payload
 // aliases b.
+//
+//holint:hotpath
 func DecodeEnvelope(b []byte) (Envelope, error) {
 	var env Envelope
 	if len(b) > maxFrame {
-		return env, fmt.Errorf("%w: %d-byte frame exceeds %d", errMalformed, len(b), maxFrame)
+		return env, errFrameTooBig
 	}
 	group, n := binary.Uvarint(b)
 	if n <= 0 || group > 1<<32-1 {
-		return env, fmt.Errorf("%w: group", errMalformed)
+		return env, errBadGroup
 	}
 	b = b[n:]
 	slot, n := binary.Uvarint(b)
 	if n <= 0 {
-		return env, fmt.Errorf("%w: slot", errMalformed)
+		return env, errBadSlot
 	}
 	b = b[n:]
 	round, n := binary.Uvarint(b)
 	if n <= 0 || round > 1<<31 {
-		return env, fmt.Errorf("%w: round", errMalformed)
+		return env, errBadRound
 	}
 	b = b[n:]
 	from, n := binary.Uvarint(b)
 	if n <= 0 || from >= uint64(core.MaxProcesses) {
-		return env, fmt.Errorf("%w: sender", errMalformed)
+		return env, errBadSender
 	}
 	b = b[n:]
 	if len(b) < 1 {
-		return env, fmt.Errorf("%w: kind", errMalformed)
+		return env, errBadKind
 	}
 	kind := Kind(b[0])
 	if kind < KindRound || kind > KindSyncPull {
-		return env, fmt.Errorf("%w: kind %d", errMalformed, kind)
+		return env, errBadKind
 	}
 	env = Envelope{
 		Group: uint32(group), Slot: slot, Round: core.Round(round),
@@ -255,13 +272,15 @@ type faultTransport struct {
 	inner Transport
 	f     *Faults
 	out   chan Envelope
-	once  sync.Once
+	wg    sync.WaitGroup
 }
 
 // WithFaults wraps t so that every send and receive passes through the
-// fault environment f. Close closes the inner transport.
+// fault environment f. Close closes the inner transport and waits for
+// the pump goroutine to drain out.
 func WithFaults(t Transport, f *Faults) Transport {
 	ft := &faultTransport{inner: t, f: f, out: make(chan Envelope, 1024)}
+	ft.wg.Add(1)
 	go ft.pump()
 	return ft
 }
@@ -282,11 +301,19 @@ func (ft *faultTransport) Send(to core.ProcessID, env Envelope) {
 // Recv implements Transport.
 func (ft *faultTransport) Recv() <-chan Envelope { return ft.out }
 
-// Close implements Transport.
-func (ft *faultTransport) Close() error { return ft.inner.Close() }
+// Close implements Transport: it closes the inner transport (whose
+// Recv close terminates the pump) and awaits the pump's exit, so no
+// goroutine outlives the transport.
+func (ft *faultTransport) Close() error {
+	err := ft.inner.Close()
+	ft.wg.Wait()
+	return err
+}
 
-// pump filters the inbound stream through the pause gate.
+// pump filters the inbound stream through the pause gate. It exits
+// when the inner transport's Recv channel closes (on Close).
 func (ft *faultTransport) pump() {
+	defer ft.wg.Done()
 	for env := range ft.inner.Recv() {
 		if ft.f.recvDrop() {
 			continue
@@ -316,6 +343,7 @@ type Mux struct {
 // transport's does.
 func NewMux(t Transport) *Mux {
 	m := &Mux{tr: t, groups: make(map[uint32]chan Envelope)}
+	//holint:allow goleak route's lifetime IS the transport's: the underlying Recv close drains and exits it, and Mux deliberately exposes no Close of its own (the transport owns the lifecycle)
 	go m.route()
 	return m
 }

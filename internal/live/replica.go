@@ -499,6 +499,7 @@ func (r *Replica[C]) dispatch(ev Event[C]) {
 	r.mu.Lock()
 	res := r.core.Step(ev)
 	if r.cfg.Persist != nil {
+		//holint:allow lockorder the sync-before-send barrier is atomic with the step by design: no envelope or ack of this step may become visible before the fsync, and every other mu path is a step that must serialize behind the barrier anyway (DESIGN.md §11)
 		if err := r.cfg.Persist.Sync(); err != nil {
 			if r.persistErr == nil {
 				r.persistErr = err
@@ -515,7 +516,8 @@ func (r *Replica[C]) dispatch(ev Event[C]) {
 		}
 		key := waiterKey{ae.Entry.Client, ae.Entry.Seq}
 		if ch, ok := r.waiters[key]; ok {
-			ch <- out // buffered(1), sole send
+			//holint:allow lockorder the waiter channel is buffered(1) and this delete makes it the sole send ever, so the send cannot block
+			ch <- out
 			delete(r.waiters, key)
 		}
 	}

@@ -199,6 +199,8 @@ func (e *Engine[C]) SubmitNext(client ClientID, cmd C) uint64 {
 }
 
 // accept records a deduplicated submission.
+//
+//holint:hotpath
 func (e *Engine[C]) accept(client ClientID, seq uint64, cmd C) {
 	e.maxSeen[client] = seq
 	e.table = append(e.table, entry[C]{client: client, seq: seq, cmd: cmd, submitted: e.stats.WallRounds})
@@ -403,9 +405,11 @@ func (e *Engine[C]) decideWindow(maxChunks int) (int, error) {
 
 // commitSlot applies the commands a slot's decided mask selected from its
 // chunk of the pending queue.
+//
+//holint:hotpath
 func (e *Engine[C]) commitSlot(lo, n int, sr slotResult, removed []bool, at core.Round) (int, error) {
 	if sr.mask < 0 || (n < MaxBatch && sr.mask >= core.Value(1)<<uint(n)) {
-		return 0, fmt.Errorf("rsm: slot %d decided mask %#x outside its %d-command chunk", e.stats.Slots, sr.mask, n)
+		return 0, e.badMask(sr, n)
 	}
 	count := 0
 	for i := 0; i < n; i++ {
@@ -426,6 +430,16 @@ func (e *Engine[C]) commitSlot(lo, n int, sr slotResult, removed []bool, at core
 		count++
 	}
 	return count, nil
+}
+
+// badMask formats the out-of-chunk decided-mask error — outlined from
+// commitSlot so the commit loop's steady state stays allocation-free.
+// noinline keeps the compiler from folding the fmt.Errorf argument
+// boxing back into the annotated caller.
+//
+//go:noinline
+func (e *Engine[C]) badMask(sr slotResult, n int) error {
+	return fmt.Errorf("rsm: slot %d decided mask %#x outside its %d-command chunk", e.stats.Slots, sr.mask, n)
 }
 
 // Drain decides windows until nothing is pending or maxSlots consensus

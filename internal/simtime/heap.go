@@ -39,11 +39,13 @@ func (h *eventHeap) reserve(n int) {
 	}
 }
 
+//holint:hotpath
 func (h *eventHeap) push(e event) {
 	h.ev = append(h.ev, e)
 	h.siftUp(len(h.ev) - 1)
 }
 
+//holint:hotpath
 func (h *eventHeap) siftUp(i int) {
 	ev := h.ev
 	for i > 0 {
@@ -59,6 +61,8 @@ func (h *eventHeap) siftUp(i int) {
 // popMin removes and returns the minimum event. It must not be called on
 // an empty heap. The vacated slot is zeroed so popped envelopes do not
 // pin their payloads.
+//
+//holint:hotpath
 func (h *eventHeap) popMin() event {
 	ev := h.ev
 	root := ev[0]
@@ -72,6 +76,7 @@ func (h *eventHeap) popMin() event {
 	return root
 }
 
+//holint:hotpath
 func (h *eventHeap) siftDown(i int) {
 	ev := h.ev
 	n := len(ev)

@@ -203,18 +203,22 @@ func (s *Sim) Proto(p core.ProcessID) Proto { return s.protos[p] }
 // BufferLen returns the size of p's buffer set (for tests).
 func (s *Sim) BufferLen(p core.ProcessID) int { return len(s.procs[p].buffer) }
 
+//holint:hotpath
 func (s *Sim) push(e event) {
 	e.seq = s.seq
 	s.seq++
 	s.queue.push(e)
 }
 
+//holint:hotpath
 func (s *Sim) scheduleStep(p core.ProcessID, t Time) {
 	gap := s.stepGap(p)
 	s.push(event{t: t + gap, kind: evStep, p: p})
 }
 
 // stepGap draws the time until p's next step under the period in force.
+//
+//holint:hotpath
 func (s *Sim) stepGap(p core.ProcessID) Time {
 	synchronous := s.per.Kind != Bad && s.per.Pi0.Has(p)
 	if synchronous {
@@ -268,13 +272,17 @@ func (s *Sim) broadcast(from core.ProcessID, payload any, t Time) {
 	}
 }
 
+// fifoDefault is the nil-policy fallback, boxed once at package level
+// so receive never converts FIFO{} to an interface per call.
+var fifoDefault ReceptionPolicy = FIFO{}
+
 // receive implements a receive step. Removal is an O(1) swap with the last
 // element: selection is a total order over envelope keys (see
 // ReceptionPolicy), so it does not depend on buffer layout.
 func (s *Sim) receive(p core.ProcessID, policy ReceptionPolicy) (Envelope, bool) {
 	buf := s.procs[p].buffer
 	if policy == nil {
-		policy = FIFO{}
+		policy = fifoDefault
 	}
 	idx := policy.Select(buf)
 	if idx < 0 || idx >= len(buf) {
@@ -376,6 +384,7 @@ func (s *Sim) recover(p core.ProcessID, t Time) {
 // pop per call is what keeps RunUntilTime/RunUntil honest: their time
 // bound is re-checked against the heap head before every pop, so a no-op
 // event inside the bound can never drag execution past it.
+//holint:hotpath
 func (s *Sim) processEvent() bool {
 	if s.queue.len() == 0 {
 		return false

@@ -192,57 +192,101 @@ func Open(dir string, opt Options) (*Store, *State, error) {
 // ---------------------------------------------------------------------
 // Appending.
 
-// appendRecord frames body into the write buffer.
-func (s *Store) appendRecord(body []byte) {
-	if s.err != nil {
-		return
-	}
+// errRecordTooBig is the sticky failure for a record body over
+// maxRecord (a sentinel, not a formatted error: the append path is
+// pinned zero-alloc and the size that overflowed is gone anyway —
+// replay treats oversized length prefixes as the torn tail).
+var errRecordTooBig = errors.New("wal: record body exceeds maxRecord")
+
+// beginRecord reserves an 8-byte frame header at the tail of the
+// write buffer and returns the offset where the record body starts;
+// the caller appends the body in place and seals it with endRecord.
+// Framing directly into s.buf keeps the Save* path allocation-free
+// (the buffer's growth is amortized across records).
+func (s *Store) beginRecord() int {
+	s.buf = append(s.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	return len(s.buf)
+}
+
+// endRecord seals the record begun at start, filling the reserved
+// header with the body's length and checksum; an oversized body rolls
+// the whole frame back and sticks errRecordTooBig.
+func (s *Store) endRecord(start int) {
+	body := s.buf[start:]
 	if len(body) > maxRecord {
-		s.err = fmt.Errorf("wal: record body %d bytes exceeds %d", len(body), maxRecord)
+		s.buf = s.buf[:start-8]
+		s.err = errRecordTooBig
 		return
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(body)))
-	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(body, crcTable))
-	s.buf = append(s.buf, hdr[:]...)
-	s.buf = append(s.buf, body...)
+	binary.LittleEndian.PutUint32(s.buf[start-8:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(s.buf[start-4:], crc32.Checksum(body, crcTable))
 	s.logBytes += int64(8 + len(body))
 	s.dirty = true
 }
 
 // SaveBatch logs a disseminated batch's contents (encoded entries).
 // The bytes are copied; callers may reuse the slice.
+//
+//holint:hotpath
 func (s *Store) SaveBatch(bid int64, contents []byte) {
-	body := append(binary.AppendVarint([]byte{recBatch}, bid), contents...)
-	s.appendRecord(body)
+	if s.err != nil {
+		return
+	}
+	start := s.beginRecord()
+	s.buf = append(s.buf, recBatch)
+	s.buf = binary.AppendVarint(s.buf, bid)
+	s.buf = append(s.buf, contents...)
+	s.endRecord(start)
 }
 
 // SaveVote logs the running instance's state after a transition — the
 // locked vote the paper's crash-recovery algorithm keeps in stable
 // storage.
+//
+//holint:hotpath
 func (s *Store) SaveVote(slot uint64, state []byte) {
-	body := append(binary.AppendUvarint([]byte{recVote}, slot), state...)
-	s.appendRecord(body)
+	if s.err != nil {
+		return
+	}
+	start := s.beginRecord()
+	s.buf = append(s.buf, recVote)
+	s.buf = binary.AppendUvarint(s.buf, slot)
+	s.buf = append(s.buf, state...)
+	s.endRecord(start)
 }
 
 // SaveDecision logs a decided-but-not-yet-applied slot.
+//
+//holint:hotpath
 func (s *Store) SaveDecision(slot uint64, bid int64) {
-	body := binary.AppendUvarint([]byte{recDecision}, slot)
-	body = binary.AppendVarint(body, bid)
-	s.appendRecord(body)
+	if s.err != nil {
+		return
+	}
+	start := s.beginRecord()
+	s.buf = append(s.buf, recDecision)
+	s.buf = binary.AppendUvarint(s.buf, slot)
+	s.buf = binary.AppendVarint(s.buf, bid)
+	s.endRecord(start)
 }
 
 // SaveApplied logs one applied slot with its fresh (client,seq)
 // advancements.
+//
+//holint:hotpath
 func (s *Store) SaveApplied(slot uint64, bid int64, fresh []ClientSeq) {
-	body := binary.AppendUvarint([]byte{recApply}, slot)
-	body = binary.AppendVarint(body, bid)
-	body = binary.AppendUvarint(body, uint64(len(fresh)))
-	for _, cs := range fresh {
-		body = binary.AppendUvarint(body, cs.Client)
-		body = binary.AppendUvarint(body, cs.Seq)
+	if s.err != nil {
+		return
 	}
-	s.appendRecord(body)
+	start := s.beginRecord()
+	s.buf = append(s.buf, recApply)
+	s.buf = binary.AppendUvarint(s.buf, slot)
+	s.buf = binary.AppendVarint(s.buf, bid)
+	s.buf = binary.AppendUvarint(s.buf, uint64(len(fresh)))
+	for _, cs := range fresh {
+		s.buf = binary.AppendUvarint(s.buf, cs.Client)
+		s.buf = binary.AppendUvarint(s.buf, cs.Seq)
+	}
+	s.endRecord(start)
 }
 
 // Sync makes every buffered record durable (the shell's sync-before-

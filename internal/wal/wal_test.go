@@ -249,7 +249,9 @@ func TestSemanticCorruptionFails(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s.appendRecord([]byte{99, 1, 2, 3})
+		start := s.beginRecord()
+		s.buf = append(s.buf, 99, 1, 2, 3)
+		s.endRecord(start)
 		if err := s.Sync(); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,80 @@
+#!/usr/bin/env sh
+# alloc_gate.sh — allocation-regression gate over the perf-trajectory
+# JSON points (scripts/bench.sh). Compares allocs_per_op per benchmark
+# between a committed baseline and a fresh run and fails if any
+# benchmark regressed by more than 20%.
+#
+# Usage: scripts/alloc_gate.sh <baseline.json> <fresh.json>
+#
+# allocs/op is the one benchmark statistic that is stable at smoke
+# iteration counts (BENCHTIME=0.2s): it counts allocator calls, not
+# time, so CI can gate on it without flaking. Benchmarks present on
+# only one side (added or removed since the baseline) are reported and
+# ignored; null allocs_per_op rows (hobench wall-time rows) are
+# skipped. The files are the one-row-per-benchmark format bench.sh
+# emits, so a line-oriented awk join is reliable.
+set -eu
+
+if [ $# -ne 2 ]; then
+	echo "usage: $0 <baseline.json> <fresh.json>" >&2
+	exit 2
+fi
+base="$1"
+fresh="$2"
+for f in "$base" "$fresh"; do
+	if [ ! -f "$f" ]; then
+		echo "alloc_gate: $f: no such file" >&2
+		exit 2
+	fi
+done
+
+awk '
+function row(line,   name, allocs) {
+	# One benchmark per line: {"name": "...", ..., "allocs_per_op": N}
+	if (line !~ /"name":/) return ""
+	name = line
+	sub(/.*"name": "/, "", name)
+	sub(/".*/, "", name)
+	allocs = line
+	if (allocs !~ /"allocs_per_op":/) return ""
+	sub(/.*"allocs_per_op": /, "", allocs)
+	sub(/[,}].*/, "", allocs)
+	return name SUBSEP allocs
+}
+FNR == 1 { nfile++ } # first file is the baseline (robust to base == fresh)
+{ in_base = (nfile == 1) }
+{
+	r = row($0)
+	if (r == "") next
+	split(r, kv, SUBSEP)
+	if (kv[2] == "null") next
+	if (in_base) { base[kv[1]] = kv[2] } else { fresh[kv[1]] = kv[2]; order[n++] = kv[1] }
+}
+END {
+	failures = 0
+	for (i = 0; i < n; i++) {
+		name = order[i]
+		if (!(name in base)) {
+			printf "alloc_gate: %-28s new benchmark (no baseline), ignored\n", name
+			continue
+		}
+		b = base[name] + 0
+		f = fresh[name] + 0
+		limit = b * 1.2
+		verdict = "ok"
+		if (f > limit && f > b) {
+			verdict = "REGRESSION"
+			failures++
+		}
+		printf "alloc_gate: %-28s base=%d fresh=%d (limit %.1f) %s\n", name, b, f, limit, verdict
+	}
+	for (name in base) {
+		if (!(name in fresh))
+			printf "alloc_gate: %-28s removed since baseline, ignored\n", name
+	}
+	if (failures > 0) {
+		printf "alloc_gate: FAIL: %d benchmark(s) regressed allocs/op by more than 20%%\n", failures
+		exit 1
+	}
+	print "alloc_gate: OK: no allocs/op regression over 20%"
+}' "$base" "$fresh"
